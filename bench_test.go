@@ -1,0 +1,327 @@
+// Package candlebench is the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`), plus ablation benchmarks for the
+// design choices called out in DESIGN.md §7.
+//
+// One BenchmarkTableN / BenchmarkFigureN exists per paper artifact;
+// each iteration executes the corresponding experiment driver from
+// internal/core end to end, so -bench also doubles as a smoke test
+// that every artifact still regenerates.
+package candlebench
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"candle/internal/candle"
+	"candle/internal/checkpoint"
+	"candle/internal/core"
+	"candle/internal/csvio"
+	"candle/internal/horovod"
+	"candle/internal/hpc"
+	"candle/internal/mpi"
+	"candle/internal/nn"
+	"candle/internal/sim"
+	"candle/internal/tensor"
+)
+
+// benchExperiment runs one core experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := core.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// --- one benchmark per paper table ---
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// --- one benchmark per paper figure ---
+
+func BenchmarkFigure6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFigure6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFigure7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFigure7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFigure8a(b *testing.B)  { benchExperiment(b, "fig8a") }
+func BenchmarkFigure8b(b *testing.B)  { benchExperiment(b, "fig8b") }
+func BenchmarkFigure9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFigure9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFigure10a(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFigure10b(b *testing.B) { benchExperiment(b, "fig10b") }
+func BenchmarkFigure11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFigure18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFigure19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFigure20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFigure21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkSection54(b *testing.B) { benchExperiment(b, "sec5.4") }
+
+// --- real-mode benchmarks: actual distributed training ---
+
+// benchRealRun trains a scaled NT3 for real on the given rank count.
+func benchRealRun(b *testing.B, ranks int) {
+	b.Helper()
+	bench, err := candle.Scaled("NT3", 40, 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if _, _, err := bench.PrepareData(dir, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(candle.RunConfig{
+			Ranks: ranks, TotalEpochs: 8, Batch: 7, LR: 0.05,
+			DataDir: dir, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealNT3Sequential(b *testing.B)   { benchRealRun(b, 1) }
+func BenchmarkRealNT3Distributed4(b *testing.B) { benchRealRun(b, 4) }
+
+// --- ablations (DESIGN.md §7) ---
+
+// allreduceNaiveGather is the strawman allreduce: allgather everything
+// and reduce locally — O(N·M) traffic per rank instead of the ring's
+// O(M).
+func allreduceNaiveGather(c *mpi.Comm, data []float64) {
+	all := c.Allgather(data)
+	for i := range data {
+		s := 0.0
+		for _, contrib := range all {
+			s += contrib[i]
+		}
+		data[i] = s
+	}
+}
+
+func benchAllreduce(b *testing.B, ring bool) {
+	const ranks, elems = 8, 65536
+	w := mpi.NewWorld(ranks)
+	b.SetBytes(int64(8 * elems))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(c *mpi.Comm) error {
+			data := make([]float64, elems)
+			for j := range data {
+				data[j] = float64(c.Rank() + j)
+			}
+			if ring {
+				c.AllreduceSum(data)
+			} else {
+				allreduceNaiveGather(c, data)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAllreduceRing(b *testing.B)   { benchAllreduce(b, true) }
+func BenchmarkAblationAllreduceGather(b *testing.B) { benchAllreduce(b, false) }
+
+// benchFusion measures the Horovod layer with fusion on or off over a
+// model with many small tensors.
+func benchFusion(b *testing.B, fusionBytes int) {
+	const ranks = 4
+	w := mpi.NewWorld(ranks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(c *mpi.Comm) error {
+			h := horovod.Init(c, horovod.Options{FusionBytes: fusionBytes})
+			d := h.DistributedOptimizer(nn.NewSGD(0.01))
+			params := make([]*nn.Param, 32)
+			for p := range params {
+				params[p] = &nn.Param{
+					Name:  fmt.Sprintf("p%d", p),
+					Value: tensor.New(16, 16),
+					Grad:  tensor.New(16, 16),
+				}
+			}
+			for step := 0; step < 4; step++ {
+				d.Step(params)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFusionOn(b *testing.B)  { benchFusion(b, 0) }  // default 64 MB buffer
+func BenchmarkAblationFusionOff(b *testing.B) { benchFusion(b, -1) } // one allreduce per tensor
+
+// benchChunkSize sweeps the chunked reader's chunk size on a wide CSV
+// (the paper fixes 16 MB to match Spectrum Scale's largest I/O block).
+func benchChunkSize(b *testing.B, chunkBytes int) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.New(48, 4000)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 100
+	}
+	path := filepath.Join(b.TempDir(), "wide.csv")
+	if err := csvio.WriteCSV(path, m); err != nil {
+		b.Fatal(err)
+	}
+	r := &csvio.ChunkedReader{ChunkBytes: chunkBytes}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Read(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChunk64KB(b *testing.B) { benchChunkSize(b, 64<<10) }
+func BenchmarkAblationChunk1MB(b *testing.B)  { benchChunkSize(b, 1<<20) }
+func BenchmarkAblationChunk16MB(b *testing.B) { benchChunkSize(b, 16<<20) }
+
+// benchParallelWorkers sweeps the Dask-like reader's partition count.
+func benchParallelWorkers(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(4))
+	m := tensor.New(48, 4000)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 100
+	}
+	path := filepath.Join(b.TempDir(), "wide.csv")
+	if err := csvio.WriteCSV(path, m); err != nil {
+		b.Fatal(err)
+	}
+	r := csvio.NewParallelReader(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Read(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallel1(b *testing.B) { benchParallelWorkers(b, 1) }
+func BenchmarkAblationParallel4(b *testing.B) { benchParallelWorkers(b, 4) }
+func BenchmarkAblationParallel8(b *testing.B) { benchParallelWorkers(b, 8) }
+
+// benchPSvsRing compares the centralized parameter-server baseline
+// (the gRPC-style distribution the paper says is "difficult to use and
+// optimize") against the Horovod ring on a real training step.
+func benchDistStrategy(b *testing.B, ps bool) {
+	bench, err := candle.Scaled("NT3", 40, 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if _, _, err := bench.PrepareData(dir, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(candle.RunConfig{
+			Ranks: 4, TotalEpochs: 8, Batch: 7, LR: 0.05,
+			DataDir: dir, Seed: 1, ParameterServer: ps,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRingAllreduceTraining(b *testing.B) { benchDistStrategy(b, false) }
+func BenchmarkAblationParamServerTraining(b *testing.B)   { benchDistStrategy(b, true) }
+
+// BenchmarkCheckpointSaveRestore measures the checkpoint/restart
+// feature (paper §7 future work).
+func BenchmarkCheckpointSaveRestore(b *testing.B) {
+	m := nn.NewSequential("ckpt", nn.NewDense(256), nn.NewReLU(), nn.NewDense(64), nn.NewDense(8))
+	if err := m.Compile(128, nn.MeanSquaredError{}, nn.NewSGD(0.01), 1); err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := checkpoint.FileFor(dir, "bench", i%8)
+		if err := checkpoint.Save(path, &checkpoint.Snapshot{
+			Benchmark: "bench", Epoch: i % 8, Weights: m.WeightsVector(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		s, err := checkpoint.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := checkpoint.Restore(m, s, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESRun measures the event-driven simulator against the
+// closed form it cross-validates.
+func BenchmarkDESRun(b *testing.B) {
+	nt3, err := sim.BenchByName("NT3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{Machine: hpc.Summit(), Bench: nt3, Ranks: 384,
+		Scaling: sim.Strong, Loader: sim.LoaderNaive}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunDES(cfg, sim.DESOptions{ComputeJitter: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEpochBalance compares the paper's comp_epochs
+// (remainder piled onto the last rank) against the balanced variant by
+// measuring the straggler factor: max epochs / mean epochs.
+func BenchmarkAblationEpochBalance(b *testing.B) {
+	b.ReportAllocs()
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, ranks := range []int{5, 7, 48, 96, 384} {
+			total := 384
+			maxE, sum := 0, 0
+			for r := 0; r < ranks; r++ {
+				e := horovod.CompEpochs(total, r, ranks)
+				sum += e
+				if e > maxE {
+					maxE = e
+				}
+			}
+			straggler := float64(maxE) * float64(ranks) / float64(sum)
+			if straggler > worst {
+				worst = straggler
+			}
+		}
+	}
+	b.ReportMetric(worst, "straggler-factor")
+}

@@ -1,0 +1,76 @@
+// candle-advise recommends a run configuration from the calibrated
+// performance/power models: the fewest seconds or joules that still
+// meet an accuracy floor.
+//
+// Examples:
+//
+//	candle-advise -bench NT3 -min-accuracy 0.99
+//	candle-advise -bench NT3 -objective energy -min-accuracy 0.99
+//	candle-advise -bench P1B3 -scale-batch -min-accuracy 0.64 -epochs 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/advisor"
+	"candle/internal/hpc"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		machine    = flag.String("machine", "summit", "summit or theta")
+		objective  = flag.String("objective", "time", "time, energy, or edp")
+		minAcc     = flag.Float64("min-accuracy", 0, "accuracy floor (classification)")
+		maxLoss    = flag.Float64("max-loss", 0, "loss ceiling (P1B1)")
+		maxWorkers = flag.Int("max-workers", 0, "cap on workers (0 = 384)")
+		epochs     = flag.Int("epochs", 0, "total epoch budget (0 = default)")
+		scaleBatch = flag.Bool("scale-batch", false, "also sweep linear/sqrt/cbrt batch scaling")
+		all        = flag.Bool("all", false, "print every candidate, not just the winner")
+	)
+	flag.Parse()
+	if err := run(*bench, *machine, *objective, *minAcc, *maxLoss, *maxWorkers, *epochs, *scaleBatch, *all); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-advise:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, machine, objective string, minAcc, maxLoss float64, maxWorkers, epochs int, scaleBatch, all bool) error {
+	m, err := hpc.ByName(machine)
+	if err != nil {
+		return err
+	}
+	var obj advisor.Objective
+	switch objective {
+	case "time":
+		obj = advisor.MinTime
+	case "energy":
+		obj = advisor.MinEnergy
+	case "edp":
+		obj = advisor.MinEDP
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	best, candidates, err := advisor.Recommend(advisor.Request{
+		Benchmark: bench, Machine: m, Objective: obj,
+		MinAccuracy: minAcc, MaxLoss: maxLoss,
+		MaxWorkers: maxWorkers, Epochs: epochs, ScaleBatch: scaleBatch,
+	})
+	if all {
+		for _, c := range candidates {
+			fmt.Printf("  candidate: %s\n", c)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%s", bench, m.Name, obj)
+	if minAcc > 0 {
+		fmt.Printf(", accuracy ≥ %.3f", minAcc)
+	}
+	fmt.Println("):")
+	fmt.Printf("  recommended: %s\n", best)
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunAdvise(t *testing.T) {
+	if err := run("NT3", "summit", "time", 0.99, 0, 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("NT3", "summit", "energy", 0.99, 0, 0, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("P1B3", "summit", "time", 0.64, 0, 0, 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("P1B1", "theta", "time", 0, 0.1, 96, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdviseErrors(t *testing.T) {
+	if err := run("NT3", "frontier", "time", 0, 0, 0, 0, false, false); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if err := run("NT3", "summit", "speed", 0, 0, 0, 0, false, false); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+	if err := run("NT3", "summit", "time", 0.99999999, 0, 0, 0, false, false); err == nil {
+		t.Fatal("infeasible request should error")
+	}
+}

@@ -1,0 +1,92 @@
+// candle-power prints the telemetry a power monitor would log for a
+// simulated run: nvidia-smi-style 1 Hz GPU samples on Summit, or the
+// PoLiMEr/CapMC node+CPU+memory breakdown at ~2 Hz on Theta —
+// Figure 7(a) for any configuration.
+//
+// Examples:
+//
+//	candle-power -bench NT3 -ranks 384
+//	candle-power -bench NT3 -machine theta -ranks 384 -components
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/hpc"
+	"candle/internal/power"
+	"candle/internal/sim"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		machine    = flag.String("machine", "summit", "summit or theta")
+		ranks      = flag.Int("ranks", 384, "worker count")
+		loader     = flag.String("loader", "naive", "naive, chunked, parallel")
+		weak       = flag.Bool("weak", false, "weak scaling")
+		epochs     = flag.Int("epochs", 0, "epochs (0 = default)")
+		every      = flag.Int("every", 10, "print every Nth sample")
+		components = flag.Bool("components", false, "PoLiMEr-style node/CPU/mem breakdown")
+	)
+	flag.Parse()
+	if err := run(*bench, *machine, *ranks, *loader, *weak, *epochs, *every, *components); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-power:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, machine string, ranks int, loader string, weak bool, epochs, every int, components bool) error {
+	m, err := hpc.ByName(machine)
+	if err != nil {
+		return err
+	}
+	b, err := sim.BenchByName(bench)
+	if err != nil {
+		return err
+	}
+	var ld sim.Loader
+	switch loader {
+	case "naive":
+		ld = sim.LoaderNaive
+	case "chunked":
+		ld = sim.LoaderChunked
+	case "parallel":
+		ld = sim.LoaderParallel
+	default:
+		return fmt.Errorf("unknown loader %q", loader)
+	}
+	scaling := sim.Strong
+	if weak {
+		scaling = sim.Weak
+	}
+	r, err := sim.Run(sim.Config{
+		Machine: m, Bench: b, Ranks: ranks, Scaling: scaling, Epochs: epochs, Loader: ld,
+	})
+	if err != nil {
+		return err
+	}
+	if every < 1 {
+		every = 1
+	}
+	fmt.Printf("%s on %s, %d workers: load %.0fs, broadcast %.0fs, train %.0fs (total %.0fs)\n",
+		bench, m.Name, ranks, r.LoadTime, r.BroadcastTime, r.TrainTime, r.TotalTime)
+	if components {
+		cm := power.ThetaComponents()
+		fmt.Printf("%8s %10s %10s %10s\n", "t_s", "node_W", "cpu_W", "mem_W")
+		for i, s := range cm.Samples(r.Profile, m.PowerSampleHz) {
+			if i%every == 0 {
+				fmt.Printf("%8.0f %10.1f %10.1f %10.1f\n", s.T, s.W.Node, s.W.CPU, s.W.Mem)
+			}
+		}
+		return nil
+	}
+	fmt.Printf("%8s %10s\n", "t_s", "device_W")
+	for i, s := range (power.Sampler{RateHz: m.PowerSampleHz}).Samples(r.Profile, r.PowerModel) {
+		if i%every == 0 {
+			fmt.Printf("%8.0f %10.1f\n", s.T, s.Watts)
+		}
+	}
+	return nil
+}

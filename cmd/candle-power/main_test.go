@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunPower(t *testing.T) {
+	if err := run("NT3", "summit", 48, "naive", false, 0, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("NT3", "theta", 96, "chunked", false, 0, 1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("NT3", "summit", 768, "parallel", true, 8, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPowerErrors(t *testing.T) {
+	if err := run("NT3", "frontier", 1, "naive", false, 0, 1, false); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if err := run("NT99", "summit", 1, "naive", false, 0, 1, false); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+	if err := run("NT3", "summit", 1, "warp", false, 0, 1, false); err == nil {
+		t.Fatal("bad loader accepted")
+	}
+}

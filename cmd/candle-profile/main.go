@@ -1,0 +1,63 @@
+// candle-profile produces an NVProf-style per-layer forward/backward
+// timing profile of a benchmark's model — the per-op view the paper
+// plans to use "to identify the other performance bottlenecks".
+//
+// Example:
+//
+//	candle-profile -bench NT3 -batch 20 -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/candle"
+	"candle/internal/data"
+	"candle/internal/nn"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		batch = flag.Int("batch", 0, "batch size (0 = benchmark default)")
+		reps  = flag.Int("reps", 10, "forward+backward repetitions")
+		seed  = flag.Int64("seed", 1, "data/init seed")
+	)
+	flag.Parse()
+	if err := run(*bench, *batch, *reps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, batch, reps int, seed int64) error {
+	b, err := candle.Default(bench)
+	if err != nil {
+		return err
+	}
+	if batch <= 0 {
+		batch = b.Cal.DefaultBatch
+	}
+	if batch > b.Spec.TrainSamples {
+		batch = b.Spec.TrainSamples
+	}
+	ds, err := data.Generate(b.Spec, seed)
+	if err != nil {
+		return err
+	}
+	model := b.Build(b.Spec)
+	if err := model.Compile(b.Spec.Features, b.Loss, nn.NewOptimizer(b.Cal.Optimizer, 0.01), seed); err != nil {
+		return err
+	}
+	x := ds.X.RowSlice(0, batch)
+	y := ds.Y.RowSlice(0, batch)
+	timings, err := nn.ProfileLayers(model, b.Loss, x, y, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(model.Summary())
+	fmt.Printf("per-layer timings, batch %d, %d reps:\n\n", batch, reps)
+	fmt.Print(nn.FormatLayerProfile(timings))
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunProfile(t *testing.T) {
+	// The scaled default NT3 profiles quickly.
+	if err := run("NT3", 8, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Batch larger than the dataset clamps rather than fails.
+	if err := run("P1B2", 1<<20, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProfileErrors(t *testing.T) {
+	if err := run("NT99", 8, 1, 1); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+}

@@ -1,0 +1,27 @@
+// candle-report writes the full reproduction bundle — every table and
+// figure of the paper as aligned text, per-artifact CSV, Chrome-trace
+// timelines, and the Figure 7(a) power trace — into one directory.
+//
+// Example:
+//
+//	candle-report -o out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "reproduction", "output directory")
+	flag.Parse()
+	n, err := core.WriteBundle(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "candle-report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d artifact files to %s/\n", n, *out)
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"candle/internal/core"
+)
+
+func TestBundleViaCore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	n, err := core.WriteBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing written")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tables.txt")); err != nil {
+		t.Fatal(err)
+	}
+}

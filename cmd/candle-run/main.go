@@ -1,0 +1,182 @@
+// candle-run executes one CANDLE benchmark, either for real (ranks as
+// goroutines training actual models on generated data) or simulated
+// at paper scale on the Summit/Theta machine models.
+//
+// Examples:
+//
+//	candle-run -bench NT3 -mode real -ranks 4 -epochs 16
+//	candle-run -bench NT3 -mode sim -machine summit -ranks 384 -loader chunked
+//	candle-run -bench P1B3 -mode sim -ranks 48 -batch 363 -epochs 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/candle"
+	"candle/internal/csvio"
+	"candle/internal/hpc"
+	"candle/internal/sim"
+	"candle/internal/trace"
+)
+
+// psMode selects the parameter-server baseline for real-mode runs.
+var psMode bool
+
+// timelineOut, when non-empty, receives the real run's Chrome trace.
+var timelineOut string
+
+func main() {
+	var (
+		bench   = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		mode    = flag.String("mode", "sim", "real (in-process training) or sim (paper-scale model)")
+		machine = flag.String("machine", "summit", "sim machine: summit or theta")
+		ranks   = flag.Int("ranks", 6, "workers (GPUs on Summit, nodes on Theta)")
+		epochs  = flag.Int("epochs", 0, "total epochs (strong) or per-rank (weak); 0 = benchmark default")
+		batch   = flag.Int("batch", 0, "batch size; 0 = benchmark default")
+		loader  = flag.String("loader", "naive", "data loader: naive, chunked, parallel")
+		weak    = flag.Bool("weak", false, "weak scaling (epochs per rank constant)")
+		scaleLR = flag.Bool("scale-lr", false, "linear learning-rate scaling (real mode)")
+		seed    = flag.Int64("seed", 42, "data/init seed (real mode)")
+		dataDir = flag.String("data-dir", "", "directory for generated CSVs (real mode); empty = temp dir")
+		ps      = flag.Bool("ps", false, "use the parameter-server baseline instead of allreduce (real mode)")
+		tlOut   = flag.String("timeline", "", "write a Chrome-trace timeline of the real run to this file")
+	)
+	flag.Parse()
+	psMode = *ps
+	timelineOut = *tlOut
+	if err := runMain(*bench, *mode, *machine, *ranks, *epochs, *batch, *loader, *weak, *scaleLR, *seed, *dataDir); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-run:", err)
+		os.Exit(1)
+	}
+}
+
+func runMain(bench, mode, machine string, ranks, epochs, batch int, loader string, weak, scaleLR bool, seed int64, dataDir string) error {
+	switch mode {
+	case "sim":
+		return runSim(bench, machine, ranks, epochs, batch, loader, weak)
+	case "real":
+		return runReal(bench, ranks, epochs, batch, loader, weak, scaleLR, seed, dataDir)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func parseLoader(name string) (sim.Loader, csvio.Reader, error) {
+	switch name {
+	case "naive":
+		return sim.LoaderNaive, csvio.NewNaiveReader(), nil
+	case "chunked":
+		return sim.LoaderChunked, csvio.NewChunkedReader(), nil
+	case "parallel":
+		return sim.LoaderParallel, csvio.NewParallelReader(0), nil
+	default:
+		return 0, nil, fmt.Errorf("unknown loader %q", name)
+	}
+}
+
+func runSim(bench, machine string, ranks, epochs, batch int, loader string, weak bool) error {
+	m, err := hpc.ByName(machine)
+	if err != nil {
+		return err
+	}
+	b, err := sim.BenchByName(bench)
+	if err != nil {
+		return err
+	}
+	ld, _, err := parseLoader(loader)
+	if err != nil {
+		return err
+	}
+	scaling := sim.Strong
+	if weak {
+		scaling = sim.Weak
+	}
+	r, err := sim.Run(sim.Config{
+		Machine: m, Bench: b, Ranks: ranks, Scaling: scaling,
+		Epochs: epochs, Batch: batch, Loader: ld,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s, %d workers, %s scaling, batch %d, %s loader\n",
+		bench, m.Name, ranks, scaling, r.Batch, ld)
+	fmt.Printf("  epochs/rank        %d (%d steps/epoch)\n", r.EpochsPerRank, r.StepsPerEpoch)
+	fmt.Printf("  data loading       %10.2f s\n", r.LoadTime)
+	fmt.Printf("  broadcast          %10.2f s\n", r.BroadcastTime)
+	fmt.Printf("  training           %10.2f s  (%.2f s/epoch)\n", r.TrainTime, r.TimePerEpoch)
+	fmt.Printf("  evaluation         %10.2f s\n", r.EvalTime)
+	fmt.Printf("  total              %10.2f s\n", r.TotalTime)
+	if b.Classification {
+		fmt.Printf("  accuracy           %10.4f\n", r.Accuracy)
+	}
+	if b.LossAmp > 0 {
+		fmt.Printf("  loss               %10.4f\n", r.Loss)
+	}
+	fmt.Printf("  avg device power   %10.1f W\n", r.AvgPowerW)
+	fmt.Printf("  energy             %10.1f kJ/device, %.1f kJ total\n", r.EnergyJ/1e3, r.TotalEnergyJ/1e3)
+	return nil
+}
+
+func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleLR bool, seed int64, dataDir string) error {
+	b, err := candle.Default(bench)
+	if err != nil {
+		return err
+	}
+	_, reader, err := parseLoader(loader)
+	if err != nil {
+		return err
+	}
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "candle-data-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
+	}
+	if _, _, err := b.PrepareData(dataDir, seed); err != nil {
+		return err
+	}
+	if epochs <= 0 {
+		epochs = 16
+	}
+	var tl *trace.Timeline
+	if timelineOut != "" {
+		tl = trace.NewTimeline()
+	}
+	res, err := b.Run(candle.RunConfig{
+		Ranks: ranks, TotalEpochs: epochs, WeakScaling: weak, Batch: batch,
+		Loader: reader, DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
+		ParameterServer: psMode, Timeline: tl,
+	})
+	if err != nil {
+		return err
+	}
+	if tl != nil {
+		f, err := os.Create(timelineOut)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeline: %d events -> %s\n", tl.Len(), timelineOut)
+	}
+	r := res.Root
+	fmt.Printf("%s (real, scaled dataset %dx%d), %d ranks, %d epochs/rank, %s loader\n",
+		bench, b.Spec.TrainSamples, b.Spec.Features, ranks, r.Epochs, reader.Name())
+	fmt.Printf("  data loading   %8.4f s\n", r.LoadSeconds)
+	fmt.Printf("  training       %8.4f s\n", r.TrainSeconds)
+	fmt.Printf("  evaluation     %8.4f s\n", r.EvalSeconds)
+	fmt.Printf("  total          %8.4f s\n", r.TotalSeconds)
+	fmt.Printf("  final loss     %8.4f   train acc %.3f   test acc %.3f\n",
+		r.FinalLoss, r.TrainAccuracy, r.TestAccuracy)
+	fmt.Printf("  allreduce ops  %d\n", r.AllreduceCalls)
+	return nil
+}

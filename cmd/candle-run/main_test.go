@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunSimMode(t *testing.T) {
+	if err := runMain("NT3", "sim", "summit", 48, 0, 0, "chunked", false, false, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMain("NT3", "sim", "summit", 768, 8, 0, "naive", true, false, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMain("P1B1", "sim", "theta", 24, 0, 0, "parallel", false, false, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRealMode(t *testing.T) {
+	if err := runMain("NT3", "real", "", 2, 4, 7, "chunked", false, true, 3, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := runMain("NT3", "bogus", "summit", 1, 0, 0, "naive", false, false, 1, ""); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := runMain("NT3", "sim", "frontier", 1, 0, 0, "naive", false, false, 1, ""); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if err := runMain("NT3", "sim", "summit", 1, 0, 0, "warp", false, false, 1, ""); err == nil {
+		t.Fatal("bad loader accepted")
+	}
+	if err := runMain("NT99", "sim", "summit", 1, 0, 0, "naive", false, false, 1, ""); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+	// OOM config surfaces as an error.
+	if err := runMain("NT3", "sim", "summit", 6, 0, 50, "naive", false, false, 1, ""); err == nil {
+		t.Fatal("OOM batch accepted")
+	}
+}

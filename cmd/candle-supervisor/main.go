@@ -1,0 +1,157 @@
+// candle-supervisor runs a CANDLE/Supervisor-style hyperparameter
+// search over a benchmark: grid or random sampling of learning rate
+// and batch size, trials dispatched to a worker pool (each trial is a
+// real in-process training run on the scaled dataset), results stored
+// in a JSON database.
+//
+// Examples:
+//
+//	candle-supervisor -bench NT3 -strategy grid -workers 4
+//	candle-supervisor -bench P1B2 -strategy random -trials 12 -db trials.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"candle/internal/candle"
+	"candle/internal/supervisor"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		strategy = flag.String("strategy", "grid", "grid, random, or halving")
+		trials   = flag.Int("trials", 8, "trial count (random strategy)")
+		workers  = flag.Int("workers", 4, "parallel trial workers")
+		epochs   = flag.Int("epochs", 12, "epochs per trial")
+		ranks    = flag.Int("ranks", 2, "Horovod ranks per trial")
+		seed     = flag.Int64("seed", 1, "search + data seed")
+		db       = flag.String("db", "", "JSON trial database (empty = in-memory)")
+	)
+	flag.Parse()
+	if err := run(*bench, *strategy, *trials, *workers, *epochs, *ranks, *seed, *db); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-supervisor:", err)
+		os.Exit(1)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func run(bench, strategy string, trials, workers, epochs, ranks int, seed int64, db string) error {
+	b, err := candle.Default(bench)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "candle-sup-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, _, err := b.PrepareData(dir, seed); err != nil {
+		return err
+	}
+
+	dims := []supervisor.Dimension{
+		{Name: "lr", Values: []float64{0.005, 0.02, 0.05, 0.1}, Min: 0.001, Max: 0.2, Log: true},
+		{Name: "batch", Values: []float64{5, 10, 20}, Min: 5, Max: 20},
+	}
+	var space []supervisor.Params
+	switch strategy {
+	case "grid", "halving":
+		space, err = supervisor.GridSpace(dims)
+	case "random":
+		space, err = supervisor.RandomSpace(dims, trials, seed)
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if err != nil {
+		return err
+	}
+
+	var store supervisor.Store
+	if db != "" {
+		fs, err := supervisor.OpenFileStore(db)
+		if err != nil {
+			return err
+		}
+		store = fs
+	}
+	sup := supervisor.New(workers, store)
+	objective := func(p supervisor.Params) (supervisor.Result, error) {
+		start := time.Now()
+		res, err := b.Run(candle.RunConfig{
+			Ranks: ranks, TotalEpochs: epochs,
+			Batch: int(p["batch"]), LR: p["lr"],
+			DataDir: dir, Seed: seed,
+		})
+		if err != nil {
+			return supervisor.Result{}, err
+		}
+		return supervisor.Result{
+			Loss:     res.Root.TestLoss,
+			Accuracy: res.Root.TestAccuracy,
+			Seconds:  time.Since(start).Seconds(),
+		}, nil
+	}
+
+	fmt.Printf("searching %d trials (%s) over %d workers for %s…\n", len(space), strategy, workers, bench)
+	if strategy == "halving" {
+		budgetObj := func(p supervisor.Params, budget int) (supervisor.Result, error) {
+			start := time.Now()
+			res, err := b.Run(candle.RunConfig{
+				Ranks: ranks, TotalEpochs: budget,
+				Batch: int(p["batch"]), LR: p["lr"],
+				DataDir: dir, Seed: seed,
+			})
+			if err != nil {
+				return supervisor.Result{}, err
+			}
+			return supervisor.Result{
+				Loss:     res.Root.TestLoss,
+				Accuracy: res.Root.TestAccuracy,
+				Seconds:  time.Since(start).Seconds(),
+			}, nil
+		}
+		rungsRes, best, err := sup.RunHalving(space, budgetObj, supervisor.HalvingConfig{InitialBudget: maxInt(1, epochs/4)})
+		if err != nil {
+			return err
+		}
+		for _, rung := range rungsRes {
+			fmt.Printf("  rung %d (budget %d epochs): %d trials, %d survivors\n",
+				rung.Rung, rung.Budget, len(rung.Trials), len(rung.Survivors))
+		}
+		fmt.Printf("best: lr=%.4f batch=%.0f (test loss %.4f, accuracy %.3f)\n",
+			best.Params["lr"], best.Params["batch"], best.Result.Loss, best.Result.Accuracy)
+		return nil
+	}
+	results, err := sup.Run(space, objective)
+	if err != nil {
+		return err
+	}
+	for _, tr := range results {
+		if tr.Err != "" {
+			fmt.Printf("  trial %2d lr=%.4f batch=%2.0f  FAILED: %s\n", tr.ID, tr.Params["lr"], tr.Params["batch"], tr.Err)
+			continue
+		}
+		fmt.Printf("  trial %2d lr=%.4f batch=%2.0f  test_loss=%.4f test_acc=%.3f (%.2fs)\n",
+			tr.ID, tr.Params["lr"], tr.Params["batch"], tr.Result.Loss, tr.Result.Accuracy, tr.Result.Seconds)
+	}
+	best, ok := supervisor.Best(results, supervisor.MinLoss)
+	if !ok {
+		return fmt.Errorf("every trial failed")
+	}
+	fmt.Printf("best: lr=%.4f batch=%.0f (test loss %.4f, accuracy %.3f)\n",
+		best.Params["lr"], best.Params["batch"], best.Result.Loss, best.Result.Accuracy)
+	if db != "" {
+		fmt.Printf("trial database: %s\n", db)
+	}
+	return nil
+}

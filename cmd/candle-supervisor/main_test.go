@@ -1,0 +1,28 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSupervisorGrid(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "trials.json")
+	if err := run("P1B2", "grid", 0, 4, 2, 2, 1, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSupervisorRandom(t *testing.T) {
+	if err := run("P1B2", "random", 2, 2, 2, 2, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSupervisorErrors(t *testing.T) {
+	if err := run("NT99", "grid", 0, 1, 1, 1, 1, ""); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+	if err := run("NT3", "annealing", 0, 1, 1, 1, 1, ""); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// candle-sweep regenerates one (or all) of the paper's tables and
+// figures from the calibrated models.
+//
+// Examples:
+//
+//	candle-sweep -exp fig6a
+//	candle-sweep -exp table3 -csv
+//	candle-sweep -exp all
+//	candle-sweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/core"
+	"candle/internal/report"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID (e.g. fig6a, table3, sec5.4) or 'all'")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		chart = flag.Int("chart", -1, "also render an ASCII bar chart of this column index (labels from column 0)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		for _, e := range core.ExtraExperiments() {
+			fmt.Printf("%-8s %s (extra)\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(*exp, *csv, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, csv bool, chart int) error {
+	var exps []core.Experiment
+	if exp == "all" {
+		exps = core.Experiments()
+	} else {
+		e, ok := core.ByIDAll(exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", exp)
+		}
+		exps = []core.Experiment{e}
+	}
+	for _, e := range exps {
+		t, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		if chart >= 0 {
+			c, err := report.ChartFromTable(t, 0, chart)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println(c.String())
+		}
+	}
+	return nil
+}

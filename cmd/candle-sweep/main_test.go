@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("table1", false, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fig12", true, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("xfusion", false, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", false, -1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAllPaperExperiments(t *testing.T) {
+	if err := run("all", true, -1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+// candle-tables prints the paper's six numbered tables (Tables 1–6)
+// regenerated from this repository's models.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"candle/internal/core"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6"} {
+		e, ok := core.ByID(id)
+		if !ok {
+			return fmt.Errorf("missing driver for %s", id)
+		}
+		t, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsAllSixTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Fatalf("output missing %s", id)
+		}
+	}
+}

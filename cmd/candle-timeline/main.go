@@ -1,0 +1,68 @@
+// candle-timeline emits a Horovod-style activity timeline in Chrome
+// trace-event JSON (open in chrome://tracing), reproducing Figures 7b,
+// 12, and 19 of the paper.
+//
+// Examples:
+//
+//	candle-timeline -bench NT3 -ranks 384 -loader naive -o fig7b.json
+//	candle-timeline -bench NT3 -ranks 384 -loader chunked -o fig12.json
+//	candle-timeline -bench NT3 -ranks 768 -weak -epochs 8 -o fig19.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"candle/internal/core"
+	"candle/internal/sim"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		ranks  = flag.Int("ranks", 384, "worker count")
+		epochs = flag.Int("epochs", 0, "epochs (0 = default)")
+		weak   = flag.Bool("weak", false, "weak scaling")
+		loader = flag.String("loader", "naive", "naive, chunked, parallel")
+		out    = flag.String("o", "timeline.json", "output file")
+	)
+	flag.Parse()
+	if err := run(*bench, *ranks, *epochs, *weak, *loader, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-timeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, ranks, epochs int, weak bool, loader, out string) error {
+	var ld sim.Loader
+	switch loader {
+	case "naive":
+		ld = sim.LoaderNaive
+	case "chunked":
+		ld = sim.LoaderChunked
+	case "parallel":
+		ld = sim.LoaderParallel
+	default:
+		return fmt.Errorf("unknown loader %q", loader)
+	}
+	scaling := sim.Strong
+	if weak {
+		scaling = sim.Weak
+	}
+	tl, r, err := core.TimelineFor(bench, ranks, scaling, epochs, ld)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tl.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events to %s (broadcast overhead %.2f s, total %.2f s)\n",
+		tl.Len(), out, r.BroadcastTime, r.TotalTime)
+	return nil
+}

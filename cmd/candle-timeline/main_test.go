@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"candle/internal/trace"
+)
+
+func TestRunWritesChromeTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tl.json")
+	if err := run("NT3", 384, 0, false, "naive", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tl, err := trace.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() == 0 {
+		t.Fatal("empty timeline")
+	}
+}
+
+func TestRunWeakScaling(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "weak.json")
+	if err := run("NT3", 768, 8, true, "chunked", out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("NT3", 4, 0, false, "warp", "x.json"); err == nil {
+		t.Fatal("bad loader accepted")
+	}
+	if err := run("NT99", 4, 0, false, "naive", "x.json"); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+	if err := run("NT3", 4, 0, false, "naive", "/nonexistent/dir/x.json"); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

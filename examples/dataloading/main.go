@@ -1,0 +1,88 @@
+// Data loading: demonstrate the paper's central finding on real files.
+// We generate two CSV shapes — a wide one (few rows × tens of
+// thousands of columns, like NT3/P1B1/P1B2) and a narrow one (many
+// rows × few columns, like P1B3) — and time the three ingestion
+// engines from internal/csvio on each:
+//
+//   - the pandas-like naive reader (low_memory=True: small internal
+//     chunks, per-cell string boxing + type inference),
+//   - the Dask-like parallel reader,
+//   - the paper's fix: chunked reading with low_memory=False.
+//
+// The wide shape speeds up dramatically with the chunked reader; the
+// narrow shape barely moves — exactly the Table 3/4 contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"candle/internal/csvio"
+	"candle/internal/tensor"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "candle-loading-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewSource(1))
+	wide := makeCSV(dir, "wide.csv", rng, 64, 8000, false)     // NT3-like: float cells
+	narrow := makeCSV(dir, "narrow.csv", rng, 51200, 10, true) // P1B3-like: small integer cells
+
+	for _, f := range []struct{ label, path string }{
+		{"wide (64 rows × 8000 cols, NT3-like)", wide},
+		{"narrow (51200 rows × 10 cols, P1B3-like)", narrow},
+	} {
+		fmt.Printf("%s:\n", f.label)
+		var naive float64
+		for _, r := range csvio.Readers() {
+			// Warm once so the page cache doesn't bias the first
+			// engine, then take the best of three timed reads.
+			if _, _, err := r.Read(f.path); err != nil {
+				log.Fatal(err)
+			}
+			best := 0.0
+			for rep := 0; rep < 3; rep++ {
+				_, stats, err := r.Read(f.path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if best == 0 || stats.Seconds < best {
+					best = stats.Seconds
+				}
+			}
+			speedup := ""
+			if naive == 0 {
+				naive = best
+			} else if best > 0 {
+				speedup = fmt.Sprintf("  (%.1fx vs original)", naive/best)
+			}
+			fmt.Printf("  %-28s %8.4f s%s\n", r.Name(), best, speedup)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper Tables 3–4: wide files gain ~4–7x from chunked low_memory=False;")
+	fmt.Println("narrow (P1B3-style) files gain almost nothing — row overhead dominates.")
+}
+
+func makeCSV(dir, name string, rng *rand.Rand, rows, cols int, integral bool) string {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		if integral {
+			m.Data[i] = float64(rng.Intn(100)) // drug-descriptor-style small ints
+		} else {
+			m.Data[i] = float64(int(rng.Float64()*1e6)) / 1000
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := csvio.WriteCSV(path, m); err != nil {
+		log.Fatal(err)
+	}
+	return path
+}

@@ -1,0 +1,93 @@
+// Hyperparameter search: the CANDLE/Supervisor workflow of Figure 1(b)
+// in miniature. A supervisor dispatches real training trials (each a
+// multi-rank in-process Horovod run of the scaled NT3 benchmark) over
+// a worker pool, records every trial in the results database, and
+// reports the best learning-rate/batch-size combination — exactly the
+// "higher-level Python-based driver systems" role the paper describes
+// the benchmarks implementing a common interface for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"candle/internal/candle"
+	"candle/internal/supervisor"
+)
+
+func main() {
+	bench, err := candle.Scaled("NT3", 20, 1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "candle-hpo-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, _, err := bench.PrepareData(dir, 17); err != nil {
+		log.Fatal(err)
+	}
+
+	space, err := supervisor.GridSpace([]supervisor.Dimension{
+		{Name: "lr", Values: []float64{0.005, 0.02, 0.08}},
+		{Name: "batch", Values: []float64{4, 8, 14}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dbPath := filepath.Join(dir, "trials.json")
+	store, err := supervisor.OpenFileStore(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup := supervisor.New(3, store)
+
+	objective := func(p supervisor.Params) (supervisor.Result, error) {
+		start := time.Now()
+		res, err := bench.Run(candle.RunConfig{
+			Ranks: 2, TotalEpochs: 16,
+			Batch: int(p["batch"]), LR: p["lr"],
+			DataDir: dir, Seed: 17,
+		})
+		if err != nil {
+			return supervisor.Result{}, err
+		}
+		return supervisor.Result{
+			Loss:     res.Root.TestLoss,
+			Accuracy: res.Root.TestAccuracy,
+			Seconds:  time.Since(start).Seconds(),
+		}, nil
+	}
+
+	fmt.Printf("supervisor: %d trials over 3 workers (2 Horovod ranks each)\n\n", len(space))
+	trials, err := sup.Run(space, objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trial  lr      batch  test_loss  test_acc  seconds")
+	for _, tr := range trials {
+		if tr.Err != "" {
+			fmt.Printf("%5d  %-7.4f %5.0f  FAILED: %s\n", tr.ID, tr.Params["lr"], tr.Params["batch"], tr.Err)
+			continue
+		}
+		fmt.Printf("%5d  %-7.4f %5.0f  %9.4f  %8.3f  %7.3f\n",
+			tr.ID, tr.Params["lr"], tr.Params["batch"],
+			tr.Result.Loss, tr.Result.Accuracy, tr.Result.Seconds)
+	}
+	best, ok := supervisor.Best(trials, supervisor.MinLoss)
+	if !ok {
+		log.Fatal("all trials failed")
+	}
+	fmt.Printf("\nbest: lr=%.4f batch=%.0f (test loss %.4f, accuracy %.3f)\n",
+		best.Params["lr"], best.Params["batch"], best.Result.Loss, best.Result.Accuracy)
+	stored, err := store.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results database %s holds %d trials\n", filepath.Base(dbPath), len(stored))
+}

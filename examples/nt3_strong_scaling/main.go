@@ -1,0 +1,62 @@
+// NT3 strong scaling: reproduce Figure 6 of the paper — how dividing
+// a fixed 384-epoch budget over more GPUs shrinks training time while
+// data loading stays put (and eventually dominates), and how too few
+// epochs per GPU collapses accuracy.
+//
+// The paper-scale series comes from the calibrated Summit simulator;
+// a small real run (goroutine ranks, actual training) validates the
+// mechanism: strong scaling with enough epochs preserves accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"candle/internal/candle"
+	"candle/internal/core"
+)
+
+func main() {
+	// Paper-scale series (Figure 6a and 6b).
+	for _, id := range []string{"fig6a", "fig6b"} {
+		e, ok := core.ByID(id)
+		if !ok {
+			log.Fatalf("missing experiment %s", id)
+		}
+		t, err := e.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.String())
+	}
+
+	// Real-mode validation: the same total epoch budget split over
+	// 1, 2, and 4 ranks trains to comparable accuracy.
+	bench, err := candle.Scaled("NT3", 20, 1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "nt3-strong-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, _, err := bench.PrepareData(dir, 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("real-mode validation (32 total epochs, strong scaling):")
+	fmt.Println("ranks  epochs/rank  train_acc  test_acc  train_s")
+	for _, ranks := range []int{1, 2, 4} {
+		res, err := bench.Run(candle.RunConfig{
+			Ranks: ranks, TotalEpochs: 32, Batch: 7, LR: 0.05,
+			DataDir: dir, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Root
+		fmt.Printf("%5d  %11d  %9.3f  %8.3f  %7.3f\n",
+			ranks, r.Epochs, r.TrainAccuracy, r.TestAccuracy, r.TrainSeconds)
+	}
+}

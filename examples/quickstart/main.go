@@ -1,0 +1,73 @@
+// Quickstart: train the NT3 benchmark for real on a scaled-down
+// synthetic dataset with four Horovod-style ranks in one process —
+// the paper's methodology end to end: generate data, load the CSVs,
+// broadcast initial weights from rank 0, train with allreduce-averaged
+// gradients, and evaluate on the held-out split.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"candle/internal/candle"
+	"candle/internal/csvio"
+)
+
+func main() {
+	// 1. Pick a benchmark at quickstart scale (NT3: 1-D convnet over
+	// RNA-seq-shaped rows; the full shape is 1,120×60,483 — we use a
+	// scaled variant that trains in seconds).
+	bench, err := candle.Scaled("NT3", 20, 1200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s: %d train samples × %d features, %d classes\n",
+		bench.Spec.Name, bench.Spec.TrainSamples, bench.Spec.Features, bench.Spec.Classes)
+
+	// 2. Generate and write the train/test CSVs (the files pandas
+	// would read in the original Python benchmarks).
+	dir, err := os.MkdirTemp("", "candle-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	train, test, err := bench.PrepareData(dir, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n", train, test)
+
+	// 3. Run the three-phase pipeline on 4 ranks with the optimized
+	// chunked loader and strong scaling of 32 total epochs.
+	res, err := bench.Run(candle.RunConfig{
+		Ranks:       4,
+		TotalEpochs: 32,
+		Batch:       7,
+		LR:          0.05, // scaled datasets want a larger step than Table 1's 0.001
+		Loader:      csvio.NewChunkedReader(),
+		DataDir:     dir,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Root
+	fmt.Printf("\nrank 0 of %d (each ran %d epochs):\n", len(res.Ranks), r.Epochs)
+	fmt.Printf("  phase 1  data loading+preprocess  %8.4f s\n", r.LoadSeconds)
+	fmt.Printf("  phase 2  training                 %8.4f s\n", r.TrainSeconds)
+	fmt.Printf("  phase 3  evaluation               %8.4f s\n", r.EvalSeconds)
+	fmt.Printf("  train accuracy %.3f, test accuracy %.3f, loss %.4f\n",
+		r.TrainAccuracy, r.TestAccuracy, r.FinalLoss)
+	fmt.Printf("  allreduce operations: %d\n", r.AllreduceCalls)
+
+	// 4. Verify the replicas stayed synchronized (the point of
+	// synchronous data parallelism).
+	for _, rr := range res.Ranks[1:] {
+		if rr.WeightsChecksum != res.Ranks[0].WeightsChecksum {
+			fmt.Println("replicas diverged (unexpected!)")
+			os.Exit(1)
+		}
+	}
+	fmt.Println("all replicas hold identical weights ✓")
+}

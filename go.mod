@@ -1,0 +1,3 @@
+module candle
+
+go 1.22

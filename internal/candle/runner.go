@@ -1,0 +1,314 @@
+package candle
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"candle/internal/checkpoint"
+	"candle/internal/csvio"
+	"candle/internal/data"
+	"candle/internal/horovod"
+	"candle/internal/mpi"
+	"candle/internal/nn"
+	"candle/internal/tensor"
+	"candle/internal/trace"
+)
+
+// RunConfig controls one real-mode benchmark run.
+type RunConfig struct {
+	// Ranks is the number of in-process workers (goroutines).
+	Ranks int
+	// TotalEpochs is divided over ranks (strong scaling,
+	// comp_epochs-balanced) unless WeakScaling is set, in which case
+	// every rank runs TotalEpochs epochs.
+	TotalEpochs int
+	WeakScaling bool
+	// Batch overrides the benchmark's default batch size when > 0.
+	Batch int
+	// Loader is the CSV engine for phase 1; nil means the naive
+	// (original pandas-style) reader.
+	Loader csvio.Reader
+	// DataDir holds the CSV files; PrepareData must have run, or set
+	// Generate to create them on the fly.
+	DataDir string
+	// Seed controls data generation and weight init.
+	Seed int64
+	// ScaleLR applies the paper's linear learning-rate scaling.
+	ScaleLR bool
+	// LR overrides the benchmark's Table 1 learning rate when > 0
+	// (scaled-down datasets often need a larger rate to learn in few
+	// epochs).
+	LR float64
+	// Timeline, when non-nil, records Horovod communication events.
+	Timeline *trace.Timeline
+	// FusionBytes is passed to the Horovod layer (0 = default 64 MB).
+	FusionBytes int
+	// CheckpointDir enables checkpoint/restart: rank 0 snapshots the
+	// model every CheckpointEvery epochs (default 1), and Resume
+	// restores the latest snapshot before training.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	// ParameterServer trains with the centralized gRPC-style baseline
+	// instead of the Horovod allreduce optimizer.
+	ParameterServer bool
+	// ValidationFrac holds out the last fraction of the training rows
+	// for per-epoch cross-validation (Figure 2's "basic training and
+	// cross-validation" phase). 0 disables it.
+	ValidationFrac float64
+}
+
+// RankResult is one worker's view of the run.
+type RankResult struct {
+	Rank          int
+	Epochs        int
+	LoadSeconds   float64
+	TrainSeconds  float64
+	EvalSeconds   float64
+	TotalSeconds  float64
+	FinalLoss     float64
+	TrainAccuracy float64
+	TestAccuracy  float64
+	TestLoss      float64
+	// WeightsChecksum summarizes the replica's final weights so tests
+	// can verify synchronization across ranks.
+	WeightsChecksum float64
+	AllreduceCalls  int
+	// ValLoss/ValAcc are the final cross-validation metrics (0 when
+	// ValidationFrac is 0).
+	ValLoss float64
+	ValAcc  float64
+	// ResumedFromEpoch is the checkpoint epoch training resumed from
+	// (-1 when starting fresh).
+	ResumedFromEpoch int
+	// CheckpointsSaved counts snapshots rank 0 wrote.
+	CheckpointsSaved int
+}
+
+// RunResult aggregates a real run.
+type RunResult struct {
+	Config RunConfig
+	Ranks  []RankResult
+	// Root is Ranks[0], the rank the paper's measurements observe.
+	Root RankResult
+}
+
+// Run executes the benchmark's three phases on cfg.Ranks in-process
+// workers with real Horovod-style data-parallel training.
+func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("candle: ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.TotalEpochs <= 0 {
+		return nil, fmt.Errorf("candle: total epochs must be positive, got %d", cfg.TotalEpochs)
+	}
+	loader := cfg.Loader
+	if loader == nil {
+		loader = csvio.NewNaiveReader()
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = b.Cal.DefaultBatch
+	}
+	epochsPerRank := cfg.TotalEpochs
+	if !cfg.WeakScaling {
+		epochsPerRank = horovod.CompEpochsBalanced(cfg.TotalEpochs, cfg.Ranks)
+	}
+	trainPath, testPath := b.Files(cfg.DataDir)
+
+	world := mpi.NewWorld(cfg.Ranks)
+	results := make([]RankResult, cfg.Ranks)
+	var mu sync.Mutex
+	runStart := time.Now()
+	clock := func() float64 { return time.Since(runStart).Seconds() }
+	err := world.Run(func(c *mpi.Comm) error {
+		prof := trace.NewProfiler()
+		totalStop := prof.Start("total")
+
+		// Phase 1: data loading and preprocessing. Every rank loads
+		// the full train and test files, as the paper's benchmarks do.
+		loadBegin := clock()
+		loadStop := prof.Start("data_loading")
+		rawTrain, _, err := loader.Read(trainPath)
+		if err != nil {
+			return fmt.Errorf("rank %d: loading train: %w", c.Rank(), err)
+		}
+		rawTest, _, err := loader.Read(testPath)
+		if err != nil {
+			return fmt.Errorf("rank %d: loading test: %w", c.Rank(), err)
+		}
+		trX, trY, err := data.FromRawCSV(b.Spec, rawTrain)
+		if err != nil {
+			return fmt.Errorf("rank %d: preprocess train: %w", c.Rank(), err)
+		}
+		teX, teY, err := data.FromRawCSV(b.Spec, rawTest)
+		if err != nil {
+			return fmt.Errorf("rank %d: preprocess test: %w", c.Rank(), err)
+		}
+		var valX, valY *tensor.Matrix
+		if cfg.ValidationFrac > 0 {
+			if cfg.ValidationFrac >= 1 {
+				return fmt.Errorf("rank %d: validation fraction %v must be < 1", c.Rank(), cfg.ValidationFrac)
+			}
+			cut := trX.Rows - int(float64(trX.Rows)*cfg.ValidationFrac)
+			if cut < 1 || cut >= trX.Rows {
+				return fmt.Errorf("rank %d: validation split leaves no data (cut %d of %d)", c.Rank(), cut, trX.Rows)
+			}
+			valX, valY = trX.RowSlice(cut, trX.Rows), trY.RowSlice(cut, trY.Rows)
+			trX, trY = trX.RowSlice(0, cut), trY.RowSlice(0, cut)
+		}
+		loadStop()
+
+		// Horovod setup: model per replica (rank-specific init so the
+		// broadcast is doing real work), distributed optimizer, LR
+		// scaling.
+		if cfg.Timeline != nil {
+			cfg.Timeline.Complete("data_loading", "io", 0, c.Rank(), loadBegin, clock()-loadBegin)
+		}
+		hvd := horovod.Init(c, horovod.Options{
+			Timeline:    cfg.Timeline,
+			FusionBytes: cfg.FusionBytes,
+			Clock:       clock,
+		})
+		lr := cfg.LR
+		if lr <= 0 {
+			lr = lrOrDefault(b.Cal.LearningRate)
+		}
+		base := nn.NewOptimizer(b.Cal.Optimizer, lr)
+		if cfg.ScaleLR {
+			horovod.ScaleLearningRate(base, hvd.Size())
+		}
+		var dist *horovod.DistributedOptimizer
+		var opt nn.Optimizer
+		if cfg.ParameterServer {
+			opt = hvd.ParameterServerOptimizer(base)
+		} else {
+			dist = hvd.DistributedOptimizer(base)
+			opt = dist
+		}
+		model := b.Build(b.Spec)
+		if err := model.Compile(b.Spec.Features, b.Loss, opt, cfg.Seed+int64(c.Rank())*7919); err != nil {
+			return fmt.Errorf("rank %d: compile: %w", c.Rank(), err)
+		}
+
+		// Checkpoint/restart: restore the latest snapshot (all ranks
+		// load the same file, so replicas start identical), then
+		// snapshot from rank 0 on schedule.
+		resumedFrom := -1
+		callbacks := []nn.Callback{hvd.BroadcastHook(0)}
+		var ckptCB *checkpoint.Callback
+		if cfg.CheckpointDir != "" {
+			if cfg.Resume {
+				snap, err := checkpoint.Latest(cfg.CheckpointDir, b.Spec.Name)
+				switch {
+				case err == nil:
+					if err := checkpoint.Restore(model, snap, b.Spec.Name); err != nil {
+						return fmt.Errorf("rank %d: %w", c.Rank(), err)
+					}
+					resumedFrom = snap.Epoch
+				case errors.Is(err, checkpoint.ErrNoCheckpoint):
+					// Fresh start.
+				default:
+					return fmt.Errorf("rank %d: %w", c.Rank(), err)
+				}
+			}
+			ckptCB = checkpoint.NewCallback(cfg.CheckpointDir, b.Spec.Name, cfg.CheckpointEvery, c.Rank())
+			callbacks = append(callbacks, ckptCB)
+		}
+
+		// Phase 2: training and cross-validation.
+		trainBegin := clock()
+		trainStop := prof.Start("training")
+		hist, err := model.Fit(trX, trY, nn.FitConfig{
+			Epochs:    epochsPerRank,
+			BatchSize: batch,
+			Shuffle:   true,
+			Callbacks: callbacks,
+			ValX:      valX,
+			ValY:      valY,
+		})
+		if err != nil {
+			return fmt.Errorf("rank %d: fit: %w", c.Rank(), err)
+		}
+		trainStop()
+		if cfg.Timeline != nil {
+			cfg.Timeline.Complete("training", "compute", 0, c.Rank(), trainBegin, clock()-trainBegin)
+		}
+		if ckptCB != nil && ckptCB.Err != nil {
+			return fmt.Errorf("rank %d: checkpointing: %w", c.Rank(), ckptCB.Err)
+		}
+
+		// Phase 3: prediction and evaluation on test data.
+		evalStop := prof.Start("evaluation")
+		testLoss, testAcc := model.Evaluate(teX, teY)
+		evalStop()
+		totalStop()
+
+		res := RankResult{
+			Rank:             c.Rank(),
+			Epochs:           epochsPerRank,
+			LoadSeconds:      prof.Total("data_loading"),
+			TrainSeconds:     prof.Total("training"),
+			EvalSeconds:      prof.Total("evaluation"),
+			TotalSeconds:     prof.Total("total"),
+			FinalLoss:        hist.Loss[len(hist.Loss)-1],
+			TrainAccuracy:    hist.Acc[len(hist.Acc)-1],
+			TestAccuracy:     testAcc,
+			TestLoss:         testLoss,
+			WeightsChecksum:  checksum(model.WeightsVector()),
+			ResumedFromEpoch: resumedFrom,
+		}
+		if len(hist.ValLoss) > 0 {
+			res.ValLoss = hist.ValLoss[len(hist.ValLoss)-1]
+			res.ValAcc = hist.ValAcc[len(hist.ValAcc)-1]
+		}
+		if dist != nil {
+			res.AllreduceCalls = dist.AllreduceCalls
+		}
+		if ckptCB != nil {
+			res.CheckpointsSaved = ckptCB.Saves
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Config: cfg, Ranks: results, Root: results[0]}, nil
+}
+
+func lrOrDefault(lr float64) float64 {
+	if lr <= 0 {
+		return 0.001 // P1B1 has "none" in Table 1; Keras adam default
+	}
+	return lr
+}
+
+// checksum is an order-sensitive digest of a weight vector.
+func checksum(w []float64) float64 {
+	s := 0.0
+	for i, v := range w {
+		s += v * float64(i%97+1)
+	}
+	return s
+}
+
+// CompareLoaders runs phase 1 only (load + preprocess) with each CSV
+// engine against the benchmark's generated files and returns seconds
+// by engine name — the real-mode analogue of Tables 3 and 4.
+func (b *Benchmark) CompareLoaders(dir string) (map[string]float64, error) {
+	trainPath, _ := b.Files(dir)
+	out := make(map[string]float64, 3)
+	for _, r := range csvio.Readers() {
+		_, stats, err := r.Read(trainPath)
+		if err != nil {
+			return nil, fmt.Errorf("candle: %s: %w", r.Name(), err)
+		}
+		out[r.Name()] = stats.Seconds
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package candle
+
+import "testing"
+
+func TestRunWithValidationSplit(t *testing.T) {
+	b, err := Scaled("NT3", 20, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(RunConfig{
+		Ranks: 2, TotalEpochs: 24, Batch: 7, LR: 0.05, DataDir: dir, Seed: 5,
+		ValidationFrac: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root.ValAcc == 0 && res.Root.ValLoss == 0 {
+		t.Fatal("validation metrics not recorded")
+	}
+	if res.Root.ValAcc < 0.7 {
+		t.Fatalf("validation accuracy = %v", res.Root.ValAcc)
+	}
+}
+
+func TestRunValidationFracBounds(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{1.0, 1.5} {
+		if _, err := b.Run(RunConfig{
+			Ranks: 1, TotalEpochs: 1, Batch: 7, DataDir: dir, Seed: 5, ValidationFrac: frac,
+		}); err == nil {
+			t.Fatalf("validation fraction %v accepted", frac)
+		}
+	}
+	// An extreme-but-legal split (a single training row) still runs.
+	if _, err := b.Run(RunConfig{
+		Ranks: 1, TotalEpochs: 1, Batch: 7, DataDir: dir, Seed: 5, ValidationFrac: 0.99,
+	}); err != nil {
+		t.Fatalf("extreme split rejected: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package checkpoint implements the checkpoint/restart feature the
+// paper lists as future work ("We will add checkpoint/restart features
+// to the Horovod benchmarks for fault tolerance"): periodic snapshots
+// of a model's weights and training position, written atomically, plus
+// a training callback that saves from rank 0 and a Resume helper that
+// restores a model to continue where it stopped.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"candle/internal/nn"
+)
+
+// Snapshot is one serialized training state.
+type Snapshot struct {
+	// Benchmark names the model the weights belong to.
+	Benchmark string
+	// Epoch is the last completed epoch (0-based).
+	Epoch int
+	// Step is the global optimizer step count at save time.
+	Step int
+	// Weights is the flat parameter vector (nn.WeightsVector order).
+	Weights []float64
+	// Loss is the epoch loss at save time, for bookkeeping.
+	Loss float64
+}
+
+// ErrNoCheckpoint is returned by Latest when the directory holds none.
+var ErrNoCheckpoint = errors.New("checkpoint: none found")
+
+// Save writes a snapshot atomically (temp file + rename) to path.
+func Save(path string, s *Snapshot) error {
+	if s == nil {
+		return errors.New("checkpoint: nil snapshot")
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(s); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var s Snapshot
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// FileFor names the checkpoint file for an epoch inside dir.
+func FileFor(dir, benchmark string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-epoch%06d.ckpt", benchmark, epoch))
+}
+
+// Latest returns the snapshot with the highest epoch for the given
+// benchmark in dir, or ErrNoCheckpoint.
+func Latest(dir, benchmark string) (*Snapshot, error) {
+	pattern := filepath.Join(dir, benchmark+"-epoch*.ckpt")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(matches) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	sort.Strings(matches)
+	return Load(matches[len(matches)-1])
+}
+
+// Restore copies a snapshot's weights into a compiled model after
+// verifying identity and size.
+func Restore(m *nn.Sequential, s *Snapshot, benchmark string) error {
+	if s.Benchmark != benchmark {
+		return fmt.Errorf("checkpoint: snapshot is for %q, want %q", s.Benchmark, benchmark)
+	}
+	if err := m.SetWeightsVector(s.Weights); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Callback saves a snapshot every Every epochs (and always on the
+// final epoch end) when Rank is 0, mirroring how the Python benchmarks
+// would checkpoint only from the coordinating rank.
+type Callback struct {
+	nn.BaseCallback
+	Dir       string
+	Benchmark string
+	Every     int
+	Rank      int
+
+	// Saves counts snapshots written; Err holds the first write error
+	// (training is not interrupted by checkpoint failures).
+	Saves int
+	Err   error
+}
+
+// NewCallback builds a checkpoint callback for rank 0 of a run.
+func NewCallback(dir, benchmark string, every, rank int) *Callback {
+	if every < 1 {
+		every = 1
+	}
+	return &Callback{Dir: dir, Benchmark: benchmark, Every: every, Rank: rank}
+}
+
+// OnEpochEnd writes a snapshot on schedule.
+func (c *Callback) OnEpochEnd(m *nn.Sequential, epoch int, loss float64) {
+	if c.Rank != 0 || (epoch+1)%c.Every != 0 {
+		return
+	}
+	s := &Snapshot{
+		Benchmark: c.Benchmark,
+		Epoch:     epoch,
+		Step:      m.Steps(),
+		Weights:   m.WeightsVector(),
+		Loss:      loss,
+	}
+	if err := Save(FileFor(c.Dir, c.Benchmark, epoch), s); err != nil && c.Err == nil {
+		c.Err = err
+		return
+	}
+	c.Saves++
+}

@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"candle/internal/nn"
+	"candle/internal/tensor"
+)
+
+func TestSaveIntoUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	if err := Save(filepath.Join(dir, "x.ckpt"), &Snapshot{Benchmark: "b"}); err == nil {
+		t.Fatal("write into read-only dir succeeded")
+	}
+}
+
+func TestSaveCreatesMissingDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "c.ckpt")
+	if err := Save(path, &Snapshot{Benchmark: "b", Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(FileFor(dir, "NT3", 2), &Snapshot{Benchmark: "NT3", Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Latest(dir, "NT3")
+	if err != nil || s.Epoch != 2 {
+		t.Fatalf("Latest: %+v, %v", s, err)
+	}
+}
+
+func TestCallbackErrorRecorded(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	m := nn.NewSequential("cb", nn.NewDense(1))
+	if err := m.Compile(2, nn.MeanSquaredError{}, nn.NewSGD(0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	cb := NewCallback(dir, "b", 1, 0)
+	if _, err := m.Fit(tensor.New(4, 2), tensor.New(4, 1), nn.FitConfig{
+		Epochs: 2, BatchSize: 2, Callbacks: []nn.Callback{cb},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Err == nil {
+		t.Fatal("write failure not recorded")
+	}
+	if cb.Saves != 0 {
+		t.Fatal("failed saves counted")
+	}
+}
+
+func TestCallbackEveryFloor(t *testing.T) {
+	cb := NewCallback(t.TempDir(), "b", 0, 0)
+	if cb.Every != 1 {
+		t.Fatalf("Every = %d, want 1", cb.Every)
+	}
+}

@@ -1,0 +1,196 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"candle/internal/nn"
+	"candle/internal/tensor"
+)
+
+func smallModel(t *testing.T, seed int64) *nn.Sequential {
+	t.Helper()
+	m := nn.NewSequential("ckpt-test", nn.NewDense(4), nn.NewActivation("tanh"), nn.NewDense(2))
+	if err := m.Compile(3, nn.MeanSquaredError{}, nn.NewSGD(0.05), seed); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := &Snapshot{Benchmark: "NT3", Epoch: 7, Step: 99, Weights: []float64{1, 2, 3}, Loss: 0.25}
+	path := FileFor(dir, "NT3", 7)
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "NT3" || got.Epoch != 7 || got.Step != 99 || got.Loss != 0.25 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+	for i, v := range s.Weights {
+		if got.Weights[i] != v {
+			t.Fatal("weights mismatch")
+		}
+	}
+}
+
+func TestSaveRejectsNil(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "x.ckpt"), nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/x.ckpt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLatestPicksHighestEpoch(t *testing.T) {
+	dir := t.TempDir()
+	for _, e := range []int{3, 11, 7} {
+		if err := Save(FileFor(dir, "NT3", e), &Snapshot{Benchmark: "NT3", Epoch: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Another benchmark's checkpoints must not interfere.
+	if err := Save(FileFor(dir, "P1B1", 99), &Snapshot{Benchmark: "P1B1", Epoch: 99}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Latest(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 11 {
+		t.Fatalf("Latest epoch = %d, want 11", s.Epoch)
+	}
+	if _, err := Latest(dir, "NT99"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestRestoreIntoModel(t *testing.T) {
+	m1 := smallModel(t, 1)
+	s := &Snapshot{Benchmark: "bench", Weights: m1.WeightsVector()}
+	m2 := smallModel(t, 2) // different init
+	if err := Restore(m2, s, "bench"); err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := m1.WeightsVector(), m2.WeightsVector()
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("restore did not copy weights")
+		}
+	}
+	if err := Restore(m2, s, "other"); err == nil {
+		t.Fatal("benchmark mismatch accepted")
+	}
+	if err := Restore(m2, &Snapshot{Benchmark: "bench", Weights: []float64{1}}, "bench"); err == nil {
+		t.Fatal("short weights accepted")
+	}
+}
+
+func TestCallbackSchedule(t *testing.T) {
+	dir := t.TempDir()
+	m := smallModel(t, 3)
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandNormal(rng, 8, 3, 1)
+	y := tensor.RandNormal(rng, 8, 2, 1)
+	cb := NewCallback(dir, "bench", 2, 0)
+	if _, err := m.Fit(x, y, nn.FitConfig{Epochs: 6, BatchSize: 4, Callbacks: []nn.Callback{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Err != nil {
+		t.Fatal(cb.Err)
+	}
+	if cb.Saves != 3 { // epochs 1, 3, 5
+		t.Fatalf("saves = %d, want 3", cb.Saves)
+	}
+	s, err := Latest(dir, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 5 {
+		t.Fatalf("latest epoch = %d", s.Epoch)
+	}
+	if len(s.Weights) != m.ParamCount() {
+		t.Fatal("weights size mismatch")
+	}
+}
+
+func TestCallbackNonRootDoesNotSave(t *testing.T) {
+	dir := t.TempDir()
+	m := smallModel(t, 4)
+	x, y := tensor.New(4, 3), tensor.New(4, 2)
+	cb := NewCallback(dir, "bench", 1, 3) // rank 3
+	if _, err := m.Fit(x, y, nn.FitConfig{Epochs: 2, BatchSize: 2, Callbacks: []nn.Callback{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Saves != 0 {
+		t.Fatalf("non-root saved %d checkpoints", cb.Saves)
+	}
+}
+
+func TestResumeContinuesTraining(t *testing.T) {
+	// Train 6 epochs with a checkpoint at 3, resume from it into a
+	// fresh model, train 3 more, and verify the resumed model is at
+	// least as good as the checkpointed one.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.RandNormal(rng, 40, 3, 1)
+	w := tensor.RandNormal(rng, 3, 2, 1)
+	y := tensor.MatMul(x, w)
+
+	m := smallModel(t, 7)
+	cb := NewCallback(dir, "bench", 3, 0)
+	if _, err := m.Fit(x, y, nn.FitConfig{Epochs: 3, BatchSize: 8, Callbacks: []nn.Callback{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Latest(dir, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossAtCkpt := snap.Loss
+
+	fresh := smallModel(t, 99)
+	if err := Restore(fresh, snap, "bench"); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := fresh.Fit(x, y, nn.FitConfig{Epochs: 3, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.Loss[len(hist.Loss)-1]
+	if final >= lossAtCkpt {
+		t.Fatalf("resumed training did not improve: %v -> %v", lossAtCkpt, final)
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	// After Save, no temp files remain.
+	dir := t.TempDir()
+	if err := Save(FileFor(dir, "b", 1), &Snapshot{Benchmark: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after save: %d entries", len(entries))
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"candle/internal/hpc"
+	"candle/internal/power"
+	"candle/internal/report"
+	"candle/internal/sim"
+)
+
+// WriteBundle regenerates every paper artifact into dir as a
+// self-contained reproduction bundle:
+//
+//	tables.txt            all tables/figures, aligned ASCII
+//	csv/<id>.csv          one CSV per artifact, for plotting
+//	timelines/fig7b.json  Chrome traces for Figures 7b, 12, 19
+//	timelines/fig12.json
+//	timelines/fig19.json
+//	power/fig7a.csv       the 1 Hz GPU power trace of Figure 7a
+//
+// It returns the number of files written.
+func WriteBundle(dir string) (int, error) {
+	written := 0
+	for _, sub := range []string{"csv", "timelines", "power"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return written, fmt.Errorf("core: %w", err)
+		}
+	}
+	tables, err := RunAll()
+	if err != nil {
+		return written, err
+	}
+	var all []byte
+	for _, t := range tables {
+		all = append(all, t.String()...)
+		all = append(all, '\n')
+		csvPath := filepath.Join(dir, "csv", sanitize(t.ID)+".csv")
+		if err := os.WriteFile(csvPath, []byte(t.CSV()), 0o644); err != nil {
+			return written, fmt.Errorf("core: %w", err)
+		}
+		written++
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tables.txt"), all, 0o644); err != nil {
+		return written, fmt.Errorf("core: %w", err)
+	}
+	written++
+
+	// charts.txt: ASCII bar charts of the headline series, the
+	// terminal stand-in for the paper's figures.
+	var charts []byte
+	for _, cc := range []struct {
+		id       string
+		valueCol int
+	}{
+		{"fig6a", 1},  // TensorFlow time vs GPUs
+		{"fig6b", 2},  // accuracy vs GPUs
+		{"fig10a", 2}, // linear-scaling runtime
+		{"fig11", 3},  // improvement %
+		{"fig13", 3},
+		{"fig14", 3},
+		{"fig16", 3},
+		{"fig18", 3},
+		{"fig20", 3},
+		{"fig21", 3},
+	} {
+		var tb *report.Table
+		for _, t := range tables {
+			if t.ID == cc.id {
+				tb = t
+			}
+		}
+		if tb == nil {
+			continue
+		}
+		c, err := report.ChartFromTable(tb, 0, cc.valueCol)
+		if err != nil {
+			return written, err
+		}
+		charts = append(charts, c.String()...)
+		charts = append(charts, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "charts.txt"), charts, 0o644); err != nil {
+		return written, fmt.Errorf("core: %w", err)
+	}
+	written++
+
+	// Timelines for the three timeline figures.
+	for _, tc := range []struct {
+		name    string
+		ranks   int
+		scaling sim.Scaling
+		epochs  int
+		loader  sim.Loader
+	}{
+		{"fig7b", 384, sim.Strong, 0, sim.LoaderNaive},
+		{"fig12", 384, sim.Strong, 0, sim.LoaderChunked},
+		{"fig19", 768, sim.Weak, 8, sim.LoaderNaive},
+	} {
+		tl, _, err := TimelineFor("NT3", tc.ranks, tc.scaling, tc.epochs, tc.loader)
+		if err != nil {
+			return written, err
+		}
+		f, err := os.Create(filepath.Join(dir, "timelines", tc.name+".json"))
+		if err != nil {
+			return written, fmt.Errorf("core: %w", err)
+		}
+		if err := tl.WriteJSON(f); err != nil {
+			f.Close()
+			return written, err
+		}
+		if err := f.Close(); err != nil {
+			return written, fmt.Errorf("core: %w", err)
+		}
+		written++
+	}
+
+	// Figure 7a power trace as CSV.
+	nt3, err := sim.BenchByName("NT3")
+	if err != nil {
+		return written, err
+	}
+	r, err := sim.Run(sim.Config{
+		Machine: hpc.Summit(), Bench: nt3, Ranks: 384,
+		Scaling: sim.Strong, Loader: sim.LoaderNaive,
+	})
+	if err != nil {
+		return written, err
+	}
+	samples := power.Sampler{RateHz: 1}.Samples(r.Profile, r.PowerModel)
+	pt := report.New("fig7a-trace", "GPU power trace", "t_s", "watts")
+	for _, s := range samples {
+		pt.AddRow(report.F(s.T, 0), report.F(s.Watts, 1))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "power", "fig7a.csv"), []byte(pt.CSV()), 0o644); err != nil {
+		return written, fmt.Errorf("core: %w", err)
+	}
+	written++
+	return written, nil
+}
+
+// sanitize maps artifact IDs to filesystem-safe names ("sec5.4" →
+// "sec5_4").
+func sanitize(id string) string {
+	out := make([]rune, 0, len(id))
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,101 @@
+package csvio
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+// FuzzParseFloatBytes cross-checks the fast scanner against strconv on
+// arbitrary byte strings: same accept/reject decision, same value.
+func FuzzParseFloatBytes(f *testing.F) {
+	for _, seed := range []string{
+		"0", "1", "-1", "+3.5", "3.14159", "-2.5e3", "1e-8", "1E+4",
+		"", "-", ".", "e5", "abc", "1.2.3", "--1", "1e", "NaN", "Inf",
+		"999999999999999999999999", "0.000000000000000000001",
+		"1e309", "-1e-309", "0x1p3", "１２３",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gotErr := parseFloatBytes([]byte(s))
+		want, wantErr := strconv.ParseFloat(s, 64)
+		switch {
+		case gotErr == nil && wantErr != nil:
+			t.Fatalf("fast parser accepted %q (=%v) but strconv rejects", s, got)
+		case gotErr == nil && wantErr == nil:
+			// Both accepted: values must agree bit-for-bit (the fast
+			// path defers to strconv whenever exactness is in doubt).
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("parseFloatBytes(%q) = %v, strconv = %v", s, got, want)
+			}
+		}
+		// The fast parser may reject things strconv accepts (NaN, Inf,
+		// underscores); readers would surface that as a parse error,
+		// which is acceptable strictness for numeric CSV.
+	})
+}
+
+// FuzzParseIntBytes checks the integer fast path never mis-parses.
+func FuzzParseIntBytes(f *testing.F) {
+	for _, seed := range []string{"0", "-7", "+42", "123456789012345678", "9e3", "1.5", "", "x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, ok := parseIntBytes([]byte(s))
+		if !ok {
+			return
+		}
+		want, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("parseIntBytes accepted %q (=%d) but strconv rejects: %v", s, got, err)
+		}
+		if got != want {
+			t.Fatalf("parseIntBytes(%q) = %d, want %d", s, got, want)
+		}
+	})
+}
+
+// FuzzReadersAgree feeds arbitrary file contents to all three engines:
+// they must agree on accept/reject, and on the parsed matrix when
+// accepting. No input may panic any of them.
+func FuzzReadersAgree(f *testing.F) {
+	for _, seed := range []string{
+		"1,2\n3,4\n", "1\n", "", "\n\n", "1,2\n3\n", "a,b\n",
+		"1,2\r\n3,4\r\n", "-1e3,+0.5\n2,3\n", "5,", ",5\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, content []byte) {
+		if len(content) > 1<<16 {
+			return
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.csv")
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		naive, nErr := readMatrix(t, &NaiveReader{InternalChunkBytes: 64}, path)
+		chunked, cErr := readMatrix(t, &ChunkedReader{ChunkBytes: 128}, path)
+		parallel, pErr := readMatrix(t, &ParallelReader{Workers: 3}, path)
+		if (nErr == nil) != (cErr == nil) || (nErr == nil) != (pErr == nil) {
+			t.Fatalf("engines disagree on acceptance: naive=%v chunked=%v parallel=%v", nErr, cErr, pErr)
+		}
+		if nErr != nil {
+			return
+		}
+		if !naive.AlmostEqual(chunked, 1e-12) || !naive.AlmostEqual(parallel, 1e-12) {
+			t.Fatalf("engines parsed different matrices for %q", content)
+		}
+	})
+}
+
+func readMatrix(t *testing.T, r Reader, path string) (*tensor.Matrix, error) {
+	t.Helper()
+	m, _, err := r.Read(path)
+	return m, err
+}

@@ -1,0 +1,63 @@
+package csvio
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The real CANDLE data files ship gzip-compressed (the benchmarks
+// fetch *.csv.gz from the data portal); every reader and the writer
+// handle a ".gz" suffix transparently.
+
+// isGzipPath reports whether a path names a gzip-compressed CSV.
+func isGzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// openMaybeGzip opens path, transparently decompressing ".gz" files.
+// The returned closer closes both layers.
+func openMaybeGzip(path string) (io.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csvio: %w", err)
+	}
+	if !isGzipPath(path) {
+		return f, f.Close, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("csvio: %s: %w", path, err)
+	}
+	return gz, func() error {
+		gzErr := gz.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return gzErr
+	}, nil
+}
+
+// readAllMaybeGzip slurps a possibly-compressed file (for the
+// parallel reader, which needs random access to the decompressed
+// bytes).
+func readAllMaybeGzip(path string) ([]byte, error) {
+	if !isGzipPath(path) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		return raw, nil
+	}
+	r, closer, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %s: %w", path, err)
+	}
+	return raw, nil
+}

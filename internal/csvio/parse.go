@@ -1,0 +1,183 @@
+package csvio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// parseRowFast splits a CSV line on commas and parses each cell with
+// the non-allocating float scanner, appending to dst. It is the typed
+// single-pass parse the optimized loaders use.
+func parseRowFast(line []byte, dst []float64) ([]float64, error) {
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ',' {
+			cell := line[start:i]
+			if iv, ok := parseIntBytes(cell); ok {
+				dst = append(dst, float64(iv))
+			} else {
+				v, err := parseFloatBytes(cell)
+				if err != nil {
+					return dst, err
+				}
+				dst = append(dst, v)
+			}
+			start = i + 1
+		}
+	}
+	return dst, nil
+}
+
+// parseIntBytes parses a plain decimal integer cell without
+// allocating; ok is false for anything with a fraction, exponent, or
+// more than 18 digits.
+func parseIntBytes(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 19 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	switch b[0] {
+	case '-':
+		neg, i = true, 1
+	case '+':
+		i = 1
+	}
+	if i >= len(b) || len(b)-i > 18 {
+		return 0, false
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// parseFloatBytes converts a decimal cell to float64 without
+// allocating for the common fixed-point and exponent forms; it falls
+// back to strconv for anything unusual (inf, nan, hex floats, very
+// long mantissas).
+func parseFloatBytes(b []byte) (float64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty cell")
+	}
+	i := 0
+	neg := false
+	switch b[0] {
+	case '-':
+		neg, i = true, 1
+	case '+':
+		i = 1
+	}
+	if i >= len(b) {
+		return 0, fmt.Errorf("bad number %q", b)
+	}
+	var mant uint64
+	digits := 0
+	exp := 0
+	sawDigit := false
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c >= '0' && c <= '9' {
+			sawDigit = true
+			if digits < 19 {
+				mant = mant*10 + uint64(c-'0')
+				digits++
+			} else {
+				exp++ // beyond 19 digits: scale instead
+			}
+			continue
+		}
+		break
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		for ; i < len(b); i++ {
+			c := b[i]
+			if c >= '0' && c <= '9' {
+				sawDigit = true
+				if digits < 19 {
+					mant = mant*10 + uint64(c-'0')
+					digits++
+					exp--
+				}
+				continue
+			}
+			break
+		}
+	}
+	if !sawDigit {
+		return fallbackParse(b)
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		eneg := false
+		if i < len(b) && (b[i] == '-' || b[i] == '+') {
+			eneg = b[i] == '-'
+			i++
+		}
+		if i >= len(b) {
+			return 0, fmt.Errorf("bad exponent in %q", b)
+		}
+		ev := 0
+		for ; i < len(b); i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				return fallbackParse(b)
+			}
+			ev = ev*10 + int(c-'0')
+			if ev > 400 {
+				return fallbackParse(b)
+			}
+		}
+		if eneg {
+			exp -= ev
+		} else {
+			exp += ev
+		}
+	} else if i != len(b) {
+		return fallbackParse(b)
+	}
+	// Exact when both mantissa and scale fit in float64 exactly;
+	// otherwise defer to strconv for correct rounding.
+	if digits > 15 || exp < -22 || exp > 22 {
+		return fallbackParse(b)
+	}
+	v := float64(mant)
+	switch {
+	case exp > 0:
+		v *= pow10(exp)
+	case exp < 0:
+		v /= pow10(-exp)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func fallbackParse(b []byte) (float64, error) {
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", b)
+	}
+	return v, nil
+}
+
+var pow10Table = [...]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+	1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22}
+
+func pow10(e int) float64 {
+	if e >= 0 && e < len(pow10Table) {
+		return pow10Table[e]
+	}
+	return math.Pow(10, float64(e))
+}

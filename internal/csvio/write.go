@@ -1,0 +1,68 @@
+package csvio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"candle/internal/tensor"
+)
+
+// WriteCSV writes m as headerless numeric CSV (the format the CANDLE
+// benchmarks read with header=None), gzip-compressed when path ends
+// in ".gz". Values that are integral are written without a decimal
+// point, like the label columns in the real datasets; everything else
+// uses the shortest round-trippable form.
+func WriteCSV(path string, m *tensor.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	if isGzipPath(path) {
+		gz = gzip.NewWriter(f)
+		sink = gz
+	}
+	w := bufio.NewWriterSize(sink, 1<<20)
+	buf := make([]byte, 0, 32)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := w.WriteByte(','); err != nil {
+					f.Close()
+					return fmt.Errorf("csvio: %w", err)
+				}
+			}
+			buf = buf[:0]
+			if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+				buf = strconv.AppendInt(buf, int64(v), 10)
+			} else {
+				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			}
+			if _, err := w.Write(buf); err != nil {
+				f.Close()
+				return fmt.Errorf("csvio: %w", err)
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			f.Close()
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("csvio: %w", err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	return f.Close()
+}

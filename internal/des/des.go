@@ -1,0 +1,116 @@
+// Package des is a small deterministic discrete-event simulation
+// engine: a virtual clock, an event queue, and a rendezvous primitive
+// for modelling synchronizing collectives. internal/sim uses it to
+// cross-validate the closed-form cost model and to study straggler
+// effects (per-rank jitter under synchronous allreduce) that closed
+// forms cannot express.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns the virtual clock and the pending-event queue. Events
+// scheduled for the same instant fire in scheduling order, so runs are
+// fully deterministic.
+type Engine struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+}
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// New returns an engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run delay seconds from now. Negative delays
+// panic — time cannot rewind.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run drains the event queue, advancing the clock, and returns the
+// final time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// Rendezvous makes n parties synchronize: each calls Arrive with its
+// continuation; once the n-th party has arrived, every continuation is
+// scheduled at the arrival time of the latest party (plus an optional
+// per-party release delay). It models a blocking collective's
+// negotiation phase. A Rendezvous is single-use.
+type Rendezvous struct {
+	engine  *Engine
+	n       int
+	arrived int
+	conts   []func()
+	// ReleaseDelay is added when releasing every party (the data
+	// movement of the collective itself).
+	ReleaseDelay float64
+	done         bool
+}
+
+// NewRendezvous creates a rendezvous for n parties.
+func NewRendezvous(e *Engine, n int) *Rendezvous {
+	if n <= 0 {
+		panic(fmt.Sprintf("des: rendezvous of %d parties", n))
+	}
+	return &Rendezvous{engine: e, n: n}
+}
+
+// Arrive registers one party at the current virtual time. cont runs
+// when everyone has arrived.
+func (r *Rendezvous) Arrive(cont func()) {
+	if r.done {
+		panic("des: arrival after rendezvous completed")
+	}
+	r.arrived++
+	if r.arrived > r.n {
+		panic("des: more arrivals than parties")
+	}
+	r.conts = append(r.conts, cont)
+	if r.arrived == r.n {
+		r.done = true
+		for _, c := range r.conts {
+			r.engine.Schedule(r.ReleaseDelay, c)
+		}
+	}
+}

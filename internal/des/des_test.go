@@ -1,0 +1,129 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end time %v", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	end := e.Run()
+	if end != 3 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("nested: end %v times %v", end, times)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestRendezvousReleasesAtLatestArrival(t *testing.T) {
+	e := New()
+	r := NewRendezvous(e, 3)
+	r.ReleaseDelay = 0.5
+	var releases []float64
+	for i, delay := range []float64{1, 5, 3} {
+		_ = i
+		e.Schedule(delay, func() {
+			r.Arrive(func() { releases = append(releases, e.Now()) })
+		})
+	}
+	e.Run()
+	if len(releases) != 3 {
+		t.Fatalf("releases = %v", releases)
+	}
+	for _, tm := range releases {
+		if tm != 5.5 { // latest arrival (5) + release delay (0.5)
+			t.Fatalf("release at %v, want 5.5", tm)
+		}
+	}
+}
+
+func TestRendezvousMisuse(t *testing.T) {
+	e := New()
+	r := NewRendezvous(e, 1)
+	r.Arrive(func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arrival after completion should panic")
+		}
+	}()
+	r.Arrive(func() {})
+}
+
+func TestNewRendezvousValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRendezvous(New(), 0)
+}
+
+// Property: the engine's final time equals the maximum scheduled time,
+// regardless of scheduling order.
+func TestQuickFinalTimeIsMax(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := New()
+		maxT := 0.0
+		for _, d := range delays {
+			dt := float64(d) / 16
+			if dt > maxT {
+				maxT = dt
+			}
+			e.Schedule(dt, func() {})
+		}
+		return e.Run() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

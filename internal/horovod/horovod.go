@@ -1,0 +1,242 @@
+// Package horovod reimplements the pieces of Uber's Horovod that the
+// paper's methodology uses on top of the in-process MPI substrate:
+//
+//   - hvd.init / size / rank / local_rank (Horovod type),
+//   - hvd.DistributedOptimizer — wraps the model's optimizer so that
+//     gradients are averaged with an allreduce between the gradient
+//     computation and the model update, with Horovod-style tensor
+//     fusion (batching small tensors into one reduction),
+//   - hvd.BroadcastGlobalVariablesHook(0) — a training callback that
+//     broadcasts rank 0's initial weights so all replicas start
+//     identically,
+//   - the Horovod timeline — negotiate_broadcast / mpi_broadcast /
+//     negotiate_allreduce / allreduce events recorded in Chrome trace
+//     format,
+//   - comp_epochs — the paper's epoch-partitioning function for
+//     strong scaling.
+package horovod
+
+import (
+	"fmt"
+	"time"
+
+	"candle/internal/mpi"
+	"candle/internal/nn"
+	"candle/internal/trace"
+)
+
+// DefaultFusionBytes is Horovod's default 64 MB fusion buffer.
+const DefaultFusionBytes = 64 << 20
+
+// Options configures one Horovod context.
+type Options struct {
+	// FusionBytes caps how many gradient bytes are fused into one
+	// allreduce; 0 means DefaultFusionBytes; negative disables fusion
+	// (one allreduce per tensor).
+	FusionBytes int
+	// Timeline, when non-nil, records communication activity.
+	Timeline *trace.Timeline
+	// Clock supplies timeline timestamps in seconds; nil uses the
+	// wall clock relative to Init.
+	Clock func() float64
+	// DevicesPerNode is used by LocalRank; 0 means 1.
+	DevicesPerNode int
+}
+
+// Horovod is one rank's distributed-training context (what hvd.init()
+// returns in spirit).
+type Horovod struct {
+	comm  *mpi.Comm
+	opts  Options
+	clock func() float64
+}
+
+// Init creates the context for one rank, mirroring hvd.init().
+func Init(comm *mpi.Comm, opts Options) *Horovod {
+	if opts.FusionBytes == 0 {
+		opts.FusionBytes = DefaultFusionBytes
+	}
+	clock := opts.Clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	return &Horovod{comm: comm, opts: opts, clock: clock}
+}
+
+// Rank returns hvd.rank().
+func (h *Horovod) Rank() int { return h.comm.Rank() }
+
+// Size returns hvd.size().
+func (h *Horovod) Size() int { return h.comm.Size() }
+
+// LocalRank returns hvd.local_rank(): the device slot within the
+// node, which the paper pins each process's GPU to.
+func (h *Horovod) LocalRank() int {
+	d := h.opts.DevicesPerNode
+	if d <= 0 {
+		d = 1
+	}
+	return h.comm.Rank() % d
+}
+
+// record emits a timeline event if a timeline is attached.
+func (h *Horovod) record(name, cat string, start, dur float64) {
+	if h.opts.Timeline == nil {
+		return
+	}
+	d := h.opts.DevicesPerNode
+	if d <= 0 {
+		d = 1
+	}
+	h.opts.Timeline.Complete(name, cat, h.comm.Rank()/d, h.comm.Rank(), start, dur)
+}
+
+// CompEpochs is the paper's comp_epochs(): partition n total epochs
+// over nprocs ranks, giving each rank n/nprocs and the remainder to
+// the last rank.
+func CompEpochs(n, myrank, nprocs int) int {
+	if nprocs <= 0 {
+		panic(fmt.Sprintf("horovod: nprocs must be positive, got %d", nprocs))
+	}
+	j := n / nprocs
+	k := n % nprocs
+	if myrank < nprocs-1 {
+		return j
+	}
+	return j + k
+}
+
+// CompEpochsBalanced is the paper's load-balanced variant: every rank
+// runs the same number of epochs (the remainder is dropped so ranks
+// stay in lockstep, as the paper does "for load balancing").
+func CompEpochsBalanced(n, nprocs int) int {
+	if nprocs <= 0 {
+		panic(fmt.Sprintf("horovod: nprocs must be positive, got %d", nprocs))
+	}
+	e := n / nprocs
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// ScaleLearningRate applies the paper's linear learning-rate scaling:
+// lr × nprocs.
+func ScaleLearningRate(opt nn.Optimizer, nprocs int) {
+	opt.SetLearningRate(opt.LearningRate() * float64(nprocs))
+}
+
+// DistributedOptimizer wraps a base optimizer with gradient averaging,
+// exactly where Horovod splices into Keras: it "delegates the gradient
+// computation to the original optimizer, averages gradients using the
+// Allreduce, and then applies those averaged gradients".
+type DistributedOptimizer struct {
+	h    *Horovod
+	base nn.Optimizer
+
+	// AllreduceCalls counts collective operations issued (fused
+	// tensors count once), for tests and the fusion ablation.
+	AllreduceCalls int
+	// ElementsReduced counts float64 elements pushed through
+	// allreduce.
+	ElementsReduced int
+}
+
+// DistributedOptimizer wraps base, mirroring
+// hvd.DistributedOptimizer(optimizer).
+func (h *Horovod) DistributedOptimizer(base nn.Optimizer) *DistributedOptimizer {
+	return &DistributedOptimizer{h: h, base: base}
+}
+
+// Name implements nn.Optimizer.
+func (d *DistributedOptimizer) Name() string { return "horovod_" + d.base.Name() }
+
+// LearningRate implements nn.Optimizer.
+func (d *DistributedOptimizer) LearningRate() float64 { return d.base.LearningRate() }
+
+// SetLearningRate implements nn.Optimizer.
+func (d *DistributedOptimizer) SetLearningRate(lr float64) { d.base.SetLearningRate(lr) }
+
+// Step averages all parameter gradients across ranks, then delegates
+// the update to the base optimizer.
+func (d *DistributedOptimizer) Step(params []*nn.Param) {
+	if d.h.Size() > 1 {
+		d.allreduceGrads(params)
+	}
+	d.base.Step(params)
+}
+
+// allreduceGrads fuses gradients into buffers of at most FusionBytes
+// and allreduce-averages each buffer.
+func (d *DistributedOptimizer) allreduceGrads(params []*nn.Param) {
+	fusionElems := d.h.opts.FusionBytes / 8
+	if d.h.opts.FusionBytes < 0 {
+		fusionElems = 0 // fusion disabled: flush after every tensor
+	}
+	var fused []float64
+	var members []*nn.Param
+	flush := func() {
+		if len(members) == 0 {
+			return
+		}
+		t0 := d.h.clock()
+		d.h.record("negotiate_allreduce", "allreduce", t0, 0)
+		d.h.comm.AllreduceMean(fused)
+		d.h.record("NCCL_allreduce", "allreduce", t0, d.h.clock()-t0)
+		off := 0
+		for _, p := range members {
+			n := len(p.Grad.Data)
+			copy(p.Grad.Data, fused[off:off+n])
+			off += n
+		}
+		d.AllreduceCalls++
+		d.ElementsReduced += len(fused)
+		fused = fused[:0]
+		members = members[:0]
+	}
+	for _, p := range params {
+		n := len(p.Grad.Data)
+		if len(members) > 0 && (fusionElems <= 0 || len(fused)+n > fusionElems) {
+			flush()
+		}
+		fused = append(fused, p.Grad.Data...)
+		members = append(members, p)
+	}
+	flush()
+}
+
+// BroadcastHook returns the analogue of
+// hvd.callbacks.BroadcastGlobalVariablesHook(root): a callback whose
+// OnTrainBegin broadcasts the root rank's weights to all replicas. The
+// negotiation phase (every rank arriving at the collective) is what
+// the paper observes being delayed by data-loading stragglers.
+type BroadcastHook struct {
+	nn.BaseCallback
+	h    *Horovod
+	root int
+	// Ran records that the broadcast executed (for tests).
+	Ran bool
+}
+
+// BroadcastHook constructs the hook for the given root rank.
+func (h *Horovod) BroadcastHook(root int) *BroadcastHook {
+	return &BroadcastHook{h: h, root: root}
+}
+
+// OnTrainBegin broadcasts the root's weights into every replica.
+func (b *BroadcastHook) OnTrainBegin(m *nn.Sequential) {
+	h := b.h
+	t0 := h.clock()
+	// Negotiation: all ranks must arrive before data moves.
+	h.comm.Barrier()
+	t1 := h.clock()
+	h.record("negotiate_broadcast", "broadcast", t0, t1-t0)
+	w := m.WeightsVector()
+	h.comm.Broadcast(b.root, w)
+	if err := m.SetWeightsVector(w); err != nil {
+		panic("horovod: broadcast weight restore: " + err.Error())
+	}
+	h.record("mpi_broadcast", "broadcast", t1, h.clock()-t1)
+	b.Ran = true
+}

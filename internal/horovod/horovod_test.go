@@ -1,0 +1,329 @@
+package horovod
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"candle/internal/mpi"
+	"candle/internal/nn"
+	"candle/internal/tensor"
+	"candle/internal/trace"
+)
+
+func TestCompEpochsPaperSemantics(t *testing.T) {
+	// 384 epochs over 384 ranks: 1 each.
+	for r := 0; r < 384; r++ {
+		if CompEpochs(384, r, 384) != 1 {
+			t.Fatal("384/384 should be 1 epoch per rank")
+		}
+	}
+	// 10 epochs over 4 ranks: 2,2,2,4 (remainder to last).
+	want := []int{2, 2, 2, 4}
+	total := 0
+	for r, w := range want {
+		got := CompEpochs(10, r, 4)
+		if got != w {
+			t.Fatalf("CompEpochs(10,%d,4) = %d, want %d", r, got, w)
+		}
+		total += got
+	}
+	if total != 10 {
+		t.Fatalf("partition loses epochs: %d", total)
+	}
+}
+
+func TestCompEpochsBalanced(t *testing.T) {
+	if CompEpochsBalanced(384, 48) != 8 {
+		t.Fatal("384/48 = 8")
+	}
+	if CompEpochsBalanced(10, 4) != 2 {
+		t.Fatal("balanced drops remainder")
+	}
+	if CompEpochsBalanced(3, 8) != 1 {
+		t.Fatal("at least one epoch")
+	}
+}
+
+func TestCompEpochsPanicsOnBadProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CompEpochs(10, 0, 0)
+}
+
+// Property: CompEpochs always partitions n exactly and every rank but
+// the last gets the same count.
+func TestQuickCompEpochsPartition(t *testing.T) {
+	f := func(n uint8, procs uint8) bool {
+		np := int(procs)%16 + 1
+		total := 0
+		first := CompEpochs(int(n), 0, np)
+		for r := 0; r < np; r++ {
+			e := CompEpochs(int(n), r, np)
+			if r < np-1 && e != first {
+				return false
+			}
+			total += e
+		}
+		return total == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleLearningRate(t *testing.T) {
+	opt := nn.NewSGD(0.001)
+	ScaleLearningRate(opt, 48)
+	if math.Abs(opt.LearningRate()-0.048) > 1e-12 {
+		t.Fatalf("lr = %v", opt.LearningRate())
+	}
+}
+
+func TestLocalRank(t *testing.T) {
+	w := mpi.NewWorld(1)
+	h := Init(w.Comm(0), Options{DevicesPerNode: 6})
+	if h.LocalRank() != 0 {
+		t.Fatal("rank 0 local rank")
+	}
+	h2 := Init(w.Comm(0), Options{})
+	if h2.LocalRank() != 0 {
+		t.Fatal("default devices per node")
+	}
+}
+
+// buildRankModel compiles the same tiny model with a rank-specific
+// seed, so replicas start *different* — the broadcast must fix that.
+func buildRankModel(t testing.TB, seed int64, opt nn.Optimizer) *nn.Sequential {
+	m := nn.NewSequential("hvd-test",
+		nn.NewDense(4), nn.NewActivation("tanh"), nn.NewDense(2), nn.NewSoftmax())
+	if err := m.Compile(3, nn.CategoricalCrossEntropy{}, opt, seed); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBroadcastHookSynchronizesWeights(t *testing.T) {
+	const size = 4
+	w := mpi.NewWorld(size)
+	var mu sync.Mutex
+	weights := make([][]float64, size)
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		m := buildRankModel(t, int64(100+c.Rank()), nn.NewSGD(0.01))
+		hook := h.BroadcastHook(0)
+		hook.OnTrainBegin(m)
+		if !hook.Ran {
+			t.Error("hook did not run")
+		}
+		mu.Lock()
+		weights[c.Rank()] = m.WeightsVector()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < size; r++ {
+		for i := range weights[0] {
+			if weights[r][i] != weights[0][i] {
+				t.Fatalf("rank %d weight %d differs after broadcast", r, i)
+			}
+		}
+	}
+}
+
+func TestDistributedOptimizerAveragesGradients(t *testing.T) {
+	const size = 3
+	w := mpi.NewWorld(size)
+	// Each rank plants gradient = rank+1 on a single 2-element param;
+	// after Step with SGD(lr=1), value should be -mean(1,2,3) = -2.
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		d := h.DistributedOptimizer(nn.NewSGD(1))
+		p := &nn.Param{
+			Name:  "p",
+			Value: tensor.New(1, 2),
+			Grad:  tensor.FromSlice(1, 2, []float64{float64(c.Rank() + 1), float64(c.Rank() + 1)}),
+		}
+		d.Step([]*nn.Param{p})
+		for _, v := range p.Value.Data {
+			if math.Abs(v-(-2)) > 1e-12 {
+				t.Errorf("rank %d param = %v, want -2", c.Rank(), v)
+			}
+		}
+		if d.AllreduceCalls != 1 {
+			t.Errorf("rank %d allreduce calls = %d", c.Rank(), d.AllreduceCalls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusionBatchesSmallTensors(t *testing.T) {
+	const size = 2
+	mk := func(fusionBytes int) int {
+		w := mpi.NewWorld(size)
+		calls := make([]int, size)
+		err := w.Run(func(c *mpi.Comm) error {
+			h := Init(c, Options{FusionBytes: fusionBytes})
+			d := h.DistributedOptimizer(nn.NewSGD(0.1))
+			params := []*nn.Param{
+				{Name: "a", Value: tensor.New(1, 4), Grad: tensor.New(1, 4)},
+				{Name: "b", Value: tensor.New(1, 4), Grad: tensor.New(1, 4)},
+				{Name: "c", Value: tensor.New(1, 4), Grad: tensor.New(1, 4)},
+			}
+			d.Step(params)
+			calls[c.Rank()] = d.AllreduceCalls
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return calls[0]
+	}
+	if got := mk(0); got != 1 { // default 64MB: everything fuses
+		t.Fatalf("default fusion: %d calls, want 1", got)
+	}
+	if got := mk(-1); got != 3 { // fusion disabled: one per tensor
+		t.Fatalf("no fusion: %d calls, want 3", got)
+	}
+	if got := mk(8 * 8); got != 2 { // 8 elements per buffer: 4+4, then 4
+		t.Fatalf("64-byte fusion: %d calls, want 2", got)
+	}
+}
+
+func TestDistributedTrainingConvergesAndStaysInSync(t *testing.T) {
+	const size = 4
+	// Shared synthetic two-class problem, sharded by rank.
+	rng := rand.New(rand.NewSource(55))
+	n := 160
+	x := tensor.New(n, 3)
+	y := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		x.Set(i, 0, float64(cls*4-2)+rng.NormFloat64()*0.4)
+		x.Set(i, 1, rng.NormFloat64()*0.4)
+		x.Set(i, 2, rng.NormFloat64()*0.4)
+		y.Set(i, cls, 1)
+	}
+	w := mpi.NewWorld(size)
+	finalW := make([][]float64, size)
+	accs := make([]float64, size)
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		opt := nn.NewSGD(0.05)
+		ScaleLearningRate(opt, 1) // batch sharding, not lr scaling, in this test
+		m := buildRankModel(t, int64(c.Rank()), h.DistributedOptimizer(opt))
+		h.BroadcastHook(0).OnTrainBegin(m)
+		// Shard: rank r takes rows r, r+size, ... (equal shard sizes).
+		shard := n / size
+		sx := tensor.New(shard, 3)
+		sy := tensor.New(shard, 2)
+		for i := 0; i < shard; i++ {
+			copy(sx.Row(i), x.Row(i*size+c.Rank()))
+			copy(sy.Row(i), y.Row(i*size+c.Rank()))
+		}
+		for epoch := 0; epoch < 20; epoch++ {
+			for step := 0; step < shard/10; step++ {
+				bx := sx.RowSlice(step*10, step*10+10)
+				by := sy.RowSlice(step*10, step*10+10)
+				m.GradientsOnly(bx, by)
+				m.ApplyStep()
+			}
+		}
+		_, acc := m.Evaluate(x, y)
+		finalW[c.Rank()] = m.WeightsVector()
+		accs[c.Rank()] = acc
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All replicas identical after synchronous training.
+	for r := 1; r < size; r++ {
+		for i := range finalW[0] {
+			if math.Abs(finalW[r][i]-finalW[0][i]) > 1e-9 {
+				t.Fatalf("replica %d diverged at weight %d: %v vs %v",
+					r, i, finalW[r][i], finalW[0][i])
+			}
+		}
+	}
+	if accs[0] < 0.95 {
+		t.Fatalf("distributed training accuracy %v < 0.95", accs[0])
+	}
+}
+
+func TestTimelineRecordsCommunication(t *testing.T) {
+	const size = 2
+	tl := trace.NewTimeline()
+	w := mpi.NewWorld(size)
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{Timeline: tl, DevicesPerNode: 6})
+		m := buildRankModel(t, int64(c.Rank()), h.DistributedOptimizer(nn.NewSGD(0.01)))
+		h.BroadcastHook(0).OnTrainBegin(m)
+		x := tensor.New(4, 3)
+		y := tensor.New(4, 2)
+		m.GradientsOnly(x, y)
+		m.ApplyStep()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Filter("negotiate_broadcast")) != size {
+		t.Fatalf("negotiate_broadcast events: %d", len(tl.Filter("negotiate_broadcast")))
+	}
+	if len(tl.Filter("mpi_broadcast")) != size {
+		t.Fatalf("mpi_broadcast events: %d", len(tl.Filter("mpi_broadcast")))
+	}
+	if len(tl.Filter("NCCL_allreduce")) != size {
+		t.Fatalf("NCCL_allreduce events: %d", len(tl.Filter("NCCL_allreduce")))
+	}
+	if len(tl.FilterCat("allreduce")) != 2*size { // negotiate + NCCL per rank
+		t.Fatalf("allreduce cat events: %d", len(tl.FilterCat("allreduce")))
+	}
+}
+
+func TestDistributedOptimizerSingleRankNoComm(t *testing.T) {
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		d := h.DistributedOptimizer(nn.NewSGD(1))
+		p := &nn.Param{Name: "p", Value: tensor.New(1, 1), Grad: tensor.FromSlice(1, 1, []float64{3})}
+		d.Step([]*nn.Param{p})
+		if p.Value.Data[0] != -3 {
+			t.Errorf("value = %v", p.Value.Data[0])
+		}
+		if d.AllreduceCalls != 0 {
+			t.Errorf("single rank should not allreduce, got %d calls", d.AllreduceCalls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MessagesSent() != 0 {
+		t.Fatalf("messages sent on single-rank world: %d", w.MessagesSent())
+	}
+}
+
+func TestDistributedOptimizerNameAndLR(t *testing.T) {
+	w := mpi.NewWorld(1)
+	h := Init(w.Comm(0), Options{})
+	d := h.DistributedOptimizer(nn.NewAdam(0.002))
+	if d.Name() != "horovod_adam" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	d.SetLearningRate(0.01)
+	if d.LearningRate() != 0.01 {
+		t.Fatalf("lr = %v", d.LearningRate())
+	}
+}

@@ -1,0 +1,108 @@
+package horovod
+
+import (
+	"candle/internal/nn"
+)
+
+// ParameterServerOptimizer is the baseline Horovod replaced: the
+// parameter-server / distributed-TensorFlow-over-gRPC style of data
+// parallelism, where workers push gradients to a central server
+// (rank 0), which applies the update and pushes fresh weights back.
+//
+// Per step, the server moves O(N·M) bytes versus the ring allreduce's
+// O(M) per rank — the scalability gap §1 of the paper describes
+// ("difficult to use and optimize"). It exists here as a correct,
+// testable comparator for the ablation benchmarks.
+type ParameterServerOptimizer struct {
+	h    *Horovod
+	base nn.Optimizer
+	// Steps counts optimization steps applied.
+	Steps int
+}
+
+// psTag separates parameter-server traffic from collective traffic.
+const psTag = 100
+
+// ParameterServerOptimizer wraps base in parameter-server semantics
+// with rank 0 as the server. Every rank calls Step with its local
+// gradients; all ranks return with identical updated parameters.
+func (h *Horovod) ParameterServerOptimizer(base nn.Optimizer) *ParameterServerOptimizer {
+	return &ParameterServerOptimizer{h: h, base: base}
+}
+
+// Name implements nn.Optimizer.
+func (p *ParameterServerOptimizer) Name() string { return "paramserver_" + p.base.Name() }
+
+// LearningRate implements nn.Optimizer.
+func (p *ParameterServerOptimizer) LearningRate() float64 { return p.base.LearningRate() }
+
+// SetLearningRate implements nn.Optimizer.
+func (p *ParameterServerOptimizer) SetLearningRate(lr float64) { p.base.SetLearningRate(lr) }
+
+// Step implements nn.Optimizer with push-gradients / pull-weights
+// semantics.
+func (p *ParameterServerOptimizer) Step(params []*nn.Param) {
+	c := p.h.comm
+	n := c.Size()
+	if n == 1 {
+		p.base.Step(params)
+		p.Steps++
+		return
+	}
+	total := 0
+	for _, pr := range params {
+		total += len(pr.Grad.Data)
+	}
+	if c.Rank() == 0 {
+		// Server: average everyone's gradients with our own…
+		sum := make([]float64, total)
+		off := 0
+		for _, pr := range params {
+			copy(sum[off:], pr.Grad.Data)
+			off += len(pr.Grad.Data)
+		}
+		for src := 1; src < n; src++ {
+			g := c.Recv(src, psTag)
+			for i, v := range g {
+				sum[i] += v
+			}
+		}
+		inv := 1 / float64(n)
+		off = 0
+		for _, pr := range params {
+			for i := range pr.Grad.Data {
+				pr.Grad.Data[i] = sum[off+i] * inv
+			}
+			off += len(pr.Grad.Data)
+		}
+		// …apply the update, then push fresh weights to every worker.
+		p.base.Step(params)
+		weights := make([]float64, total)
+		off = 0
+		for _, pr := range params {
+			copy(weights[off:], pr.Value.Data)
+			off += len(pr.Value.Data)
+		}
+		for dst := 1; dst < n; dst++ {
+			buf := make([]float64, total)
+			copy(buf, weights)
+			c.Send(dst, psTag, buf)
+		}
+	} else {
+		// Worker: push gradients, pull weights.
+		grads := make([]float64, total)
+		off := 0
+		for _, pr := range params {
+			copy(grads[off:], pr.Grad.Data)
+			off += len(pr.Grad.Data)
+		}
+		c.Send(0, psTag, grads)
+		weights := c.Recv(0, psTag)
+		off = 0
+		for _, pr := range params {
+			copy(pr.Value.Data, weights[off:off+len(pr.Value.Data)])
+			off += len(pr.Value.Data)
+		}
+	}
+	p.Steps++
+}

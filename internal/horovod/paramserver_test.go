@@ -1,0 +1,172 @@
+package horovod
+
+import (
+	"math"
+	"testing"
+
+	"candle/internal/mpi"
+	"candle/internal/nn"
+	"candle/internal/tensor"
+)
+
+func TestParameterServerMatchesAllreduceForSGD(t *testing.T) {
+	const size = 3
+	// For plain SGD, parameter-server (average grads at server, step,
+	// push weights) must produce exactly the same update as the
+	// allreduce DistributedOptimizer.
+	runWith := func(usePS bool) []float64 {
+		w := mpi.NewWorld(size)
+		out := make([][]float64, size)
+		err := w.Run(func(c *mpi.Comm) error {
+			h := Init(c, Options{})
+			var opt nn.Optimizer
+			if usePS {
+				opt = h.ParameterServerOptimizer(nn.NewSGD(0.5))
+			} else {
+				opt = h.DistributedOptimizer(nn.NewSGD(0.5))
+			}
+			p := &nn.Param{
+				Name:  "p",
+				Value: tensor.FromSlice(1, 3, []float64{1, 1, 1}),
+				Grad:  tensor.FromSlice(1, 3, []float64{float64(c.Rank()), 2, float64(c.Rank() * 3)}),
+			}
+			opt.Step([]*nn.Param{p})
+			out[c.Rank()] = append([]float64(nil), p.Value.Data...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All ranks must agree.
+		for r := 1; r < size; r++ {
+			for i := range out[0] {
+				if math.Abs(out[r][i]-out[0][i]) > 1e-12 {
+					t.Fatalf("rank %d diverged: %v vs %v", r, out[r], out[0])
+				}
+			}
+		}
+		return out[0]
+	}
+	ps := runWith(true)
+	ar := runWith(false)
+	for i := range ps {
+		if math.Abs(ps[i]-ar[i]) > 1e-12 {
+			t.Fatalf("PS %v != allreduce %v", ps, ar)
+		}
+	}
+	// Hand check: grads rank r = [r, 2, 3r]; mean = [1, 2, 3];
+	// value = 1 - 0.5·mean = [0.5, 0, -0.5].
+	want := []float64{0.5, 0, -0.5}
+	for i := range want {
+		if math.Abs(ps[i]-want[i]) > 1e-12 {
+			t.Fatalf("PS result %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestParameterServerSingleRank(t *testing.T) {
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		ps := h.ParameterServerOptimizer(nn.NewSGD(1))
+		p := &nn.Param{Name: "p", Value: tensor.New(1, 1), Grad: tensor.FromSlice(1, 1, []float64{2})}
+		ps.Step([]*nn.Param{p})
+		if p.Value.Data[0] != -2 {
+			t.Errorf("value = %v", p.Value.Data[0])
+		}
+		if ps.Steps != 1 {
+			t.Errorf("steps = %d", ps.Steps)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MessagesSent() != 0 {
+		t.Fatal("single rank sent messages")
+	}
+}
+
+func TestParameterServerTrafficScalesWorseThanRing(t *testing.T) {
+	const size = 8
+	const elems = 1024
+	traffic := func(usePS bool) (total, hotspot int64) {
+		w := mpi.NewWorld(size)
+		err := w.Run(func(c *mpi.Comm) error {
+			h := Init(c, Options{})
+			var opt nn.Optimizer
+			if usePS {
+				opt = h.ParameterServerOptimizer(nn.NewSGD(0.1))
+			} else {
+				opt = h.DistributedOptimizer(nn.NewSGD(0.1))
+			}
+			p := &nn.Param{Name: "p", Value: tensor.New(1, elems), Grad: tensor.New(1, elems)}
+			opt.Step([]*nn.Param{p})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.BytesSent(), w.MaxEndpointBytes()
+	}
+	psTotal, psHot := traffic(true)
+	ringTotal, ringHot := traffic(false)
+	// Both move 2(N−1)·M bytes in total per step…
+	if psTotal != ringTotal {
+		t.Fatalf("total traffic should match: PS %d vs ring %d", psTotal, ringTotal)
+	}
+	// …but the PS concentrates O(N·M) on the server while the ring
+	// spreads the load evenly (×(N/2) hotspot difference at N=8).
+	if psHot < 3*ringHot {
+		t.Fatalf("PS hotspot (%d B) should dwarf ring hotspot (%d B)", psHot, ringHot)
+	}
+}
+
+func TestParameterServerTrainsConverges(t *testing.T) {
+	const size = 4
+	w := mpi.NewWorld(size)
+	accs := make([]float64, size)
+	err := w.Run(func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		m := buildRankModel(t, int64(c.Rank()), h.ParameterServerOptimizer(nn.NewSGD(0.1)))
+		h.BroadcastHook(0).OnTrainBegin(m)
+		// Simple separable data, same on each rank (pure sync test).
+		x := tensor.New(40, 3)
+		y := tensor.New(40, 2)
+		for i := 0; i < 40; i++ {
+			cls := i % 2
+			x.Set(i, 0, float64(cls*2-1))
+			x.Set(i, 1, 0.1*float64(i%5))
+			y.Set(i, cls, 1)
+		}
+		for epoch := 0; epoch < 30; epoch++ {
+			for s := 0; s < 4; s++ {
+				m.GradientsOnly(x.RowSlice(s*10, s*10+10), y.RowSlice(s*10, s*10+10))
+				m.ApplyStep()
+			}
+		}
+		_, accs[c.Rank()] = m.Evaluate(x, y)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, a := range accs {
+		if a < 0.95 {
+			t.Fatalf("rank %d accuracy %v", r, a)
+		}
+	}
+}
+
+func TestParameterServerNameAndLR(t *testing.T) {
+	w := mpi.NewWorld(1)
+	h := Init(w.Comm(0), Options{})
+	ps := h.ParameterServerOptimizer(nn.NewRMSprop(0.003))
+	if ps.Name() != "paramserver_rmsprop" {
+		t.Fatalf("name = %q", ps.Name())
+	}
+	ps.SetLearningRate(0.01)
+	if ps.LearningRate() != 0.01 {
+		t.Fatal("lr passthrough")
+	}
+}

@@ -1,0 +1,247 @@
+// Package hpc describes the two experiment platforms of the paper —
+// the IBM Power9+V100 system Summit (OLCF) and the Cray XC40 KNL
+// system Theta (ALCF) — at the fidelity the performance, power, and
+// I/O models need: devices per node, TDPs, interconnect latency and
+// bandwidth, filesystem bandwidth and contention behaviour, and
+// telemetry sample rates. It also provides jsrun-style resource-set
+// partitioning of a node (Figure 5(b) in the paper).
+package hpc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filesystem characterizes a parallel filesystem for the I/O model.
+type Filesystem struct {
+	Name string
+	// ReadGBps is the effective single-stream read bandwidth one rank
+	// observes when alone (GB/s).
+	ReadGBps float64
+	// MaxBlockMB is the largest I/O block the filesystem issues
+	// (16 MB for Spectrum Scale on Summit — the paper picks its
+	// chunked-reader size to match).
+	MaxBlockMB int
+	// ContentionGamma and ContentionDelta shape the slowdown when N
+	// ranks read concurrently: factor = 1 + gamma·(N−1)^delta.
+	// Lustre on Theta contends harder than GPFS on Summit, which is
+	// why the paper sees >4× longer loading on Theta at scale.
+	ContentionGamma float64
+	ContentionDelta float64
+}
+
+// Contention returns the read slowdown factor with n concurrent
+// readers.
+func (f Filesystem) Contention(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + f.ContentionGamma*math.Pow(float64(n-1), f.ContentionDelta)
+}
+
+// Interconnect characterizes the network used by the collectives.
+type Interconnect struct {
+	Name string
+	// LatencyUS is the per-message latency in microseconds.
+	LatencyUS float64
+	// BandwidthGBps is the per-link bandwidth in GB/s.
+	BandwidthGBps float64
+	// CollectiveEff scales the achievable collective bandwidth
+	// (NCCL over NVLink/IB on Summit achieves more of peak than
+	// MPI-over-Aries on Theta for these message sizes).
+	CollectiveEff float64
+}
+
+// Device describes one compute device (a V100 GPU or a KNL socket).
+type Device struct {
+	Name string
+	// TDPWatts is the thermal design power.
+	TDPWatts float64
+	// IdleWatts is the draw when the device sits idle.
+	IdleWatts float64
+	// MemGB is usable device memory (HBM) for the OOM model.
+	MemGB float64
+	// Gflops is the effective training throughput the cost model
+	// uses (not peak: the achieved mixed work rate for these models).
+	Gflops float64
+}
+
+// Machine is one experiment platform.
+type Machine struct {
+	Name           string
+	Nodes          int
+	DevicesPerNode int // GPUs on Summit; 1 KNL "device" per Theta node
+	CoresPerNode   int
+	Device         Device
+	NodePowerW     float64
+	FS             Filesystem
+	Net            Interconnect
+	// PowerSampleHz is the telemetry rate (nvidia-smi 1 Hz on Summit,
+	// CapMC ≈2 Hz on Theta).
+	PowerSampleHz float64
+	// PythonCellNS is the per-cell CSV parse cost baseline in
+	// nanoseconds for the naive pandas-style reader on this machine's
+	// CPU (single core); the csv cost model scales from this.
+	PythonCellNS float64
+}
+
+// Summit returns the machine model of OLCF Summit: ~4,600 IBM AC922
+// nodes, each 2 POWER9 + 6 V100, NVLink, Spectrum Scale (GPFS).
+func Summit() Machine {
+	return Machine{
+		Name:           "Summit",
+		Nodes:          4600,
+		DevicesPerNode: 6,
+		CoresPerNode:   42,
+		Device: Device{
+			Name:      "V100",
+			TDPWatts:  300,
+			IdleWatts: 40,
+			MemGB:     16,
+			Gflops:    1900, // effective for these small-batch Keras models
+		},
+		NodePowerW: 2200,
+		FS: Filesystem{
+			Name:            "SpectrumScale",
+			ReadGBps:        2.5,
+			MaxBlockMB:      16,
+			ContentionGamma: 0.006,
+			ContentionDelta: 0.50,
+		},
+		Net: Interconnect{
+			Name:          "NVLink+EDR",
+			LatencyUS:     4,
+			BandwidthGBps: 25,
+			CollectiveEff: 0.75,
+		},
+		PowerSampleHz: 1,
+		PythonCellNS:  95,
+	}
+}
+
+// Theta returns the machine model of ALCF Theta: Cray XC40, one Intel
+// KNL 7230 (64 cores) per node, Aries dragonfly, Lustre.
+func Theta() Machine {
+	return Machine{
+		Name:           "Theta",
+		Nodes:          4392,
+		DevicesPerNode: 1,
+		CoresPerNode:   64,
+		Device: Device{
+			Name:      "KNL7230",
+			TDPWatts:  215,
+			IdleWatts: 65,
+			MemGB:     192,
+			Gflops:    28, // effective TF-on-KNL rate for these models
+		},
+		NodePowerW: 350,
+		FS: Filesystem{
+			Name:            "Lustre",
+			ReadGBps:        3.8,
+			MaxBlockMB:      8,
+			ContentionGamma: 0.045,
+			ContentionDelta: 0.92,
+		},
+		Net: Interconnect{
+			Name:          "Aries",
+			LatencyUS:     3,
+			BandwidthGBps: 14,
+			CollectiveEff: 0.45,
+		},
+		PowerSampleHz: 2,
+		PythonCellNS:  62,
+	}
+}
+
+// ByName returns the machine model with the given name
+// ("summit" or "theta", case-insensitive enough for CLI use).
+func ByName(name string) (Machine, error) {
+	switch name {
+	case "summit", "Summit":
+		return Summit(), nil
+	case "theta", "Theta":
+		return Theta(), nil
+	default:
+		return Machine{}, fmt.Errorf("hpc: unknown machine %q (want summit or theta)", name)
+	}
+}
+
+// MaxDevices returns the total device count of the machine.
+func (m Machine) MaxDevices() int { return m.Nodes * m.DevicesPerNode }
+
+// NodesFor returns how many nodes host n devices (ceiling division).
+func (m Machine) NodesFor(devices int) int {
+	return (devices + m.DevicesPerNode - 1) / m.DevicesPerNode
+}
+
+// ResourceSet is one jsrun-style partition of a node: a group of CPU
+// cores serving a group of devices (Figure 5(b): 6 resource sets of
+// 1 GPU + 7 cores each on Summit).
+type ResourceSet struct {
+	Index   int
+	Devices []int // device indices within the node
+	Cores   []int // core indices within the node
+}
+
+// PartitionNode splits a node into nrs resource sets, distributing
+// devices and cores round-robin-contiguously the way the jsrun
+// visualizer lays them out. It errors if devices don't divide evenly.
+func PartitionNode(m Machine, nrs int) ([]ResourceSet, error) {
+	if nrs <= 0 {
+		return nil, fmt.Errorf("hpc: resource sets must be positive, got %d", nrs)
+	}
+	if m.DevicesPerNode%nrs != 0 {
+		return nil, fmt.Errorf("hpc: %d devices per node not divisible into %d resource sets", m.DevicesPerNode, nrs)
+	}
+	devPer := m.DevicesPerNode / nrs
+	corePer := m.CoresPerNode / nrs
+	out := make([]ResourceSet, nrs)
+	for i := 0; i < nrs; i++ {
+		rs := ResourceSet{Index: i}
+		for d := 0; d < devPer; d++ {
+			rs.Devices = append(rs.Devices, i*devPer+d)
+		}
+		for c := 0; c < corePer; c++ {
+			rs.Cores = append(rs.Cores, i*corePer+c)
+		}
+		out[i] = rs
+	}
+	return out, nil
+}
+
+// ThreadConfig is the CPU threading setup §2.3.2 of the paper applies
+// on Theta: KMP affinity pinning plus TensorFlow's intra/inter-op
+// parallelism.
+type ThreadConfig struct {
+	// Env holds the KMP_*/OMP_* environment the paper sets.
+	Env map[string]string
+	// IntraOpThreads and InterOpThreads are the TF session knobs.
+	IntraOpThreads int
+	InterOpThreads int
+	// SoftPlacement mirrors allow_soft_placement=True.
+	SoftPlacement bool
+}
+
+// ThetaThreadConfig returns the exact configuration the paper uses on
+// Theta: 64 threads per KNL node, compact fine-grained affinity, one
+// inter-op thread.
+func ThetaThreadConfig() ThreadConfig {
+	return ThreadConfig{
+		Env: map[string]string{
+			"KMP_BLOCKTIME":   "0",
+			"KMP_SETTINGS":    "1",
+			"KMP_AFFINITY":    "granularity=fine,verbose,compact,1,0",
+			"OMP_NUM_THREADS": "64",
+		},
+		IntraOpThreads: 64,
+		InterOpThreads: 1,
+		SoftPlacement:  true,
+	}
+}
+
+// LocalRank maps a global rank to its device slot within a node, the
+// hvd.local_rank() the paper pins GPUs with.
+func (m Machine) LocalRank(rank int) int { return rank % m.DevicesPerNode }
+
+// NodeOf maps a global rank to its node index.
+func (m Machine) NodeOf(rank int) int { return rank / m.DevicesPerNode }

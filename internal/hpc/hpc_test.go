@@ -1,0 +1,157 @@
+package hpc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineModels(t *testing.T) {
+	s := Summit()
+	if s.DevicesPerNode != 6 || s.Device.TDPWatts != 300 || s.Device.MemGB != 16 {
+		t.Fatalf("Summit model wrong: %+v", s)
+	}
+	if s.FS.MaxBlockMB != 16 {
+		t.Fatal("Summit GPFS block should be 16 MB (paper's chunk size)")
+	}
+	th := Theta()
+	if th.DevicesPerNode != 1 || th.Device.TDPWatts != 215 || th.CoresPerNode != 64 {
+		t.Fatalf("Theta model wrong: %+v", th)
+	}
+	if th.PowerSampleHz != 2 || s.PowerSampleHz != 1 {
+		t.Fatal("telemetry rates wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m, err := ByName("summit"); err != nil || m.Name != "Summit" {
+		t.Fatalf("summit lookup: %v %v", m.Name, err)
+	}
+	if m, err := ByName("Theta"); err != nil || m.Name != "Theta" {
+		t.Fatalf("theta lookup: %v %v", m.Name, err)
+	}
+	if _, err := ByName("frontier"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestContentionMonotonic(t *testing.T) {
+	for _, m := range []Machine{Summit(), Theta()} {
+		prev := m.FS.Contention(1)
+		if prev != 1 {
+			t.Fatalf("%s contention(1) = %v", m.Name, prev)
+		}
+		for n := 2; n <= 4096; n *= 2 {
+			c := m.FS.Contention(n)
+			if c <= prev {
+				t.Fatalf("%s contention not increasing at n=%d: %v <= %v", m.Name, n, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestThetaContendsHarderThanSummit(t *testing.T) {
+	s, th := Summit(), Theta()
+	for _, n := range []int{16, 64, 384} {
+		if th.FS.Contention(n) <= s.FS.Contention(n) {
+			t.Fatalf("at n=%d Theta contention %v <= Summit %v",
+				n, th.FS.Contention(n), s.FS.Contention(n))
+		}
+	}
+}
+
+func TestNodesForAndLocalRank(t *testing.T) {
+	s := Summit()
+	if s.NodesFor(384) != 64 {
+		t.Fatalf("384 GPUs = %d nodes, want 64", s.NodesFor(384))
+	}
+	if s.NodesFor(1) != 1 || s.NodesFor(7) != 2 {
+		t.Fatal("ceiling division wrong")
+	}
+	if s.LocalRank(0) != 0 || s.LocalRank(5) != 5 || s.LocalRank(6) != 0 || s.LocalRank(13) != 1 {
+		t.Fatal("LocalRank wrong")
+	}
+	if s.NodeOf(0) != 0 || s.NodeOf(6) != 1 || s.NodeOf(383) != 63 {
+		t.Fatal("NodeOf wrong")
+	}
+	if s.MaxDevices() != 4600*6 {
+		t.Fatal("MaxDevices wrong")
+	}
+}
+
+func TestPartitionNodeSummitSixWays(t *testing.T) {
+	// Figure 5(b): 6 resource sets, each 1 GPU + 7 cores.
+	rs, err := PartitionNode(Summit(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("got %d resource sets", len(rs))
+	}
+	seenDev := map[int]bool{}
+	seenCore := map[int]bool{}
+	for i, r := range rs {
+		if r.Index != i {
+			t.Fatalf("index %d != %d", r.Index, i)
+		}
+		if len(r.Devices) != 1 || len(r.Cores) != 7 {
+			t.Fatalf("rs %d has %d devices, %d cores", i, len(r.Devices), len(r.Cores))
+		}
+		for _, d := range r.Devices {
+			if seenDev[d] {
+				t.Fatalf("device %d in two resource sets", d)
+			}
+			seenDev[d] = true
+		}
+		for _, c := range r.Cores {
+			if seenCore[c] {
+				t.Fatalf("core %d in two resource sets", c)
+			}
+			seenCore[c] = true
+		}
+	}
+	if len(seenDev) != 6 || len(seenCore) != 42 {
+		t.Fatalf("coverage: %d devices, %d cores", len(seenDev), len(seenCore))
+	}
+}
+
+func TestPartitionNodeErrors(t *testing.T) {
+	if _, err := PartitionNode(Summit(), 0); err == nil {
+		t.Fatal("0 resource sets accepted")
+	}
+	if _, err := PartitionNode(Summit(), 4); err == nil {
+		t.Fatal("6 GPUs into 4 sets accepted")
+	}
+}
+
+// Property: rank → (node, local rank) is a bijection onto
+// [0, nodes) × [0, devicesPerNode).
+func TestQuickRankMappingBijective(t *testing.T) {
+	s := Summit()
+	f := func(rank uint16) bool {
+		r := int(rank) % s.MaxDevices()
+		node, local := s.NodeOf(r), s.LocalRank(r)
+		return node*s.DevicesPerNode+local == r && local < s.DevicesPerNode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThetaThreadConfigMatchesPaper(t *testing.T) {
+	tc := ThetaThreadConfig()
+	if tc.IntraOpThreads != 64 || tc.InterOpThreads != 1 || !tc.SoftPlacement {
+		t.Fatalf("thread config: %+v", tc)
+	}
+	want := map[string]string{
+		"KMP_BLOCKTIME":   "0",
+		"KMP_SETTINGS":    "1",
+		"KMP_AFFINITY":    "granularity=fine,verbose,compact,1,0",
+		"OMP_NUM_THREADS": "64",
+	}
+	for k, v := range want {
+		if tc.Env[k] != v {
+			t.Fatalf("env %s = %q, want %q", k, tc.Env[k], v)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives completing the MPI surface Horovod's concepts
+// come from: rooted Reduce and Gather (binomial trees) and Scatter.
+
+// Collective tags for the rooted operations.
+const (
+	tagReduce  = -5
+	tagGatherR = -6
+	tagScatter = -7
+)
+
+// Reduce sums data element-wise onto the root using a binomial tree
+// (the mirror image of Broadcast). Non-root ranks' buffers are left
+// with their partial sums and must not be interpreted as results.
+func (c *Comm) Reduce(root int, data []float64) {
+	n := c.world.size
+	if n == 1 {
+		return
+	}
+	rel := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			// Send the partial sum up the tree and leave.
+			dst := (c.rank - mask + n) % n
+			buf := make([]float64, len(data))
+			copy(buf, data)
+			c.Send(dst, tagReduce, buf)
+			return
+		}
+		peer := rel | mask
+		if peer < n {
+			src := (peer + root) % n
+			got := c.Recv(src, tagReduce)
+			if len(got) != len(data) {
+				panic(fmt.Sprintf("mpi: reduce length mismatch %d != %d", len(got), len(data)))
+			}
+			for i, v := range got {
+				data[i] += v
+			}
+		}
+		mask <<= 1
+	}
+}
+
+// Gather collects each rank's (equal-length) contribution at the
+// root; the returned slice is indexed by rank at the root and nil
+// elsewhere.
+func (c *Comm) Gather(root int, mine []float64) [][]float64 {
+	n := c.world.size
+	if c.rank != root {
+		buf := make([]float64, len(mine))
+		copy(buf, mine)
+		c.Send(root, tagGatherR, buf)
+		return nil
+	}
+	out := make([][]float64, n)
+	own := make([]float64, len(mine))
+	copy(own, mine)
+	out[c.rank] = own
+	for src := 0; src < n; src++ {
+		if src == c.rank {
+			continue
+		}
+		out[src] = c.Recv(src, tagGatherR)
+	}
+	return out
+}
+
+// Scatter distributes parts[r] from the root to each rank r and
+// returns this rank's part. Only the root's parts argument is used;
+// it must have exactly world-size entries.
+func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
+	n := c.world.size
+	if c.rank == root {
+		if len(parts) != n {
+			panic(fmt.Sprintf("mpi: scatter needs %d parts, got %d", n, len(parts)))
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == c.rank {
+				continue
+			}
+			buf := make([]float64, len(parts[dst]))
+			copy(buf, parts[dst])
+			c.Send(dst, tagScatter, buf)
+		}
+		own := make([]float64, len(parts[c.rank]))
+		copy(own, parts[c.rank])
+		return own
+	}
+	return c.Recv(root, tagScatter)
+}

@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceSumsAtRoot(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < size; root += max(1, size/2) {
+			w := NewWorld(size)
+			got := make([][]float64, size)
+			err := w.Run(func(c *Comm) error {
+				data := []float64{float64(c.Rank() + 1), float64((c.Rank() + 1) * 10)}
+				c.Reduce(root, data)
+				got[c.Rank()] = data
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSum := float64(size*(size+1)) / 2
+			if got[root][0] != wantSum || got[root][1] != wantSum*10 {
+				t.Fatalf("size %d root %d: reduce = %v, want [%v %v]",
+					size, root, got[root], wantSum, wantSum*10)
+			}
+		}
+	}
+}
+
+func TestGatherAtRoot(t *testing.T) {
+	const size = 5
+	for root := 0; root < size; root++ {
+		w := NewWorld(size)
+		var collected [][]float64
+		err := w.Run(func(c *Comm) error {
+			res := c.Gather(root, []float64{float64(c.Rank() * 2)})
+			if c.Rank() == root {
+				collected = res
+			} else if res != nil {
+				t.Errorf("non-root rank %d got a result", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < size; r++ {
+			if collected[r][0] != float64(r*2) {
+				t.Fatalf("root %d slot %d = %v", root, r, collected[r])
+			}
+		}
+	}
+}
+
+func TestScatterDistributesParts(t *testing.T) {
+	const size = 4
+	w := NewWorld(size)
+	err := w.Run(func(c *Comm) error {
+		var parts [][]float64
+		if c.Rank() == 1 {
+			parts = [][]float64{{0, 0}, {1, 10}, {2, 20}, {3, 30}}
+		}
+		got := c.Scatter(1, parts)
+		if got[0] != float64(c.Rank()) || got[1] != float64(c.Rank()*10) {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidatesParts(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("short parts accepted")
+				}
+				// Unblock rank 1 so the world can drain.
+				c.Send(1, tagScatter, []float64{1})
+			}()
+			c.Scatter(0, [][]float64{{1}})
+			return nil
+		}
+		c.Scatter(0, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reduce to root equals AllreduceSum's value at the root.
+func TestQuickReduceMatchesAllreduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(8)
+		root := rng.Intn(size)
+		length := 1 + rng.Intn(16)
+		inputs := make([][]float64, size)
+		for r := range inputs {
+			inputs[r] = make([]float64, length)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.NormFloat64()
+			}
+		}
+		reduceOut := make([]float64, length)
+		w1 := NewWorld(size)
+		if err := w1.Run(func(c *Comm) error {
+			data := append([]float64(nil), inputs[c.Rank()]...)
+			c.Reduce(root, data)
+			if c.Rank() == root {
+				copy(reduceOut, data)
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		allOut := make([]float64, length)
+		w2 := NewWorld(size)
+		if err := w2.Run(func(c *Comm) error {
+			data := append([]float64(nil), inputs[c.Rank()]...)
+			c.AllreduceSum(data)
+			if c.Rank() == root {
+				copy(allOut, data)
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		for i := range reduceOut {
+			if math.Abs(reduceOut[i]-allOut[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scatter then Gather reconstructs the root's parts.
+func TestQuickScatterGatherInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(7)
+		root := rng.Intn(size)
+		width := 1 + rng.Intn(5)
+		parts := make([][]float64, size)
+		for r := range parts {
+			parts[r] = make([]float64, width)
+			for i := range parts[r] {
+				parts[r][i] = rng.NormFloat64()
+			}
+		}
+		var back [][]float64
+		w := NewWorld(size)
+		if err := w.Run(func(c *Comm) error {
+			var in [][]float64
+			if c.Rank() == root {
+				in = parts
+			}
+			mine := c.Scatter(root, in)
+			res := c.Gather(root, mine)
+			if c.Rank() == root {
+				back = res
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		for r := range parts {
+			for i := range parts[r] {
+				if back[r][i] != parts[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

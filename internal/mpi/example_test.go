@@ -1,0 +1,32 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"candle/internal/mpi"
+)
+
+// ExampleWorld shows the Horovod-style collectives: every rank
+// contributes its rank+1 and the ring allreduce averages them.
+func ExampleWorld() {
+	w := mpi.NewWorld(4)
+	var mu sync.Mutex
+	var results []float64
+	err := w.Run(func(c *mpi.Comm) error {
+		data := []float64{float64(c.Rank() + 1)} // 1, 2, 3, 4
+		c.AllreduceMean(data)
+		mu.Lock()
+		results = append(results, data[0])
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	sort.Float64s(results)
+	fmt.Println(results)
+	// Output:
+	// [2.5 2.5 2.5 2.5]
+}

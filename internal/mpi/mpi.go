@@ -1,0 +1,314 @@
+// Package mpi is an in-process message-passing substrate modelled on
+// the MPI concepts Horovod is built from: a World of ranks, point-to-
+// point Send/Recv, and the collectives Broadcast (binomial tree),
+// Allreduce (ring), Allgather (ring), and Barrier (dissemination).
+//
+// Ranks are goroutines; links are buffered Go channels, one per
+// ordered (src, dst) pair, so messages between a pair are FIFO exactly
+// as MPI guarantees for a single communicator. The collectives are the
+// real algorithms — the ring allreduce is the same
+// reduce-scatter/allgather scheme NCCL and Baidu's
+// tensorflow-allreduce use — so contention, pipelining, and straggler
+// effects genuinely occur rather than being merely modelled.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// packet is one point-to-point message.
+type packet struct {
+	tag  int
+	data []float64
+}
+
+// World owns the links for a fixed number of ranks.
+type World struct {
+	size  int
+	links [][]chan packet // links[src][dst]
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+	// endpoint[r] counts payload bytes entering or leaving rank r —
+	// the per-endpoint network load that distinguishes a centralized
+	// parameter server (root handles O(N·M)) from a ring allreduce
+	// (every rank handles O(M)).
+	endpoint []atomic.Int64
+}
+
+// linkBuffer is the per-link channel capacity. Collective schedules
+// never have more than a couple of outstanding messages per link; a
+// small buffer keeps senders from blocking in the common case without
+// hiding backpressure entirely.
+const linkBuffer = 8
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
+	}
+	w := &World{size: size, links: make([][]chan packet, size), endpoint: make([]atomic.Int64, size)}
+	for s := 0; s < size; s++ {
+		w.links[s] = make([]chan packet, size)
+		for d := 0; d < size; d++ {
+			if s != d {
+				w.links[s][d] = make(chan packet, linkBuffer)
+			}
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the total float64 payload bytes sent so far
+// (8 bytes per element), across all ranks.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the total point-to-point messages sent so far.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// EndpointBytes returns the payload bytes that entered or left the
+// given rank.
+func (w *World) EndpointBytes(rank int) int64 { return w.endpoint[rank].Load() }
+
+// MaxEndpointBytes returns the heaviest per-rank network load — the
+// hotspot metric for centralized communication patterns.
+func (w *World) MaxEndpointBytes() int64 {
+	var mx int64
+	for r := range w.endpoint {
+		if b := w.endpoint[r].Load(); b > mx {
+			mx = b
+		}
+	}
+	return mx
+}
+
+// Comm returns the communicator endpoint for one rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d outside world of size %d", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run executes f once per rank, each in its own goroutine, and waits
+// for all of them. A panic in any rank is recovered and reported as an
+// error; the first non-nil error (by rank order) is returned.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = f(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's endpoint into a World. A Comm must only be used
+// from the goroutine that owns the rank.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank (hvd.rank()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size (hvd.size()).
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to dst with the given tag. The slice is sent by
+// reference; collective implementations copy where aliasing would be
+// unsafe, and callers doing raw point-to-point sends must not mutate
+// the slice until the receiver is done with it (as with MPI buffers).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst == c.rank {
+		panic("mpi: send to self")
+	}
+	c.world.msgsSent.Add(1)
+	payload := int64(8 * len(data))
+	c.world.bytesSent.Add(payload)
+	c.world.endpoint[c.rank].Add(payload)
+	c.world.endpoint[dst].Add(payload)
+	c.world.links[c.rank][dst] <- packet{tag: tag, data: data}
+}
+
+// Recv blocks for the next message from src and returns its payload.
+// It panics if the tag does not match, which in a correct collective
+// schedule can only mean a protocol bug.
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src == c.rank {
+		panic("mpi: recv from self")
+	}
+	p := <-c.world.links[src][c.rank]
+	if p.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, p.tag))
+	}
+	return p.data
+}
+
+// Collective message tags. Every collective uses its own tag space so
+// a schedule bug surfaces as a tag panic instead of silent corruption.
+const (
+	tagBarrier = -1
+	tagBcast   = -2
+	tagRing    = -3
+	tagGather  = -4
+	tagP2P     = 0
+)
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm, ⌈log2 n⌉ rounds).
+func (c *Comm) Barrier() {
+	n := c.world.size
+	for dist := 1; dist < n; dist <<= 1 {
+		c.Send((c.rank+dist)%n, tagBarrier, nil)
+		c.Recv((c.rank-dist+n)%n, tagBarrier)
+	}
+}
+
+// Broadcast distributes root's data to every rank in place using a
+// binomial tree (the MPI_Bcast algorithm). Every rank must pass a
+// slice of the same length; non-root contents are overwritten.
+func (c *Comm) Broadcast(root int, data []float64) {
+	n := c.world.size
+	if n == 1 {
+		return
+	}
+	rel := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (c.rank - mask + n) % n
+			got := c.Recv(src, tagBcast)
+			if len(got) != len(data) {
+				panic(fmt.Sprintf("mpi: broadcast length mismatch %d != %d", len(got), len(data)))
+			}
+			copy(data, got)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (c.rank + mask) % n
+			// Copy so later local mutation cannot race the receiver.
+			buf := make([]float64, len(data))
+			copy(buf, data)
+			c.Send(dst, tagBcast, buf)
+		}
+		mask >>= 1
+	}
+}
+
+// chunkBounds splits length l into n contiguous chunks as evenly as
+// possible and returns the n+1 offsets.
+func chunkBounds(l, n int) []int {
+	off := make([]int, n+1)
+	base, rem := l/n, l%n
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		off[i+1] = off[i] + sz
+	}
+	return off
+}
+
+// AllreduceSum sums data element-wise across all ranks in place using
+// the ring algorithm: a reduce-scatter phase followed by an allgather
+// phase, each of n−1 steps moving 1/n of the buffer — the same
+// bandwidth-optimal schedule NCCL uses.
+func (c *Comm) AllreduceSum(data []float64) {
+	n := c.world.size
+	if n == 1 {
+		return
+	}
+	off := chunkBounds(len(data), n)
+	next := (c.rank + 1) % n
+	prev := (c.rank - 1 + n) % n
+
+	// Reduce-scatter: after step s, rank r holds the partial sum of
+	// chunk (r-s+n)%n from s+1 ranks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (c.rank - s + n) % n
+		recvChunk := (c.rank - s - 1 + n) % n
+		seg := data[off[sendChunk]:off[sendChunk+1]]
+		buf := make([]float64, len(seg))
+		copy(buf, seg)
+		c.Send(next, tagRing, buf)
+		got := c.Recv(prev, tagRing)
+		dst := data[off[recvChunk]:off[recvChunk+1]]
+		for i, v := range got {
+			dst[i] += v
+		}
+	}
+	// Allgather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (c.rank + 1 - s + n) % n
+		recvChunk := (c.rank - s + n) % n
+		seg := data[off[sendChunk]:off[sendChunk+1]]
+		buf := make([]float64, len(seg))
+		copy(buf, seg)
+		c.Send(next, tagRing, buf)
+		got := c.Recv(prev, tagRing)
+		copy(data[off[recvChunk]:off[recvChunk+1]], got)
+	}
+}
+
+// AllreduceMean averages data element-wise across all ranks in place —
+// the operation Horovod's DistributedOptimizer applies to gradients.
+func (c *Comm) AllreduceMean(data []float64) {
+	c.AllreduceSum(data)
+	inv := 1 / float64(c.world.size)
+	for i := range data {
+		data[i] *= inv
+	}
+}
+
+// Allgather collects each rank's (equal-length) contribution and
+// returns them indexed by rank, using a ring schedule.
+func (c *Comm) Allgather(mine []float64) [][]float64 {
+	n := c.world.size
+	out := make([][]float64, n)
+	own := make([]float64, len(mine))
+	copy(own, mine)
+	out[c.rank] = own
+	if n == 1 {
+		return out
+	}
+	next := (c.rank + 1) % n
+	prev := (c.rank - 1 + n) % n
+	cur := own
+	curRank := c.rank
+	for s := 0; s < n-1; s++ {
+		buf := make([]float64, len(cur))
+		copy(buf, cur)
+		c.Send(next, tagGather, buf)
+		got := c.Recv(prev, tagGather)
+		curRank = (curRank - 1 + n) % n
+		out[curRank] = got
+		cur = got
+	}
+	return out
+}

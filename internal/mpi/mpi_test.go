@@ -1,0 +1,344 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestCommRankBounds(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank out of range")
+		}
+	}()
+	w.Comm(2)
+}
+
+func TestSendRecvFIFO(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, tagP2P, []float64{1})
+			c.Send(1, tagP2P, []float64{2})
+			c.Send(1, tagP2P, []float64{3})
+			return nil
+		}
+		for want := 1.0; want <= 3; want++ {
+			got := c.Recv(0, tagP2P)
+			if got[0] != want {
+				t.Errorf("FIFO violated: got %v want %v", got[0], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	w := NewWorld(3)
+	sentinel := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestBroadcastAllSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 8, 13, 16} {
+		for root := 0; root < size; root += max(1, size/3) {
+			w := NewWorld(size)
+			payload := []float64{3.14, 2.71, 1.41}
+			err := w.Run(func(c *Comm) error {
+				data := make([]float64, len(payload))
+				if c.Rank() == root {
+					copy(data, payload)
+				}
+				c.Broadcast(root, data)
+				for i, v := range payload {
+					if data[i] != v {
+						t.Errorf("size %d root %d rank %d: got %v", size, root, c.Rank(), data)
+						break
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAllreduceSumMatchesSerial(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 6, 7, 16} {
+		for _, length := range []int{1, 2, 3, 5, 16, 63, 200} {
+			rng := rand.New(rand.NewSource(int64(size*1000 + length)))
+			inputs := make([][]float64, size)
+			want := make([]float64, length)
+			for r := range inputs {
+				inputs[r] = make([]float64, length)
+				for i := range inputs[r] {
+					inputs[r][i] = rng.NormFloat64()
+					want[i] += inputs[r][i]
+				}
+			}
+			w := NewWorld(size)
+			err := w.Run(func(c *Comm) error {
+				data := make([]float64, length)
+				copy(data, inputs[c.Rank()])
+				c.AllreduceSum(data)
+				for i := range data {
+					if math.Abs(data[i]-want[i]) > 1e-9 {
+						t.Errorf("size %d len %d rank %d elem %d: got %v want %v",
+							size, length, c.Rank(), i, data[i], want[i])
+						return nil
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAllreduceMeanDividesBySize(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		data := []float64{float64(c.Rank() + 1)} // 1+2+3+4 = 10 → mean 2.5
+		c.AllreduceMean(data)
+		if math.Abs(data[0]-2.5) > 1e-12 {
+			t.Errorf("rank %d mean = %v", c.Rank(), data[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		w := NewWorld(size)
+		err := w.Run(func(c *Comm) error {
+			mine := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
+			all := c.Allgather(mine)
+			if len(all) != size {
+				t.Errorf("allgather returned %d slots", len(all))
+				return nil
+			}
+			for r := 0; r < size; r++ {
+				if all[r][0] != float64(r) || all[r][1] != float64(r*10) {
+					t.Errorf("size %d rank %d slot %d = %v", size, c.Rank(), r, all[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllgatherResultIsCopy(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		mine := []float64{1}
+		all := c.Allgather(mine)
+		mine[0] = 99
+		if all[c.Rank()][0] != 1 {
+			t.Error("allgather aliased caller's buffer")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const size = 8
+	w := NewWorld(size)
+	var before, after atomic.Int32
+	err := w.Run(func(c *Comm) error {
+		before.Add(1)
+		c.Barrier()
+		// Every rank must have passed "before" by now.
+		if got := before.Load(); got != size {
+			t.Errorf("rank %d saw before=%d after barrier", c.Rank(), got)
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != size {
+		t.Fatal("not all ranks finished")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, tagP2P, []float64{1, 2, 3})
+		} else {
+			c.Recv(0, tagP2P)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MessagesSent() != 1 {
+		t.Fatalf("messages = %d", w.MessagesSent())
+	}
+	if w.BytesSent() != 24 {
+		t.Fatalf("bytes = %d", w.BytesSent())
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	off := chunkBounds(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i, v := range want {
+		if off[i] != v {
+			t.Fatalf("chunkBounds(10,3) = %v", off)
+		}
+	}
+	// Shorter than n: some chunks empty, still covers everything.
+	off = chunkBounds(2, 5)
+	if off[0] != 0 || off[5] != 2 {
+		t.Fatalf("chunkBounds(2,5) = %v", off)
+	}
+	for i := 0; i < 5; i++ {
+		if off[i+1] < off[i] {
+			t.Fatalf("non-monotonic bounds: %v", off)
+		}
+	}
+}
+
+// Property: allreduce-sum equals the serial sum for arbitrary sizes,
+// lengths (including lengths shorter than the rank count), and data.
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(9)
+		length := 1 + rng.Intn(40)
+		inputs := make([][]float64, size)
+		want := make([]float64, length)
+		for r := range inputs {
+			inputs[r] = make([]float64, length)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.NormFloat64()
+				want[i] += inputs[r][i]
+			}
+		}
+		ok := atomic.Bool{}
+		ok.Store(true)
+		w := NewWorld(size)
+		if err := w.Run(func(c *Comm) error {
+			data := make([]float64, length)
+			copy(data, inputs[c.Rank()])
+			c.AllreduceSum(data)
+			for i := range data {
+				if math.Abs(data[i]-want[i]) > 1e-9 {
+					ok.Store(false)
+				}
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: broadcast is idempotent — broadcasting twice leaves the
+// same data everywhere.
+func TestQuickBroadcastIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(8)
+		root := rng.Intn(size)
+		length := 1 + rng.Intn(20)
+		payload := make([]float64, length)
+		for i := range payload {
+			payload[i] = rng.NormFloat64()
+		}
+		ok := atomic.Bool{}
+		ok.Store(true)
+		w := NewWorld(size)
+		if err := w.Run(func(c *Comm) error {
+			data := make([]float64, length)
+			if c.Rank() == root {
+				copy(data, payload)
+			}
+			c.Broadcast(root, data)
+			c.Broadcast(root, data)
+			for i := range data {
+				if data[i] != payload[i] {
+					ok.Store(false)
+				}
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduceRing8x4096(b *testing.B) {
+	w := NewWorld(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Run(func(c *Comm) error {
+			data := make([]float64, 4096)
+			c.AllreduceSum(data)
+			return nil
+		})
+	}
+}

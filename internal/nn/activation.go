@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// Activation applies a named nonlinearity element-wise (or row-wise
+// for softmax). Supported kinds: "relu", "sigmoid", "tanh", "linear",
+// "softmax".
+type Activation struct {
+	statelessBase
+	Kind string
+	in   *tensor.Matrix // cached pre-activation (relu/sigmoid/tanh)
+	out  *tensor.Matrix // cached output (sigmoid/tanh/softmax)
+}
+
+// NewActivation returns an activation layer of the given kind. Unknown
+// kinds are rejected at Build time.
+func NewActivation(kind string) *Activation { return &Activation{Kind: kind} }
+
+// NewReLU is shorthand for NewActivation("relu").
+func NewReLU() *Activation { return NewActivation("relu") }
+
+// NewSoftmax is shorthand for NewActivation("softmax").
+func NewSoftmax() *Activation { return NewActivation("softmax") }
+
+// NewSigmoid is shorthand for NewActivation("sigmoid").
+func NewSigmoid() *Activation { return NewActivation("sigmoid") }
+
+// Name implements Layer.
+func (a *Activation) Name() string { return "activation_" + a.Kind }
+
+// Build implements Layer.
+func (a *Activation) Build(_ *rand.Rand, inDim int) (int, error) {
+	switch a.Kind {
+	case "relu", "sigmoid", "tanh", "linear", "softmax":
+		return inDim, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown activation %q", a.Kind)
+	}
+}
+
+// Forward implements Layer.
+func (a *Activation) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	switch a.Kind {
+	case "linear":
+		return x
+	case "relu":
+		a.in = x
+		return x.Map(func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	case "sigmoid":
+		a.out = x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		return a.out
+	case "tanh":
+		a.out = x.Map(math.Tanh)
+		return a.out
+	case "softmax":
+		out := tensor.New(x.Rows, x.Cols)
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			orow := out.Row(i)
+			mx := row[0]
+			for _, v := range row[1:] {
+				if v > mx {
+					mx = v
+				}
+			}
+			sum := 0.0
+			for j, v := range row {
+				e := math.Exp(v - mx)
+				orow[j] = e
+				sum += e
+			}
+			for j := range orow {
+				orow[j] /= sum
+			}
+		}
+		a.out = out
+		return out
+	default:
+		panic("nn: activation not built: " + a.Kind)
+	}
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	switch a.Kind {
+	case "linear":
+		return dout
+	case "relu":
+		dx := tensor.New(dout.Rows, dout.Cols)
+		for i, v := range a.in.Data {
+			if v > 0 {
+				dx.Data[i] = dout.Data[i]
+			}
+		}
+		return dx
+	case "sigmoid":
+		dx := tensor.New(dout.Rows, dout.Cols)
+		for i, y := range a.out.Data {
+			dx.Data[i] = dout.Data[i] * y * (1 - y)
+		}
+		return dx
+	case "tanh":
+		dx := tensor.New(dout.Rows, dout.Cols)
+		for i, y := range a.out.Data {
+			dx.Data[i] = dout.Data[i] * (1 - y*y)
+		}
+		return dx
+	case "softmax":
+		// Row-wise Jacobian-vector product:
+		// dz_i = y_i * (g_i - Σ_j g_j y_j).
+		dx := tensor.New(dout.Rows, dout.Cols)
+		for r := 0; r < dout.Rows; r++ {
+			y := a.out.Row(r)
+			g := dout.Row(r)
+			dot := 0.0
+			for j := range y {
+				dot += g[j] * y[j]
+			}
+			drow := dx.Row(r)
+			for j := range y {
+				drow[j] = y[j] * (g[j] - dot)
+			}
+		}
+		return dx
+	default:
+		panic("nn: activation not built: " + a.Kind)
+	}
+}

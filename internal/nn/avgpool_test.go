@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+func TestAveragePoolingForward(t *testing.T) {
+	p := NewAveragePooling1D(2, 1)
+	if _, err := p.Build(rand.New(rand.NewSource(1)), 6); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Forward(tensor.FromSlice(1, 6, []float64{1, 5, 2, 2, 9, 1}), false)
+	want := []float64{3, 2, 5}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("avgpool = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestAveragePoolingMultiChannel(t *testing.T) {
+	p := NewAveragePooling1D(2, 2)
+	if _, err := p.Build(rand.New(rand.NewSource(1)), 8); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Forward(tensor.FromSlice(1, 8, []float64{1, 10, 3, 2, 5, 6, 1, 8}), false)
+	want := []float64{2, 6, 3, 7}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("avgpool mc = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestGradCheckAveragePooling(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	m := buildModel(t, 12, MeanSquaredError{}, NewSGD(0.1),
+		NewConv1D(2, 3, 1), NewAveragePooling1D(2, 2), NewDense(2))
+	x := tensor.RandNormal(rng, 3, 12, 1)
+	y := tensor.RandNormal(rng, 3, 2, 1)
+	checkGradients(t, m, MeanSquaredError{}, x, y, 1e-4)
+}
+
+func TestAveragePoolingBuildErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewAveragePooling1D(9, 1).Build(rng, 4); err == nil {
+		t.Fatal("window larger than signal accepted")
+	}
+	if _, err := NewAveragePooling1D(2, 3).Build(rng, 7); err == nil {
+		t.Fatal("indivisible channels accepted")
+	}
+	if _, err := NewAveragePooling1D(0, 1).Build(rng, 4); err == nil {
+		t.Fatal("zero pool accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// BatchNorm normalizes each feature over the batch during training
+// (and with running statistics at inference), with learnable scale γ
+// and shift β — the batch_normalization variants of the CANDLE
+// autoencoder benchmarks.
+type BatchNorm struct {
+	// Momentum blends running statistics: running = m·running +
+	// (1−m)·batch. Defaults to 0.9.
+	Momentum float64
+	// Epsilon stabilizes the variance denominator. Defaults to 1e-5.
+	Epsilon float64
+
+	dim         int
+	gamma, beta *Param
+	runMean     []float64
+	runVar      []float64
+	seen        bool
+	// caches for backward
+	xhat  *tensor.Matrix
+	std   []float64
+	batch int
+}
+
+// NewBatchNorm returns a batch-normalization layer with standard
+// defaults.
+func NewBatchNorm() *BatchNorm { return &BatchNorm{Momentum: 0.9, Epsilon: 1e-5} }
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return "batch_norm" }
+
+// Build implements Layer.
+func (b *BatchNorm) Build(_ *rand.Rand, inDim int) (int, error) {
+	if inDim <= 0 {
+		return 0, fmt.Errorf("nn: batchnorm needs positive input dim")
+	}
+	if b.Momentum <= 0 || b.Momentum >= 1 {
+		b.Momentum = 0.9
+	}
+	if b.Epsilon <= 0 {
+		b.Epsilon = 1e-5
+	}
+	b.dim = inDim
+	g := tensor.New(1, inDim)
+	g.Fill(1)
+	b.gamma = newParam("batch_norm.gamma", g)
+	b.beta = newParam("batch_norm.beta", tensor.New(1, inDim))
+	b.runMean = make([]float64, inDim)
+	b.runVar = make([]float64, inDim)
+	for i := range b.runVar {
+		b.runVar[i] = 1
+	}
+	return inDim, nil
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	n := float64(x.Rows)
+	out := tensor.New(x.Rows, b.dim)
+	if training {
+		mean := make([]float64, b.dim)
+		variance := make([]float64, b.dim)
+		for r := 0; r < x.Rows; r++ {
+			for j, v := range x.Row(r) {
+				mean[j] += v
+			}
+		}
+		for j := range mean {
+			mean[j] /= n
+		}
+		for r := 0; r < x.Rows; r++ {
+			for j, v := range x.Row(r) {
+				d := v - mean[j]
+				variance[j] += d * d
+			}
+		}
+		for j := range variance {
+			variance[j] /= n
+		}
+		b.std = make([]float64, b.dim)
+		for j := range b.std {
+			b.std[j] = math.Sqrt(variance[j] + b.Epsilon)
+		}
+		b.xhat = tensor.New(x.Rows, b.dim)
+		b.batch = x.Rows
+		for r := 0; r < x.Rows; r++ {
+			xr, hr, or := x.Row(r), b.xhat.Row(r), out.Row(r)
+			for j := range xr {
+				h := (xr[j] - mean[j]) / b.std[j]
+				hr[j] = h
+				or[j] = b.gamma.Value.Data[j]*h + b.beta.Value.Data[j]
+			}
+		}
+		m := b.Momentum
+		if !b.seen {
+			copy(b.runMean, mean)
+			copy(b.runVar, variance)
+			b.seen = true
+		} else {
+			for j := range mean {
+				b.runMean[j] = m*b.runMean[j] + (1-m)*mean[j]
+				b.runVar[j] = m*b.runVar[j] + (1-m)*variance[j]
+			}
+		}
+		return out
+	}
+	// Inference: running statistics.
+	for r := 0; r < x.Rows; r++ {
+		xr, or := x.Row(r), out.Row(r)
+		for j := range xr {
+			h := (xr[j] - b.runMean[j]) / math.Sqrt(b.runVar[j]+b.Epsilon)
+			or[j] = b.gamma.Value.Data[j]*h + b.beta.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (b *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if b.xhat == nil {
+		panic("nn: batchnorm backward before training forward")
+	}
+	n := float64(b.batch)
+	dx := tensor.New(b.batch, b.dim)
+	// Column sums needed by the batch-norm gradient.
+	sumD := make([]float64, b.dim)  // Σ dout
+	sumDH := make([]float64, b.dim) // Σ dout·xhat
+	for r := 0; r < b.batch; r++ {
+		dr, hr := dout.Row(r), b.xhat.Row(r)
+		for j := range dr {
+			sumD[j] += dr[j]
+			sumDH[j] += dr[j] * hr[j]
+		}
+	}
+	for j := range sumD {
+		b.beta.Grad.Data[j] += sumD[j]
+		b.gamma.Grad.Data[j] += sumDH[j]
+	}
+	for r := 0; r < b.batch; r++ {
+		dr, hr, xr := dout.Row(r), b.xhat.Row(r), dx.Row(r)
+		for j := range dr {
+			g := b.gamma.Value.Data[j]
+			xr[j] = g / (n * b.std[j]) * (n*dr[j] - sumD[j] - hr[j]*sumDH[j])
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.gamma, b.beta} }

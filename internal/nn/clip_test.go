@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func mkParams(grads ...[]float64) []*Param {
+	out := make([]*Param, len(grads))
+	for i, g := range grads {
+		out[i] = &Param{
+			Value: tensor.New(1, len(g)),
+			Grad:  tensor.FromSlice(1, len(g), append([]float64(nil), g...)),
+		}
+	}
+	return out
+}
+
+func TestGradNorm(t *testing.T) {
+	params := mkParams([]float64{3}, []float64{4})
+	if n := GradNorm(params); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("norm = %v", n)
+	}
+}
+
+func TestClipGradNormScales(t *testing.T) {
+	params := mkParams([]float64{6, 8}) // norm 10
+	pre := ClipGradNorm(params, 5)
+	if math.Abs(pre-10) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", pre)
+	}
+	if post := GradNorm(params); math.Abs(post-5) > 1e-12 {
+		t.Fatalf("post-clip norm = %v", post)
+	}
+	// Direction preserved: 6:8 ratio.
+	g := params[0].Grad.Data
+	if math.Abs(g[0]/g[1]-0.75) > 1e-12 {
+		t.Fatalf("direction changed: %v", g)
+	}
+}
+
+func TestClipGradNormNoOpWhenWithin(t *testing.T) {
+	params := mkParams([]float64{1, 1})
+	ClipGradNorm(params, 10)
+	if params[0].Grad.Data[0] != 1 {
+		t.Fatal("clipped unnecessarily")
+	}
+	// maxNorm ≤ 0 disables clipping.
+	params2 := mkParams([]float64{100})
+	ClipGradNorm(params2, 0)
+	if params2[0].Grad.Data[0] != 100 {
+		t.Fatal("maxNorm 0 should disable")
+	}
+	// Zero gradients do not divide by zero.
+	params3 := mkParams([]float64{0, 0})
+	if n := ClipGradNorm(params3, 1); n != 0 {
+		t.Fatalf("zero-grad norm = %v", n)
+	}
+}
+
+func TestClippedOptimizer(t *testing.T) {
+	params := mkParams([]float64{30, 40}) // norm 50
+	c := NewClippedOptimizer(NewSGD(1), 5)
+	c.Step(params)
+	if math.Abs(c.LastNorm-50) > 1e-12 {
+		t.Fatalf("LastNorm = %v", c.LastNorm)
+	}
+	// Update applied the clipped gradient: value = -clipped.
+	if math.Abs(params[0].Value.Data[0]-(-3)) > 1e-12 || math.Abs(params[0].Value.Data[1]-(-4)) > 1e-12 {
+		t.Fatalf("values = %v", params[0].Value.Data)
+	}
+	if c.Name() != "clipped_sgd" {
+		t.Fatal("name")
+	}
+	c.SetLearningRate(0.5)
+	if c.LearningRate() != 0.5 {
+		t.Fatal("lr passthrough")
+	}
+}
+
+func TestClippedOptimizerStabilizesTraining(t *testing.T) {
+	// An aggressive LR that diverges unclipped should survive clipped.
+	mk := func(clip bool) float64 {
+		var opt Optimizer = NewSGD(2.5)
+		if clip {
+			opt = NewClippedOptimizer(opt, 1)
+		}
+		m := NewSequential("clip", NewDense(6), NewActivation("tanh"), NewDense(1))
+		if err := m.Compile(3, MeanSquaredError{}, opt, 5); err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.RandNormal(newRng(8), 32, 3, 3)
+		y := tensor.RandNormal(newRng(9), 32, 1, 3)
+		last := 0.0
+		for i := 0; i < 60; i++ {
+			last = m.TrainBatch(x, y)
+		}
+		return last
+	}
+	unclipped := mk(false)
+	clipped := mk(true)
+	if !math.IsInf(unclipped, 0) && !math.IsNaN(unclipped) && unclipped < 100 {
+		t.Skipf("unclipped run unexpectedly stable (%v); clip comparison moot", unclipped)
+	}
+	if math.IsNaN(clipped) || math.IsInf(clipped, 0) || clipped > 100 {
+		t.Fatalf("clipped training still diverged: %v", clipped)
+	}
+}
+
+func TestTerminateOnNaNStopsDivergedTraining(t *testing.T) {
+	// An absurd learning rate reliably explodes this model.
+	m := buildModel(t, 3, MeanSquaredError{}, NewSGD(1e6),
+		NewDense(8), NewActivation("tanh"), NewDense(1))
+	rng := rand.New(rand.NewSource(17))
+	x := tensor.RandNormal(rng, 32, 3, 3)
+	y := tensor.RandNormal(rng, 32, 1, 3)
+	cb := NewTerminateOnNaN()
+	hist, err := m.Fit(x, y, FitConfig{Epochs: 50, BatchSize: 8, Callbacks: []Callback{cb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cb.Triggered {
+		t.Skip("training did not diverge on this host; nothing to terminate")
+	}
+	if len(hist.Loss) >= 50 {
+		t.Fatalf("NaN did not stop training (%d epochs ran)", len(hist.Loss))
+	}
+	if cb.BadEpoch < 0 || cb.BadStep < 0 {
+		t.Fatalf("trigger location unset: %+v", cb)
+	}
+}
+
+func TestTerminateOnNaNQuietOnHealthyRun(t *testing.T) {
+	m := buildModel(t, 2, MeanSquaredError{}, NewSGD(0.01), NewDense(1))
+	cb := NewTerminateOnNaN()
+	hist, err := m.Fit(tensor.New(8, 2), tensor.New(8, 1),
+		FitConfig{Epochs: 5, BatchSize: 4, Callbacks: []Callback{cb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Triggered || len(hist.Loss) != 5 {
+		t.Fatalf("healthy run terminated: %+v, %d epochs", cb, len(hist.Loss))
+	}
+}

@@ -1,0 +1,321 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over a steps×channels signal flattened
+// into each input row as [step0ch0 step0ch1 ... step1ch0 ...]. Valid
+// padding, stride 1, matching the layers used by the CANDLE NT3
+// benchmark.
+//
+// The implementation lowers the convolution to a matrix multiply
+// (im2col): the B×(steps·inCh) batch becomes a
+// (B·outSteps)×(kernel·inCh) patch matrix which is multiplied by the
+// (kernel·inCh)×filters weight matrix.
+type Conv1D struct {
+	Filters int
+	Kernel  int
+	InCh    int // channels of the input signal
+	// Stride is the window step; 0 means 1.
+	Stride int
+	// SamePadding zero-pads the signal so outSteps = ⌈steps/stride⌉
+	// (Keras padding="same"); false is "valid".
+	SamePadding bool
+
+	name     string
+	steps    int // input steps, fixed at Build
+	outSteps int
+	padLeft  int
+	w, b     *Param
+	patches  *tensor.Matrix // cached im2col matrix for backward
+	batch    int
+}
+
+// NewConv1D returns a valid-padding, stride-1 Conv1D layer with the
+// given filter count, kernel width, and input channel count.
+func NewConv1D(filters, kernel, inCh int) *Conv1D {
+	return &Conv1D{
+		Filters: filters, Kernel: kernel, InCh: inCh,
+		name: fmt.Sprintf("conv1d_f%d_k%d", filters, kernel),
+	}
+}
+
+// NewConv1DStrided returns a Conv1D with explicit stride and padding
+// mode.
+func NewConv1DStrided(filters, kernel, inCh, stride int, same bool) *Conv1D {
+	c := NewConv1D(filters, kernel, inCh)
+	c.Stride = stride
+	c.SamePadding = same
+	c.name = fmt.Sprintf("conv1d_f%d_k%d_s%d", filters, kernel, stride)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string { return c.name }
+
+func (c *Conv1D) stride() int {
+	if c.Stride <= 0 {
+		return 1
+	}
+	return c.Stride
+}
+
+// Build implements Layer.
+func (c *Conv1D) Build(rng *rand.Rand, inDim int) (int, error) {
+	switch {
+	case c.Filters <= 0 || c.Kernel <= 0 || c.InCh <= 0:
+		return 0, fmt.Errorf("nn: conv1d needs positive filters/kernel/channels, got %d/%d/%d", c.Filters, c.Kernel, c.InCh)
+	case c.Stride < 0:
+		return 0, fmt.Errorf("nn: conv1d stride %d must be positive", c.Stride)
+	case inDim%c.InCh != 0:
+		return 0, fmt.Errorf("nn: conv1d input dim %d not divisible by %d channels", inDim, c.InCh)
+	}
+	c.steps = inDim / c.InCh
+	s := c.stride()
+	if c.SamePadding {
+		c.outSteps = (c.steps + s - 1) / s
+		// Total padding so the first window is centered like Keras:
+		// padLeft = ⌊pad/2⌋.
+		pad := (c.outSteps-1)*s + c.Kernel - c.steps
+		if pad < 0 {
+			pad = 0
+		}
+		c.padLeft = pad / 2
+	} else {
+		c.outSteps = (c.steps-c.Kernel)/s + 1
+		c.padLeft = 0
+		if c.steps < c.Kernel {
+			return 0, fmt.Errorf("nn: conv1d kernel %d longer than %d input steps", c.Kernel, c.steps)
+		}
+	}
+	if c.outSteps <= 0 {
+		return 0, fmt.Errorf("nn: conv1d produces no output steps (steps %d, kernel %d, stride %d)", c.steps, c.Kernel, s)
+	}
+	c.w = newParam(c.name+".w", tensor.GlorotUniform(rng, c.Kernel*c.InCh, c.Filters))
+	c.b = newParam(c.name+".b", tensor.New(1, c.Filters))
+	return c.outSteps * c.Filters, nil
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	c.batch = x.Rows
+	k := c.Kernel * c.InCh
+	s := c.stride()
+	patches := tensor.New(x.Rows*c.outSteps, k)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		for t := 0; t < c.outSteps; t++ {
+			prow := patches.Row(r*c.outSteps + t)
+			srcStep := t*s - c.padLeft
+			for kk := 0; kk < c.Kernel; kk++ {
+				step := srcStep + kk
+				if step < 0 || step >= c.steps {
+					continue // zero padding
+				}
+				copy(prow[kk*c.InCh:(kk+1)*c.InCh], row[step*c.InCh:(step+1)*c.InCh])
+			}
+		}
+	}
+	c.patches = patches
+	flat := tensor.MatMul(patches, c.w.Value) // (B·outSteps)×filters
+	flat.AddRowVector(c.b.Value.Data)
+	// Reshape (B·outSteps)×filters into B×(outSteps·filters); the
+	// row-major layouts coincide, so this is just a header change.
+	return tensor.FromSlice(x.Rows, c.outSteps*c.Filters, flat.Data)
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	// View dout as (B·outSteps)×filters.
+	dflat := tensor.FromSlice(c.batch*c.outSteps, c.Filters, dout.Data)
+	c.w.Grad.Add(tensor.TMatMul(c.patches, dflat))
+	for j, v := range dflat.ColSums() {
+		c.b.Grad.Data[j] += v
+	}
+	dpatch := tensor.MatMulT(dflat, c.w.Value) // (B·outSteps)×(kernel·inCh)
+	dx := tensor.New(c.batch, c.steps*c.InCh)
+	s := c.stride()
+	for r := 0; r < c.batch; r++ {
+		drow := dx.Row(r)
+		for t := 0; t < c.outSteps; t++ {
+			prow := dpatch.Row(r*c.outSteps + t)
+			srcStep := t*s - c.padLeft
+			for kk := 0; kk < c.Kernel; kk++ {
+				step := srcStep + kk
+				if step < 0 || step >= c.steps {
+					continue
+				}
+				base := step * c.InCh
+				for i := 0; i < c.InCh; i++ {
+					drow[base+i] += prow[kk*c.InCh+i]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// AveragePooling1D downsamples a steps×channels signal by averaging
+// non-overlapping windows of Pool steps (Keras AveragePooling1D with
+// stride == pool size). Trailing steps that do not fill a window are
+// dropped.
+type AveragePooling1D struct {
+	statelessBase
+	Pool int
+	Ch   int
+
+	steps    int
+	outSteps int
+	batch    int
+}
+
+// NewAveragePooling1D returns an average-pooling layer with the given
+// window size over a Ch-channel signal.
+func NewAveragePooling1D(pool, ch int) *AveragePooling1D {
+	return &AveragePooling1D{Pool: pool, Ch: ch}
+}
+
+// Name implements Layer.
+func (p *AveragePooling1D) Name() string { return fmt.Sprintf("avgpool1d_%d", p.Pool) }
+
+// Build implements Layer.
+func (p *AveragePooling1D) Build(_ *rand.Rand, inDim int) (int, error) {
+	switch {
+	case p.Pool <= 0 || p.Ch <= 0:
+		return 0, fmt.Errorf("nn: avgpool needs positive pool/channels, got %d/%d", p.Pool, p.Ch)
+	case inDim%p.Ch != 0:
+		return 0, fmt.Errorf("nn: avgpool input dim %d not divisible by %d channels", inDim, p.Ch)
+	}
+	p.steps = inDim / p.Ch
+	p.outSteps = p.steps / p.Pool
+	if p.outSteps == 0 {
+		return 0, fmt.Errorf("nn: avgpool window %d larger than %d steps", p.Pool, p.steps)
+	}
+	return p.outSteps * p.Ch, nil
+}
+
+// Forward implements Layer.
+func (p *AveragePooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	p.batch = x.Rows
+	out := tensor.New(x.Rows, p.outSteps*p.Ch)
+	inv := 1 / float64(p.Pool)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		orow := out.Row(r)
+		for t := 0; t < p.outSteps; t++ {
+			for ch := 0; ch < p.Ch; ch++ {
+				s := 0.0
+				for w := 0; w < p.Pool; w++ {
+					s += row[(t*p.Pool+w)*p.Ch+ch]
+				}
+				orow[t*p.Ch+ch] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AveragePooling1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(p.batch, p.steps*p.Ch)
+	inv := 1 / float64(p.Pool)
+	for r := 0; r < p.batch; r++ {
+		drow := dout.Row(r)
+		xrow := dx.Row(r)
+		for t := 0; t < p.outSteps; t++ {
+			for ch := 0; ch < p.Ch; ch++ {
+				g := drow[t*p.Ch+ch] * inv
+				for w := 0; w < p.Pool; w++ {
+					xrow[(t*p.Pool+w)*p.Ch+ch] += g
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPooling1D downsamples a steps×channels signal by taking the max
+// over non-overlapping windows of Pool steps (stride == pool size, as
+// in Keras' default). Trailing steps that do not fill a window are
+// dropped.
+type MaxPooling1D struct {
+	statelessBase
+	Pool int
+	Ch   int // channels of the input signal
+
+	steps    int
+	outSteps int
+	argmax   []int // flat index into input for each output element
+	batch    int
+}
+
+// NewMaxPooling1D returns a max-pooling layer with the given window
+// size over a Ch-channel signal.
+func NewMaxPooling1D(pool, ch int) *MaxPooling1D { return &MaxPooling1D{Pool: pool, Ch: ch} }
+
+// Name implements Layer.
+func (p *MaxPooling1D) Name() string { return fmt.Sprintf("maxpool1d_%d", p.Pool) }
+
+// Build implements Layer.
+func (p *MaxPooling1D) Build(_ *rand.Rand, inDim int) (int, error) {
+	switch {
+	case p.Pool <= 0 || p.Ch <= 0:
+		return 0, fmt.Errorf("nn: maxpool needs positive pool/channels, got %d/%d", p.Pool, p.Ch)
+	case inDim%p.Ch != 0:
+		return 0, fmt.Errorf("nn: maxpool input dim %d not divisible by %d channels", inDim, p.Ch)
+	}
+	p.steps = inDim / p.Ch
+	p.outSteps = p.steps / p.Pool
+	if p.outSteps == 0 {
+		return 0, fmt.Errorf("nn: maxpool window %d larger than %d steps", p.Pool, p.steps)
+	}
+	return p.outSteps * p.Ch, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	p.batch = x.Rows
+	out := tensor.New(x.Rows, p.outSteps*p.Ch)
+	p.argmax = make([]int, x.Rows*p.outSteps*p.Ch)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		orow := out.Row(r)
+		for t := 0; t < p.outSteps; t++ {
+			for ch := 0; ch < p.Ch; ch++ {
+				bestIdx := (t*p.Pool)*p.Ch + ch
+				best := row[bestIdx]
+				for w := 1; w < p.Pool; w++ {
+					idx := (t*p.Pool+w)*p.Ch + ch
+					if row[idx] > best {
+						best, bestIdx = row[idx], idx
+					}
+				}
+				oi := t*p.Ch + ch
+				orow[oi] = best
+				p.argmax[r*p.outSteps*p.Ch+oi] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPooling1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(p.batch, p.steps*p.Ch)
+	w := p.outSteps * p.Ch
+	for r := 0; r < p.batch; r++ {
+		drow := dout.Row(r)
+		xrow := dx.Row(r)
+		for i := 0; i < w; i++ {
+			xrow[p.argmax[r*w+i]] += drow[i]
+		}
+	}
+	return dx
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+func TestConvStrideOutputSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	// 10 steps, kernel 3, stride 2, valid: out = (10-3)/2+1 = 4.
+	c := NewConv1DStrided(2, 3, 1, 2, false)
+	out, err := c.Build(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 4*2 {
+		t.Fatalf("valid strided out = %d", out)
+	}
+	// Same padding: out = ceil(10/2) = 5.
+	c2 := NewConv1DStrided(2, 3, 1, 2, true)
+	out2, err := c2.Build(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != 5*2 {
+		t.Fatalf("same strided out = %d", out2)
+	}
+	// Same padding, stride 1: out = steps.
+	c3 := NewConv1DStrided(1, 5, 1, 1, true)
+	out3, err := c3.Build(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3 != 10 {
+		t.Fatalf("same stride-1 out = %d", out3)
+	}
+}
+
+func TestConvStrideKnownValues(t *testing.T) {
+	// kernel [1,1], stride 2, valid: out[t] = x[2t] + x[2t+1] (+bias 0).
+	c := NewConv1DStrided(1, 2, 1, 2, false)
+	if _, err := c.Build(rand.New(rand.NewSource(1)), 6); err != nil {
+		t.Fatal(err)
+	}
+	c.w.Value.Data[0], c.w.Value.Data[1] = 1, 1
+	out := c.Forward(tensor.FromSlice(1, 6, []float64{1, 2, 3, 4, 5, 6}), false)
+	want := []float64{3, 7, 11}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("strided conv = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestConvSamePaddingZeroEdges(t *testing.T) {
+	// kernel [1,1,1], same padding, stride 1 over [1,1,1,1]:
+	// edges see one zero: [2,3,3,2].
+	c := NewConv1DStrided(1, 3, 1, 1, true)
+	if _, err := c.Build(rand.New(rand.NewSource(1)), 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.w.Value.Data {
+		c.w.Value.Data[i] = 1
+	}
+	out := c.Forward(tensor.FromSlice(1, 4, []float64{1, 1, 1, 1}), false)
+	want := []float64{2, 3, 3, 2}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("same-pad conv = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestGradCheckStridedConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	m := buildModel(t, 12, MeanSquaredError{}, NewSGD(0.1),
+		NewConv1DStrided(2, 3, 1, 2, false), NewActivation("tanh"), NewDense(2))
+	x := tensor.RandNormal(rng, 3, 12, 1)
+	y := tensor.RandNormal(rng, 3, 2, 1)
+	checkGradients(t, m, MeanSquaredError{}, x, y, 1e-4)
+}
+
+func TestGradCheckSamePaddedConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	m := buildModel(t, 10, MeanSquaredError{}, NewSGD(0.1),
+		NewConv1DStrided(2, 3, 1, 2, true), NewActivation("tanh"), NewDense(2))
+	x := tensor.RandNormal(rng, 4, 10, 1)
+	y := tensor.RandNormal(rng, 4, 2, 1)
+	checkGradients(t, m, MeanSquaredError{}, x, y, 1e-4)
+}
+
+func TestGradCheckSamePaddedMultiChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	// 6 steps × 2 channels, same padding, stride 3.
+	m := buildModel(t, 12, MeanSquaredError{}, NewSGD(0.1),
+		NewConv1DStrided(3, 4, 2, 3, true), NewDense(2))
+	x := tensor.RandNormal(rng, 3, 12, 1)
+	y := tensor.RandNormal(rng, 3, 2, 1)
+	checkGradients(t, m, MeanSquaredError{}, x, y, 1e-4)
+}
+
+func TestConvStrideValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := NewConv1D(2, 3, 1)
+	bad.Stride = -2
+	if _, err := bad.Build(rng, 10); err == nil {
+		t.Fatal("negative stride accepted")
+	}
+	// Stride-1 default unchanged: matches the original Conv1D math.
+	c := NewConv1D(1, 2, 1)
+	if _, err := c.Build(rng, 4); err != nil {
+		t.Fatal(err)
+	}
+	c.w.Value.Data[0], c.w.Value.Data[1] = 1, -1
+	c.b.Value.Data[0] = 0.5
+	out := c.Forward(tensor.FromSlice(1, 4, []float64{3, 1, 4, 1}), false)
+	want := []float64{2.5, -2.5, 3.5}
+	for i, v := range want {
+		if math.Abs(out.Data[i]-v) > 1e-12 {
+			t.Fatalf("default conv regressed: %v", out.Data)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// Embedding maps integer token ids (stored as floats, one id per
+// input column) to dense vectors, concatenated per row — the first
+// layer of the text-based CANDLE P3 benchmarks. Input width = sequence
+// length; output width = sequence length × Dim.
+type Embedding struct {
+	Vocab int
+	Dim   int
+
+	name  string
+	steps int
+	w     *Param // Vocab × Dim
+	ids   []int  // cached token ids of the last batch (B·steps)
+	batch int
+}
+
+// NewEmbedding returns an embedding over a vocabulary of the given
+// size.
+func NewEmbedding(vocab, dim int) *Embedding {
+	return &Embedding{Vocab: vocab, Dim: dim, name: fmt.Sprintf("embedding_%dx%d", vocab, dim)}
+}
+
+// Name implements Layer.
+func (e *Embedding) Name() string { return e.name }
+
+// Build implements Layer.
+func (e *Embedding) Build(rng *rand.Rand, inDim int) (int, error) {
+	if e.Vocab <= 0 || e.Dim <= 0 {
+		return 0, fmt.Errorf("nn: embedding needs positive vocab/dim")
+	}
+	if inDim <= 0 {
+		return 0, fmt.Errorf("nn: embedding needs positive sequence length")
+	}
+	e.steps = inDim
+	e.w = newParam(e.name+".w", tensor.RandNormal(rng, e.Vocab, e.Dim, 0.05))
+	return inDim * e.Dim, nil
+}
+
+// Forward implements Layer.
+func (e *Embedding) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	e.batch = x.Rows
+	e.ids = make([]int, x.Rows*e.steps)
+	out := tensor.New(x.Rows, e.steps*e.Dim)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		orow := out.Row(r)
+		for t := 0; t < e.steps; t++ {
+			id := int(row[t])
+			if id < 0 || id >= e.Vocab {
+				panic(fmt.Sprintf("nn: token id %d outside vocab %d", id, e.Vocab))
+			}
+			e.ids[r*e.steps+t] = id
+			copy(orow[t*e.Dim:(t+1)*e.Dim], e.w.Value.Row(id))
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (e *Embedding) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	for r := 0; r < e.batch; r++ {
+		drow := dout.Row(r)
+		for t := 0; t < e.steps; t++ {
+			id := e.ids[r*e.steps+t]
+			grow := e.w.Grad.Row(id)
+			seg := drow[t*e.Dim : (t+1)*e.Dim]
+			for i, v := range seg {
+				grow[i] += v
+			}
+		}
+	}
+	// Token ids are not differentiable; return zeros of the input
+	// shape so the layer composes (it is normally first anyway).
+	return tensor.New(e.batch, e.steps)
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*Param { return []*Param{e.w} }

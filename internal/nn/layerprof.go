@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"candle/internal/tensor"
+)
+
+// LayerTiming is one layer's measured forward/backward cost, the
+// per-op breakdown an NVProf-style profile of the TensorFlow run would
+// give (the paper's stated next step for finding further bottlenecks).
+type LayerTiming struct {
+	Index    int
+	Name     string
+	Params   int
+	Forward  time.Duration
+	Backward time.Duration
+}
+
+// Total returns forward+backward time.
+func (t LayerTiming) Total() time.Duration { return t.Forward + t.Backward }
+
+// ProfileLayers runs reps forward+backward passes of a compiled model
+// on batch x/y and returns per-layer timings (summed over reps).
+func ProfileLayers(m *Sequential, loss Loss, x, y *tensor.Matrix, reps int) ([]LayerTiming, error) {
+	if !m.Built() {
+		return nil, fmt.Errorf("nn: profile of uncompiled model")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	timings := make([]LayerTiming, len(m.Layers))
+	for i, l := range m.Layers {
+		timings[i].Index = i
+		timings[i].Name = l.Name()
+		for _, p := range l.Params() {
+			timings[i].Params += len(p.Value.Data)
+		}
+	}
+	for r := 0; r < reps; r++ {
+		m.ZeroGrads()
+		// Forward, timing each layer.
+		act := x
+		for i, l := range m.Layers {
+			start := time.Now()
+			act = l.Forward(act, true)
+			timings[i].Forward += time.Since(start)
+		}
+		lossVal, grad := loss.Compute(act, y)
+		_ = lossVal
+		// Backward, timing each layer.
+		for i := len(m.Layers) - 1; i >= 0; i-- {
+			start := time.Now()
+			grad = m.Layers[i].Backward(grad)
+			timings[i].Backward += time.Since(start)
+		}
+	}
+	return timings, nil
+}
+
+// FormatLayerProfile renders timings as an aligned table sorted by
+// total time descending.
+func FormatLayerProfile(timings []LayerTiming) string {
+	sorted := make([]LayerTiming, len(timings))
+	copy(sorted, timings)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Total() > sorted[j].Total() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %12s %12s %12s\n", "layer", "params", "forward", "backward", "total")
+	for _, t := range sorted {
+		fmt.Fprintf(&b, "%-24s %10d %12s %12s %12s\n",
+			t.Name, t.Params, t.Forward.Round(time.Microsecond),
+			t.Backward.Round(time.Microsecond), t.Total().Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// LocallyConnected1D is a Conv1D whose weights are NOT shared across
+// positions — each output step has its own kernel, as in Keras'
+// LocallyConnected1D. The CANDLE P1B3 benchmark's "convolution-like
+// layers" are of this kind.
+type LocallyConnected1D struct {
+	Filters int
+	Kernel  int
+	InCh    int
+
+	name     string
+	steps    int
+	outSteps int
+	// w holds one (kernel·inCh)×filters block per output step, stacked
+	// row-wise: rows = outSteps·kernel·inCh.
+	w, b    *Param
+	patches *tensor.Matrix
+	batch   int
+}
+
+// NewLocallyConnected1D returns an untied-weights 1-D convolution.
+func NewLocallyConnected1D(filters, kernel, inCh int) *LocallyConnected1D {
+	return &LocallyConnected1D{
+		Filters: filters, Kernel: kernel, InCh: inCh,
+		name: fmt.Sprintf("local1d_f%d_k%d", filters, kernel),
+	}
+}
+
+// Name implements Layer.
+func (l *LocallyConnected1D) Name() string { return l.name }
+
+// Build implements Layer.
+func (l *LocallyConnected1D) Build(rng *rand.Rand, inDim int) (int, error) {
+	switch {
+	case l.Filters <= 0 || l.Kernel <= 0 || l.InCh <= 0:
+		return 0, fmt.Errorf("nn: local1d needs positive filters/kernel/channels")
+	case inDim%l.InCh != 0:
+		return 0, fmt.Errorf("nn: local1d input dim %d not divisible by %d channels", inDim, l.InCh)
+	}
+	l.steps = inDim / l.InCh
+	l.outSteps = l.steps - l.Kernel + 1
+	if l.outSteps <= 0 {
+		return 0, fmt.Errorf("nn: local1d kernel %d longer than %d steps", l.Kernel, l.steps)
+	}
+	k := l.Kernel * l.InCh
+	l.w = newParam(l.name+".w", tensor.GlorotUniform(rng, l.outSteps*k, l.Filters))
+	l.b = newParam(l.name+".b", tensor.New(1, l.outSteps*l.Filters))
+	return l.outSteps * l.Filters, nil
+}
+
+// Forward implements Layer.
+func (l *LocallyConnected1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	l.batch = x.Rows
+	k := l.Kernel * l.InCh
+	l.patches = tensor.New(x.Rows*l.outSteps, k)
+	out := tensor.New(x.Rows, l.outSteps*l.Filters)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		orow := out.Row(r)
+		for t := 0; t < l.outSteps; t++ {
+			patch := l.patches.Row(r*l.outSteps + t)
+			copy(patch, row[t*l.InCh:t*l.InCh+k])
+			for f := 0; f < l.Filters; f++ {
+				s := 0.0
+				for i := 0; i < k; i++ {
+					s += patch[i] * l.w.Value.At(t*k+i, f)
+				}
+				orow[t*l.Filters+f] = s
+			}
+		}
+	}
+	out.AddRowVector(l.b.Value.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (l *LocallyConnected1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	k := l.Kernel * l.InCh
+	dx := tensor.New(l.batch, l.steps*l.InCh)
+	for r := 0; r < l.batch; r++ {
+		drow := dout.Row(r)
+		xrow := dx.Row(r)
+		for t := 0; t < l.outSteps; t++ {
+			patch := l.patches.Row(r*l.outSteps + t)
+			for f := 0; f < l.Filters; f++ {
+				g := drow[t*l.Filters+f]
+				if g == 0 {
+					continue
+				}
+				l.b.Grad.Data[t*l.Filters+f] += g
+				for i := 0; i < k; i++ {
+					l.w.Grad.Data[(t*k+i)*l.Filters+f] += g * patch[i]
+					xrow[t*l.InCh+i] += g * l.w.Value.At(t*k+i, f)
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LocallyConnected1D) Params() []*Param { return []*Param{l.w, l.b} }

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"candle/internal/tensor"
+)
+
+// Loss scores a batch of predictions against targets and produces the
+// gradient of the batch-mean loss with respect to the predictions.
+type Loss interface {
+	Name() string
+	Compute(pred, target *tensor.Matrix) (loss float64, grad *tensor.Matrix)
+}
+
+const epsClip = 1e-12
+
+func lossShapeCheck(name string, pred, target *tensor.Matrix) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: %s shape mismatch pred %dx%d vs target %dx%d",
+			name, pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	if pred.Rows == 0 {
+		panic("nn: " + name + " on empty batch")
+	}
+}
+
+// CategoricalCrossEntropy is the multiclass log loss over probability
+// predictions (e.g. the output of a softmax layer) against one-hot
+// targets, matching Keras' categorical_crossentropy.
+type CategoricalCrossEntropy struct{}
+
+func (CategoricalCrossEntropy) Name() string { return "categorical_crossentropy" }
+
+func (CategoricalCrossEntropy) Compute(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("categorical_crossentropy", pred, target)
+	n := float64(pred.Rows)
+	loss := 0.0
+	grad := tensor.New(pred.Rows, pred.Cols)
+	for i, p := range pred.Data {
+		t := target.Data[i]
+		if t == 0 {
+			continue
+		}
+		pc := math.Max(p, epsClip)
+		loss -= t * math.Log(pc)
+		grad.Data[i] = -t / pc / n
+	}
+	return loss / n, grad
+}
+
+// BinaryCrossEntropy is the two-class log loss over sigmoid outputs.
+type BinaryCrossEntropy struct{}
+
+func (BinaryCrossEntropy) Name() string { return "binary_crossentropy" }
+
+func (BinaryCrossEntropy) Compute(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("binary_crossentropy", pred, target)
+	n := float64(pred.Rows * pred.Cols)
+	loss := 0.0
+	grad := tensor.New(pred.Rows, pred.Cols)
+	for i, p := range pred.Data {
+		t := target.Data[i]
+		pc := math.Min(math.Max(p, epsClip), 1-epsClip)
+		loss -= t*math.Log(pc) + (1-t)*math.Log(1-pc)
+		grad.Data[i] = (pc - t) / (pc * (1 - pc)) / n
+	}
+	return loss / n, grad
+}
+
+// SoftmaxCrossEntropy fuses the softmax with the multiclass log loss,
+// taking raw logits — TensorFlow's softmax_cross_entropy_with_logits.
+// It is numerically stable for arbitrarily large logits and its
+// gradient collapses to the famously simple (softmax − target)/N.
+type SoftmaxCrossEntropy struct{}
+
+func (SoftmaxCrossEntropy) Name() string { return "softmax_cross_entropy_with_logits" }
+
+func (SoftmaxCrossEntropy) Compute(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("softmax_cross_entropy", pred, target)
+	n := float64(pred.Rows)
+	loss := 0.0
+	grad := tensor.New(pred.Rows, pred.Cols)
+	for r := 0; r < pred.Rows; r++ {
+		row := pred.Row(r)
+		trow := target.Row(r)
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - mx)
+		}
+		logSum := math.Log(sum) + mx
+		grow := grad.Row(r)
+		for j, v := range row {
+			p := math.Exp(v - logSum)
+			grow[j] = (p - trow[j]) / n
+			if trow[j] != 0 {
+				loss -= trow[j] * (v - logSum)
+			}
+		}
+	}
+	return loss / n, grad
+}
+
+// MeanSquaredError is the regression loss used by the P1B1 autoencoder
+// and the P1B3 growth-prediction benchmark.
+type MeanSquaredError struct{}
+
+func (MeanSquaredError) Name() string { return "mse" }
+
+func (MeanSquaredError) Compute(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("mse", pred, target)
+	n := float64(pred.Rows * pred.Cols)
+	loss := 0.0
+	grad := tensor.New(pred.Rows, pred.Cols)
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// LSTM is a long short-term memory layer over a steps×features signal
+// flattened into each input row; it returns the final hidden state
+// (Keras LSTM with return_sequences=False). The CANDLE P2/P3
+// benchmarks the paper says parallelize "in a similar way" use
+// recurrent layers of this kind over molecular-dynamics frames and
+// clinical text.
+type LSTM struct {
+	Units int
+	InDim int // features per step
+
+	name  string
+	steps int
+	wx    *Param // InDim × 4U, gate order [i f g o]
+	wh    *Param // U × 4U
+	b     *Param // 1 × 4U
+
+	// caches for BPTT
+	batch int
+	xs    []*tensor.Matrix // per-step input B×InDim
+	is    []*tensor.Matrix // gate activations B×U
+	fs    []*tensor.Matrix
+	gs    []*tensor.Matrix
+	os    []*tensor.Matrix
+	cs    []*tensor.Matrix // cell states B×U
+	hs    []*tensor.Matrix // hidden states B×U
+}
+
+// NewLSTM returns an LSTM with the given hidden units over a signal
+// with inDim features per step.
+func NewLSTM(units, inDim int) *LSTM {
+	return &LSTM{Units: units, InDim: inDim, name: fmt.Sprintf("lstm_%d", units)}
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return l.name }
+
+// Build implements Layer.
+func (l *LSTM) Build(rng *rand.Rand, inDim int) (int, error) {
+	switch {
+	case l.Units <= 0 || l.InDim <= 0:
+		return 0, fmt.Errorf("nn: lstm needs positive units/features")
+	case inDim%l.InDim != 0:
+		return 0, fmt.Errorf("nn: lstm input dim %d not divisible by %d features/step", inDim, l.InDim)
+	}
+	l.steps = inDim / l.InDim
+	if l.steps == 0 {
+		return 0, fmt.Errorf("nn: lstm needs at least one step")
+	}
+	l.wx = newParam(l.name+".wx", tensor.GlorotUniform(rng, l.InDim, 4*l.Units))
+	l.wh = newParam(l.name+".wh", tensor.GlorotUniform(rng, l.Units, 4*l.Units))
+	l.b = newParam(l.name+".b", tensor.New(1, 4*l.Units))
+	// Forget-gate bias of 1 (the standard initialization) keeps early
+	// gradients flowing.
+	for j := l.Units; j < 2*l.Units; j++ {
+		l.b.Value.Data[j] = 1
+	}
+	return l.Units, nil
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	B, U := x.Rows, l.Units
+	l.batch = B
+	l.xs = make([]*tensor.Matrix, l.steps)
+	l.is = make([]*tensor.Matrix, l.steps)
+	l.fs = make([]*tensor.Matrix, l.steps)
+	l.gs = make([]*tensor.Matrix, l.steps)
+	l.os = make([]*tensor.Matrix, l.steps)
+	l.cs = make([]*tensor.Matrix, l.steps)
+	l.hs = make([]*tensor.Matrix, l.steps)
+
+	h := tensor.New(B, U)
+	c := tensor.New(B, U)
+	for t := 0; t < l.steps; t++ {
+		xt := tensor.New(B, l.InDim)
+		for r := 0; r < B; r++ {
+			copy(xt.Row(r), x.Row(r)[t*l.InDim:(t+1)*l.InDim])
+		}
+		l.xs[t] = xt
+		z := tensor.MatMul(xt, l.wx.Value)
+		z.Add(tensor.MatMul(h, l.wh.Value))
+		z.AddRowVector(l.b.Value.Data)
+
+		it := tensor.New(B, U)
+		ft := tensor.New(B, U)
+		gt := tensor.New(B, U)
+		ot := tensor.New(B, U)
+		cNew := tensor.New(B, U)
+		hNew := tensor.New(B, U)
+		for r := 0; r < B; r++ {
+			zr := z.Row(r)
+			cr, crNew := c.Row(r), cNew.Row(r)
+			for u := 0; u < U; u++ {
+				iv := sigmoid(zr[u])
+				fv := sigmoid(zr[U+u])
+				gv := math.Tanh(zr[2*U+u])
+				ov := sigmoid(zr[3*U+u])
+				it.Row(r)[u], ft.Row(r)[u], gt.Row(r)[u], ot.Row(r)[u] = iv, fv, gv, ov
+				crNew[u] = fv*cr[u] + iv*gv
+				hNew.Row(r)[u] = ov * math.Tanh(crNew[u])
+			}
+		}
+		l.is[t], l.fs[t], l.gs[t], l.os[t] = it, ft, gt, ot
+		l.cs[t], l.hs[t] = cNew, hNew
+		h, c = hNew, cNew
+	}
+	return h
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	B, U := l.batch, l.Units
+	dx := tensor.New(B, l.steps*l.InDim)
+	dh := dout.Clone()
+	dc := tensor.New(B, U)
+	for t := l.steps - 1; t >= 0; t-- {
+		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
+		ct := l.cs[t]
+		var cPrev *tensor.Matrix
+		if t > 0 {
+			cPrev = l.cs[t-1]
+		} else {
+			cPrev = tensor.New(B, U)
+		}
+		dz := tensor.New(B, 4*U)
+		for r := 0; r < B; r++ {
+			dhr, dcr := dh.Row(r), dc.Row(r)
+			ir, fr, gr, or := it.Row(r), ft.Row(r), gt.Row(r), ot.Row(r)
+			cr, cpr := ct.Row(r), cPrev.Row(r)
+			dzr := dz.Row(r)
+			for u := 0; u < U; u++ {
+				tc := math.Tanh(cr[u])
+				do := dhr[u] * tc
+				dcTotal := dcr[u] + dhr[u]*or[u]*(1-tc*tc)
+				di := dcTotal * gr[u]
+				df := dcTotal * cpr[u]
+				dg := dcTotal * ir[u]
+				dzr[u] = di * ir[u] * (1 - ir[u])
+				dzr[U+u] = df * fr[u] * (1 - fr[u])
+				dzr[2*U+u] = dg * (1 - gr[u]*gr[u])
+				dzr[3*U+u] = do * or[u] * (1 - or[u])
+				dcr[u] = dcTotal * fr[u] // becomes dC_{t-1}
+			}
+		}
+		// Parameter gradients.
+		l.wx.Grad.Add(tensor.TMatMul(l.xs[t], dz))
+		var hPrev *tensor.Matrix
+		if t > 0 {
+			hPrev = l.hs[t-1]
+		} else {
+			hPrev = tensor.New(B, U)
+		}
+		l.wh.Grad.Add(tensor.TMatMul(hPrev, dz))
+		for j, v := range dz.ColSums() {
+			l.b.Grad.Data[j] += v
+		}
+		// Input and recurrent gradients.
+		dxt := tensor.MatMulT(dz, l.wx.Value)
+		for r := 0; r < B; r++ {
+			copy(dx.Row(r)[t*l.InDim:(t+1)*l.InDim], dxt.Row(r))
+		}
+		// With return_sequences=false, earlier steps receive only the
+		// recurrent gradient.
+		dh = tensor.MatMulT(dz, l.wh.Value)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }

@@ -1,0 +1,383 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// Sequential is a linear stack of layers with a loss and an optimizer,
+// the Go analogue of keras.models.Sequential.
+type Sequential struct {
+	ModelName string
+	Layers    []Layer
+
+	loss     Loss
+	opt      Optimizer
+	rng      *rand.Rand
+	built    bool
+	inDim    int
+	outDim   int
+	params   []*Param
+	stepCnt  int
+	layerOut map[Layer]int // per-layer output width, for Summary
+}
+
+// NewSequential assembles (but does not build) a model from layers.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{ModelName: name, Layers: layers}
+}
+
+// Compile builds every layer for the given input width, wires the loss
+// and optimizer, and seeds the model's private RNG (weight init and
+// dropout are deterministic per seed).
+func (s *Sequential) Compile(inDim int, loss Loss, opt Optimizer, seed int64) error {
+	if s.built {
+		return errors.New("nn: model already compiled")
+	}
+	if len(s.Layers) == 0 {
+		return errors.New("nn: model has no layers")
+	}
+	if loss == nil || opt == nil {
+		return errors.New("nn: Compile needs a loss and an optimizer")
+	}
+	s.rng = rand.New(rand.NewSource(seed))
+	s.layerOut = make(map[Layer]int, len(s.Layers))
+	dim := inDim
+	for _, l := range s.Layers {
+		out, err := l.Build(s.rng, dim)
+		if err != nil {
+			return fmt.Errorf("nn: building %s: %w", l.Name(), err)
+		}
+		dim = out
+		s.layerOut[l] = out
+		s.params = append(s.params, l.Params()...)
+	}
+	s.inDim, s.outDim = inDim, dim
+	s.loss, s.opt = loss, opt
+	s.built = true
+	return nil
+}
+
+// Built reports whether Compile has succeeded.
+func (s *Sequential) Built() bool { return s.built }
+
+// InputDim returns the compiled input width.
+func (s *Sequential) InputDim() int { return s.inDim }
+
+// OutputDim returns the compiled output width.
+func (s *Sequential) OutputDim() int { return s.outDim }
+
+// Optimizer returns the compiled optimizer (e.g. so a distributed
+// wrapper can replace or interrogate it).
+func (s *Sequential) Optimizer() Optimizer { return s.opt }
+
+// SetOptimizer swaps the optimizer; this is how Horovod's
+// DistributedOptimizer wraps the original one.
+func (s *Sequential) SetOptimizer(opt Optimizer) { s.opt = opt }
+
+// Params returns every trainable parameter in layer order.
+func (s *Sequential) Params() []*Param { return s.params }
+
+// ParamCount returns the total number of trainable scalars.
+func (s *Sequential) ParamCount() int {
+	n := 0
+	for _, p := range s.params {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.params {
+		p.Grad.Zero()
+	}
+}
+
+func (s *Sequential) mustBuilt() {
+	if !s.built {
+		panic("nn: model used before Compile")
+	}
+}
+
+// Forward runs the full stack; training toggles dropout.
+func (s *Sequential) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	s.mustBuilt()
+	if x.Cols != s.inDim {
+		panic(fmt.Sprintf("nn: input width %d != compiled %d", x.Cols, s.inDim))
+	}
+	for _, l := range s.Layers {
+		x = l.Forward(x, training)
+	}
+	return x
+}
+
+// Backward propagates dL/d(output) down the stack, accumulating
+// parameter gradients.
+func (s *Sequential) Backward(grad *tensor.Matrix) {
+	s.mustBuilt()
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+}
+
+// TrainBatch runs one optimization step (forward, loss, backward,
+// optimizer update) on a batch and returns the batch loss. This is the
+// "one model training iteration" inside the paper's two nested loops.
+func (s *Sequential) TrainBatch(x, y *tensor.Matrix) float64 {
+	s.mustBuilt()
+	s.ZeroGrads()
+	pred := s.Forward(x, true)
+	loss, grad := s.loss.Compute(pred, y)
+	s.Backward(grad)
+	loss += s.RegLoss() // layers added the matching gradients in Backward
+	s.opt.Step(s.params)
+	s.stepCnt++
+	return loss
+}
+
+// GradientsOnly computes and accumulates gradients for a batch without
+// applying the optimizer, returning the loss. Distributed training
+// uses it to interleave the allreduce between gradient computation and
+// the update, exactly where Horovod splices in.
+func (s *Sequential) GradientsOnly(x, y *tensor.Matrix) float64 {
+	s.mustBuilt()
+	s.ZeroGrads()
+	pred := s.Forward(x, true)
+	loss, grad := s.loss.Compute(pred, y)
+	s.Backward(grad)
+	return loss + s.RegLoss()
+}
+
+// ApplyStep applies the optimizer to the currently accumulated
+// gradients (pairs with GradientsOnly).
+func (s *Sequential) ApplyStep() {
+	s.mustBuilt()
+	s.opt.Step(s.params)
+	s.stepCnt++
+}
+
+// Steps returns how many optimizer steps have been applied.
+func (s *Sequential) Steps() int { return s.stepCnt }
+
+// Predict runs inference (dropout off).
+func (s *Sequential) Predict(x *tensor.Matrix) *tensor.Matrix { return s.Forward(x, false) }
+
+// Evaluate returns the mean loss and classification accuracy (argmax
+// match; for single-column outputs a 0.5 threshold) over x, y.
+func (s *Sequential) Evaluate(x, y *tensor.Matrix) (loss, acc float64) {
+	pred := s.Predict(x)
+	loss, _ = s.loss.Compute(pred, y)
+	return loss, Accuracy(pred, y)
+}
+
+// FitConfig controls Sequential.Fit.
+type FitConfig struct {
+	Epochs    int
+	BatchSize int
+	// Shuffle reshuffles sample order each epoch using the model RNG.
+	Shuffle bool
+	// Callbacks observe training; Horovod's broadcast hook is one.
+	Callbacks []Callback
+	// ValX/ValY, when non-nil, are evaluated at each epoch end.
+	ValX, ValY *tensor.Matrix
+}
+
+// History records per-epoch training statistics, like the Keras
+// History object.
+type History struct {
+	Loss    []float64 // mean training loss per epoch
+	Acc     []float64 // training accuracy per epoch (post-epoch eval)
+	ValLoss []float64
+	ValAcc  []float64
+	Batches int // batch steps per epoch actually executed
+}
+
+// Fit trains for cfg.Epochs epochs of cfg.BatchSize mini-batches —
+// the two nested loops of Figure 3 in the paper.
+func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
+	s.mustBuilt()
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("nn: x has %d rows, y has %d", x.Rows, y.Rows)
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("nn: epochs (%d) and batch size (%d) must be positive", cfg.Epochs, cfg.BatchSize)
+	}
+	n := x.Rows
+	bs := cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	steps := n / bs // drop the ragged tail, as the paper's step count S/B does
+	if steps == 0 {
+		steps = 1
+	}
+	hist := &History{Batches: steps}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for _, cb := range cfg.Callbacks {
+		cb.OnTrainBegin(s)
+	}
+	bx := tensor.New(bs, x.Cols)
+	by := tensor.New(bs, y.Cols)
+	for e := 0; e < cfg.Epochs; e++ {
+		for _, cb := range cfg.Callbacks {
+			cb.OnEpochBegin(s, e)
+		}
+		if cfg.Shuffle {
+			s.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		epochLoss := 0.0
+		for step := 0; step < steps; step++ {
+			for b := 0; b < bs; b++ {
+				src := order[step*bs+b]
+				copy(bx.Row(b), x.Row(src))
+				copy(by.Row(b), y.Row(src))
+			}
+			l := s.TrainBatch(bx, by)
+			epochLoss += l
+			for _, cb := range cfg.Callbacks {
+				cb.OnBatchEnd(s, e, step, l)
+			}
+		}
+		epochLoss /= float64(steps)
+		hist.Loss = append(hist.Loss, epochLoss)
+		_, acc := s.Evaluate(x, y)
+		hist.Acc = append(hist.Acc, acc)
+		if cfg.ValX != nil {
+			vl, va := s.Evaluate(cfg.ValX, cfg.ValY)
+			hist.ValLoss = append(hist.ValLoss, vl)
+			hist.ValAcc = append(hist.ValAcc, va)
+		}
+		for _, cb := range cfg.Callbacks {
+			cb.OnEpochEnd(s, e, epochLoss)
+		}
+		stop := false
+		for _, cb := range cfg.Callbacks {
+			if st, ok := cb.(Stopper); ok && st.WantsStop() {
+				stop = true
+			}
+		}
+		if stop {
+			break
+		}
+	}
+	for _, cb := range cfg.Callbacks {
+		cb.OnTrainEnd(s)
+	}
+	return hist, nil
+}
+
+// Callback observes Fit. All methods have empty defaults via
+// BaseCallback so implementations override only what they need.
+type Callback interface {
+	OnTrainBegin(m *Sequential)
+	OnEpochBegin(m *Sequential, epoch int)
+	OnBatchEnd(m *Sequential, epoch, step int, loss float64)
+	OnEpochEnd(m *Sequential, epoch int, loss float64)
+	OnTrainEnd(m *Sequential)
+}
+
+// BaseCallback is an embeddable no-op Callback.
+type BaseCallback struct{}
+
+func (BaseCallback) OnTrainBegin(*Sequential)                  {}
+func (BaseCallback) OnEpochBegin(*Sequential, int)             {}
+func (BaseCallback) OnBatchEnd(*Sequential, int, int, float64) {}
+func (BaseCallback) OnEpochEnd(*Sequential, int, float64)      {}
+func (BaseCallback) OnTrainEnd(*Sequential)                    {}
+
+// Accuracy computes classification accuracy: argmax agreement for
+// multi-column outputs, 0.5-threshold agreement for single-column.
+func Accuracy(pred, target *tensor.Matrix) float64 {
+	if pred.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	if pred.Cols == 1 {
+		for i := 0; i < pred.Rows; i++ {
+			p := pred.Data[i] >= 0.5
+			t := target.Data[i] >= 0.5
+			if p == t {
+				correct++
+			}
+		}
+	} else {
+		for i := 0; i < pred.Rows; i++ {
+			if argmax(pred.Row(i)) == argmax(target.Row(i)) {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(pred.Rows)
+}
+
+func argmax(v []float64) int {
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// WeightsVector flattens all parameter values into one contiguous
+// slice (a copy), in layer order — the unit Horovod broadcasts.
+func (s *Sequential) WeightsVector() []float64 {
+	s.mustBuilt()
+	total := s.ParamCount()
+	out := make([]float64, 0, total)
+	for _, p := range s.params {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// SetWeightsVector restores parameter values from a flat slice
+// produced by WeightsVector.
+func (s *Sequential) SetWeightsVector(w []float64) error {
+	s.mustBuilt()
+	if len(w) != s.ParamCount() {
+		return fmt.Errorf("nn: weights vector length %d != %d params", len(w), s.ParamCount())
+	}
+	off := 0
+	for _, p := range s.params {
+		n := len(p.Value.Data)
+		copy(p.Value.Data, w[off:off+n])
+		off += n
+	}
+	return nil
+}
+
+// GradsVector flattens all gradients into one slice (a copy) — the
+// unit Horovod allreduces.
+func (s *Sequential) GradsVector() []float64 {
+	s.mustBuilt()
+	out := make([]float64, 0, s.ParamCount())
+	for _, p := range s.params {
+		out = append(out, p.Grad.Data...)
+	}
+	return out
+}
+
+// SetGradsVector restores gradients from a flat slice (e.g. after an
+// allreduce average).
+func (s *Sequential) SetGradsVector(g []float64) error {
+	s.mustBuilt()
+	if len(g) != s.ParamCount() {
+		return fmt.Errorf("nn: grads vector length %d != %d params", len(g), s.ParamCount())
+	}
+	off := 0
+	for _, p := range s.params {
+		n := len(p.Grad.Data)
+		copy(p.Grad.Data, g[off:off+n])
+		off += n
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package nn is a from-scratch, Keras-like neural-network framework:
+// sequential models built from layers (Dense, Conv1D, MaxPooling1D,
+// Flatten, Dropout, Activation), trained with SGD/Adam/RMSprop against
+// cross-entropy or MSE losses.
+//
+// It exists because the CANDLE Pilot1 benchmarks this repository
+// reproduces are Keras models; nn provides the same three concepts the
+// paper's methodology manipulates — the *epoch loop*, the *batch-step
+// loop*, and the *optimizer* that Horovod wraps — with real gradient
+// math so that distributed data-parallel training actually trains.
+//
+// All data is batch-major: a batch of B samples with D features is a
+// B×D tensor.Matrix. Structured layers (Conv1D, pooling) interpret the
+// D axis as steps×channels.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// Param is one trainable tensor (weights or bias) together with the
+// gradient accumulated by the most recent backward pass.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// newParam allocates a parameter and its zeroed gradient.
+func newParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// Layer is one stage of a Sequential model. Build is called once with
+// the flattened input width; Forward must cache whatever Backward
+// needs. Backward receives dL/d(output) and returns dL/d(input) while
+// accumulating parameter gradients into Params().
+type Layer interface {
+	Name() string
+	// Build allocates parameters for the given input width and
+	// returns the output width.
+	Build(rng *rand.Rand, inDim int) (outDim int, err error)
+	Forward(x *tensor.Matrix, training bool) *tensor.Matrix
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+}
+
+// statelessBase provides the no-param default for layers without
+// trainable state.
+type statelessBase struct{}
+
+func (statelessBase) Params() []*Param { return nil }
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	Units int
+	name  string
+	w, b  *Param
+	x     *tensor.Matrix // cached input
+}
+
+// NewDense returns a Dense layer with the given number of output
+// units.
+func NewDense(units int) *Dense {
+	return &Dense{Units: units, name: fmt.Sprintf("dense_%d", units)}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Build implements Layer.
+func (d *Dense) Build(rng *rand.Rand, inDim int) (int, error) {
+	if d.Units <= 0 {
+		return 0, fmt.Errorf("nn: dense units must be positive, got %d", d.Units)
+	}
+	if inDim <= 0 {
+		return 0, fmt.Errorf("nn: dense input dim must be positive, got %d", inDim)
+	}
+	d.w = newParam(d.name+".w", tensor.GlorotUniform(rng, inDim, d.Units))
+	d.b = newParam(d.name+".b", tensor.New(1, d.Units))
+	return d.Units, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	d.x = x
+	out := tensor.MatMul(x, d.w.Value)
+	out.AddRowVector(d.b.Value.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	// dW = xᵀ·dout, db = column sums of dout, dx = dout·Wᵀ.
+	d.w.Grad.Add(tensor.TMatMul(d.x, dout))
+	bg := dout.ColSums()
+	for j, v := range bg {
+		d.b.Grad.Data[j] += v
+	}
+	return tensor.MatMulT(dout, d.w.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Flatten is an explicit no-op on the already-flat representation; it
+// exists so benchmark model definitions read like their Keras
+// counterparts.
+type Flatten struct{ statelessBase }
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+func (*Flatten) Name() string { return "flatten" }
+
+func (*Flatten) Build(_ *rand.Rand, inDim int) (int, error) { return inDim, nil }
+
+func (*Flatten) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix { return x }
+
+func (*Flatten) Backward(dout *tensor.Matrix) *tensor.Matrix { return dout }
+
+// Dropout randomly zeroes a fraction Rate of activations during
+// training, scaling survivors by 1/(1-Rate) (inverted dropout), and is
+// the identity at inference time.
+type Dropout struct {
+	statelessBase
+	Rate float64
+	rng  *rand.Rand
+	mask *tensor.Matrix
+}
+
+// NewDropout returns a Dropout layer with drop probability rate in
+// [0, 1).
+func NewDropout(rate float64) *Dropout { return &Dropout{Rate: rate} }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout_%.2f", d.Rate) }
+
+// Build implements Layer.
+func (d *Dropout) Build(rng *rand.Rand, inDim int) (int, error) {
+	if d.Rate < 0 || d.Rate >= 1 {
+		return 0, fmt.Errorf("nn: dropout rate %v outside [0,1)", d.Rate)
+	}
+	d.rng = rng
+	return inDim, nil
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	if !training || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	d.mask = tensor.New(x.Rows, x.Cols)
+	out := tensor.New(x.Rows, x.Cols)
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = inv
+			out.Data[i] = v * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dout
+	}
+	return dout.Clone().MulElem(d.mask)
+}

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+
+	"candle/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients. Step
+// consumes the gradients (the caller zeroes them afterwards via
+// ZeroGrads). SetLearningRate exists because the paper's methodology
+// scales the learning rate linearly with the number of workers.
+type Optimizer interface {
+	Name() string
+	LearningRate() float64
+	SetLearningRate(lr float64)
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum,
+// matching the Keras "sgd" optimizer used by NT3 and P1B3.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and no
+// momentum.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// NewSGDMomentum returns an SGD optimizer with classical momentum.
+func NewSGDMomentum(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// LearningRate implements Optimizer.
+func (s *SGD) LearningRate() float64 { return s.LR }
+
+// SetLearningRate implements Optimizer.
+func (s *SGD) SetLearningRate(lr float64) { s.LR = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	if s.Momentum == 0 {
+		for _, p := range params {
+			p.Value.AXPY(-s.LR, p.Grad)
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make(map[*Param]*tensor.Matrix, len(params))
+	}
+	for _, p := range params {
+		v, ok := s.vel[p]
+		if !ok {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			s.vel[p] = v
+		}
+		v.Scale(s.Momentum).AXPY(-s.LR, p.Grad)
+		p.Value.Add(v)
+	}
+}
+
+// Adam is adaptive moment estimation, matching the Keras "adam"
+// optimizer used by P1B1.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+	m, v    map[*Param]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with Keras defaults
+// (beta1=0.9, beta2=0.999, eps=1e-7).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-7}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// LearningRate implements Optimizer.
+func (a *Adam) LearningRate() float64 { return a.LR }
+
+// SetLearningRate implements Optimizer.
+func (a *Adam) SetLearningRate(lr float64) { a.LR = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make(map[*Param]*tensor.Matrix, len(params))
+		a.v = make(map[*Param]*tensor.Matrix, len(params))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mhat := m.Data[i] / c1
+			vhat := v.Data[i] / c2
+			p.Value.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+		}
+	}
+}
+
+// RMSprop is root-mean-square propagation, matching the Keras
+// "rmsprop" optimizer used by P1B2.
+type RMSprop struct {
+	LR      float64
+	Rho     float64
+	Epsilon float64
+	v       map[*Param]*tensor.Matrix
+}
+
+// NewRMSprop returns an RMSprop optimizer with Keras defaults
+// (rho=0.9, eps=1e-7).
+func NewRMSprop(lr float64) *RMSprop {
+	return &RMSprop{LR: lr, Rho: 0.9, Epsilon: 1e-7}
+}
+
+// Name implements Optimizer.
+func (r *RMSprop) Name() string { return "rmsprop" }
+
+// LearningRate implements Optimizer.
+func (r *RMSprop) LearningRate() float64 { return r.LR }
+
+// SetLearningRate implements Optimizer.
+func (r *RMSprop) SetLearningRate(lr float64) { r.LR = lr }
+
+// Step implements Optimizer.
+func (r *RMSprop) Step(params []*Param) {
+	if r.v == nil {
+		r.v = make(map[*Param]*tensor.Matrix, len(params))
+	}
+	for _, p := range params {
+		v, ok := r.v[p]
+		if !ok {
+			v = tensor.New(p.Value.Rows, p.Value.Cols)
+			r.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v.Data[i] = r.Rho*v.Data[i] + (1-r.Rho)*g*g
+			p.Value.Data[i] -= r.LR * g / (math.Sqrt(v.Data[i]) + r.Epsilon)
+		}
+	}
+}
+
+// NewOptimizer constructs the optimizer a CANDLE config names:
+// "sgd", "adam", or "rmsprop". Unknown names fall back to SGD, like
+// the benchmarks' Python utilities do.
+func NewOptimizer(name string, lr float64) Optimizer {
+	switch name {
+	case "adam":
+		return NewAdam(lr)
+	case "rmsprop":
+		return NewRMSprop(lr)
+	default:
+		return NewSGD(lr)
+	}
+}

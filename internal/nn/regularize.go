@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"candle/internal/tensor"
+)
+
+// Regularized is implemented by layers that add a penalty to the
+// training loss; Sequential sums RegLoss into the reported loss and
+// the layer's Backward adds the matching gradient.
+type Regularized interface {
+	RegLoss() float64
+}
+
+// DenseL2 is a fully connected layer with an L2 (ridge) penalty on its
+// kernel, matching Keras' Dense(units,
+// kernel_regularizer=regularizers.l2(lambda)) that the P1B2 benchmark
+// ("MLP with regularization") uses.
+type DenseL2 struct {
+	Dense
+	Lambda float64
+}
+
+// NewDenseL2 returns a Dense layer whose kernel is penalized by
+// lambda·Σw².
+func NewDenseL2(units int, lambda float64) *DenseL2 {
+	d := &DenseL2{Lambda: lambda}
+	d.Units = units
+	d.name = fmt.Sprintf("dense_l2_%d", units)
+	return d
+}
+
+// Build implements Layer.
+func (d *DenseL2) Build(rng *rand.Rand, inDim int) (int, error) {
+	if d.Lambda < 0 {
+		return 0, fmt.Errorf("nn: negative L2 lambda %v", d.Lambda)
+	}
+	return d.Dense.Build(rng, inDim)
+}
+
+// RegLoss returns lambda·Σw² over the kernel (bias unpenalized, as in
+// Keras).
+func (d *DenseL2) RegLoss() float64 {
+	s := 0.0
+	for _, v := range d.w.Value.Data {
+		s += v * v
+	}
+	return d.Lambda * s
+}
+
+// Backward adds the penalty gradient 2λw on top of the data gradient.
+func (d *DenseL2) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := d.Dense.Backward(dout)
+	if d.Lambda != 0 {
+		d.w.Grad.AXPY(2*d.Lambda, d.w.Value)
+	}
+	return dx
+}
+
+// RegLoss sums the regularization penalties of every layer in the
+// model (0 when none are Regularized).
+func (s *Sequential) RegLoss() float64 {
+	total := 0.0
+	for _, l := range s.Layers {
+		if r, ok := l.(Regularized); ok {
+			total += r.RegLoss()
+		}
+	}
+	return total
+}

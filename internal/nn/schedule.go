@@ -1,0 +1,100 @@
+package nn
+
+import "math"
+
+// LRScheduler is a callback that sets the optimizer's learning rate at
+// the start of each epoch from a schedule function.
+type LRScheduler struct {
+	BaseCallback
+	// Schedule maps (epoch, base LR) to the LR for that epoch. The
+	// base LR is captured at train begin.
+	Schedule func(epoch int, base float64) float64
+	base     float64
+	captured bool
+}
+
+// NewLRScheduler wraps a schedule function.
+func NewLRScheduler(schedule func(epoch int, base float64) float64) *LRScheduler {
+	return &LRScheduler{Schedule: schedule}
+}
+
+func (s *LRScheduler) OnTrainBegin(m *Sequential) {
+	s.base = m.Optimizer().LearningRate()
+	s.captured = true
+}
+
+func (s *LRScheduler) OnEpochBegin(m *Sequential, epoch int) {
+	if !s.captured || s.Schedule == nil {
+		return
+	}
+	m.Optimizer().SetLearningRate(s.Schedule(epoch, s.base))
+}
+
+// WarmupSchedule implements the gradual learning-rate warmup used in
+// large-batch training (Goyal et al., which the paper's linear-scaling
+// methodology follows): ramp linearly from base/workers... the scaled
+// target over warmupEpochs, then hold.
+func WarmupSchedule(warmupEpochs int, scale float64) func(int, float64) float64 {
+	if warmupEpochs < 1 {
+		warmupEpochs = 1
+	}
+	return func(epoch int, base float64) float64 {
+		target := base * scale
+		if epoch >= warmupEpochs {
+			return target
+		}
+		frac := float64(epoch+1) / float64(warmupEpochs)
+		return base + (target-base)*frac
+	}
+}
+
+// StepDecaySchedule halves the learning rate every interval epochs.
+func StepDecaySchedule(interval int, factor float64) func(int, float64) float64 {
+	if interval < 1 {
+		interval = 1
+	}
+	return func(epoch int, base float64) float64 {
+		return base * math.Pow(factor, float64(epoch/interval))
+	}
+}
+
+// EarlyStopping stops training when the epoch loss has not improved by
+// at least MinDelta for Patience consecutive epochs, like the Keras
+// callback. Sequential.Fit honors it through the Stopper interface.
+type EarlyStopping struct {
+	BaseCallback
+	Patience int
+	MinDelta float64
+
+	best    float64
+	bad     int
+	stopped bool
+	// StoppedAt records the epoch training stopped (-1 if it ran out).
+	StoppedAt int
+}
+
+// NewEarlyStopping returns an EarlyStopping callback.
+func NewEarlyStopping(patience int, minDelta float64) *EarlyStopping {
+	return &EarlyStopping{Patience: patience, MinDelta: minDelta, best: math.Inf(1), StoppedAt: -1}
+}
+
+func (e *EarlyStopping) OnEpochEnd(_ *Sequential, epoch int, loss float64) {
+	if loss < e.best-e.MinDelta {
+		e.best = loss
+		e.bad = 0
+		return
+	}
+	e.bad++
+	if e.bad >= e.Patience {
+		e.stopped = true
+		if e.StoppedAt < 0 {
+			e.StoppedAt = epoch
+		}
+	}
+}
+
+// WantsStop implements Stopper.
+func (e *EarlyStopping) WantsStop() bool { return e.stopped }
+
+// Stopper is implemented by callbacks that can end Fit early.
+type Stopper interface{ WantsStop() bool }

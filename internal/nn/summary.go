@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders the Keras model.summary() analogue: one row per
+// layer with its output width and parameter count. The model must be
+// compiled.
+func (s *Sequential) Summary() string {
+	if !s.built {
+		return fmt.Sprintf("Model %q (uncompiled, %d layers)", s.ModelName, len(s.Layers))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model: %q\n", s.ModelName)
+	fmt.Fprintf(&b, "%-28s %12s %12s\n", "layer", "output_dim", "params")
+	b.WriteString(strings.Repeat("-", 54))
+	b.WriteByte('\n')
+	dim := s.inDim
+	total := 0
+	for _, l := range s.Layers {
+		n := 0
+		for _, p := range l.Params() {
+			n += len(p.Value.Data)
+		}
+		total += n
+		dim = s.layerOut[l]
+		fmt.Fprintf(&b, "%-28s %12d %12d\n", l.Name(), dim, n)
+	}
+	b.WriteString(strings.Repeat("-", 54))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "input dim %d, output dim %d, total params %d\n", s.inDim, s.outDim, total)
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummaryCompiled(t *testing.T) {
+	m := buildModel(t, 10, CategoricalCrossEntropy{}, NewSGD(0.01),
+		NewDense(8), NewReLU(), NewDense(3), NewSoftmax())
+	s := m.Summary()
+	for _, want := range []string{"dense_8", "dense_3", "activation_relu", "total params 115",
+		"input dim 10, output dim 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSummaryUncompiled(t *testing.T) {
+	m := NewSequential("raw", NewDense(4))
+	if !strings.Contains(m.Summary(), "uncompiled") {
+		t.Fatalf("summary: %s", m.Summary())
+	}
+}

@@ -1,0 +1,33 @@
+package nn
+
+import "math"
+
+// TerminateOnNaN stops training as soon as a batch loss becomes NaN or
+// infinite — the Keras callback of the same name, essential when
+// sweeping aggressive learning rates (the paper's linear LR scaling
+// multiplies the rate by the worker count).
+type TerminateOnNaN struct {
+	BaseCallback
+	// Triggered records whether a non-finite loss was seen; BadEpoch
+	// and BadStep locate it.
+	Triggered bool
+	BadEpoch  int
+	BadStep   int
+}
+
+// NewTerminateOnNaN returns the callback.
+func NewTerminateOnNaN() *TerminateOnNaN { return &TerminateOnNaN{BadEpoch: -1, BadStep: -1} }
+
+// OnBatchEnd checks the batch loss.
+func (c *TerminateOnNaN) OnBatchEnd(_ *Sequential, epoch, step int, loss float64) {
+	if c.Triggered {
+		return
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		c.Triggered = true
+		c.BadEpoch, c.BadStep = epoch, step
+	}
+}
+
+// WantsStop implements Stopper.
+func (c *TerminateOnNaN) WantsStop() bool { return c.Triggered }

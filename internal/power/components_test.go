@@ -1,0 +1,82 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThetaComponentsValid(t *testing.T) {
+	if err := ThetaComponents().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentModelValidation(t *testing.T) {
+	bad := NewComponentModel(Components{Node: 100, CPU: 80, Mem: 30}, nil) // 110 > 100
+	if err := bad.Validate(); err == nil {
+		t.Fatal("CPU+Mem > node accepted")
+	}
+	neg := NewComponentModel(Components{Node: 100, CPU: -1, Mem: 0}, nil)
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative draw accepted")
+	}
+}
+
+func TestComponentEnergyIntegral(t *testing.T) {
+	m := ThetaComponents()
+	p := Profile{
+		{0, 100, DataLoad},
+		{100, 200, Compute},
+	}
+	e := m.Energy(p)
+	wantNode := 210.0*100 + 320*100
+	wantCPU := 115.0*100 + 205*100
+	wantMem := 35.0*100 + 60*100
+	if math.Abs(e.Node-wantNode) > 1e-9 || math.Abs(e.CPU-wantCPU) > 1e-9 || math.Abs(e.Mem-wantMem) > 1e-9 {
+		t.Fatalf("component energy = %+v", e)
+	}
+	// Components never exceed the node integral.
+	if e.CPU+e.Mem > e.Node {
+		t.Fatal("component energies exceed node energy")
+	}
+}
+
+func TestComponentEnergyChargesGapsIdle(t *testing.T) {
+	m := ThetaComponents()
+	p := Profile{{0, 10, Compute}, {20, 30, Compute}}
+	e := m.Energy(p)
+	want := 320.0*20 + 180*10 // two compute segments + idle gap
+	if math.Abs(e.Node-want) > 1e-9 {
+		t.Fatalf("node energy = %v, want %v", e.Node, want)
+	}
+}
+
+func TestComponentSamplesCapMCRate(t *testing.T) {
+	m := ThetaComponents()
+	p := Profile{{0, 4, DataLoad}, {4, 8, Compute}}
+	samples := m.Samples(p, 2) // CapMC ≈2 Hz
+	if len(samples) != 17 {
+		t.Fatalf("2 Hz over 8 s = %d samples, want 17", len(samples))
+	}
+	if samples[0].W.Node != 210 {
+		t.Fatalf("first sample %+v", samples[0])
+	}
+	if samples[len(samples)-2].W.Node != 320 {
+		t.Fatalf("second-to-last sample %+v", samples[len(samples)-2])
+	}
+	// The final sample sits exactly at the profile's end, which is
+	// exclusive — idle, matching the scalar Sampler's semantics.
+	if samples[len(samples)-1].W.Node != 180 {
+		t.Fatalf("end sample %+v", samples[len(samples)-1])
+	}
+	if m.Samples(p, 0) != nil {
+		t.Fatal("rate 0 should yield nothing")
+	}
+}
+
+func TestComponentAtOutOfRange(t *testing.T) {
+	m := ThetaComponents()
+	if w := m.At(Phase(99)); w.Node != 0 {
+		t.Fatalf("out of range phase: %+v", w)
+	}
+}

@@ -1,0 +1,206 @@
+// Package power models device power draw over a run's phase timeline
+// and integrates it into energy, reproducing the roles of nvidia-smi
+// (per-GPU sampling at 1 Hz on Summit) and the PoLiMEr/CapMC node
+// sampling (≈2 Hz on Theta) in the paper.
+//
+// A run is described as a Profile: an ordered list of Segments, each a
+// time interval in one activity Phase (data loading, broadcast,
+// compute, allreduce, idle). A Model maps phases to watts for one
+// device. Energy is the exact integral of the piecewise-constant power
+// signal; a Sampler additionally produces the discrete samples a
+// telemetry tool would log.
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Phase is a device activity class with a characteristic power draw.
+type Phase int
+
+// Phases of a CANDLE benchmark run, in the order they typically occur.
+const (
+	Idle Phase = iota
+	DataLoad
+	Preprocess
+	Broadcast
+	Compute
+	Allreduce
+	Evaluate
+	numPhases
+)
+
+var phaseNames = [...]string{"idle", "data_load", "preprocess", "broadcast", "compute", "allreduce", "evaluate"}
+
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Segment is one contiguous interval of a profile in a single phase.
+type Segment struct {
+	Start, End float64 // seconds
+	Phase      Phase
+}
+
+// Dur returns the segment duration.
+func (s Segment) Dur() float64 { return s.End - s.Start }
+
+// Profile is a device's activity over a run. Segments should be
+// non-overlapping and ordered; Validate checks this.
+type Profile []Segment
+
+// Validate returns an error if segments are malformed, unordered, or
+// overlapping.
+func (p Profile) Validate() error {
+	for i, s := range p {
+		if s.End < s.Start {
+			return fmt.Errorf("power: segment %d ends (%v) before it starts (%v)", i, s.End, s.Start)
+		}
+		if i > 0 && s.Start < p[i-1].End {
+			return fmt.Errorf("power: segment %d starts (%v) before segment %d ends (%v)", i, s.Start, i-1, p[i-1].End)
+		}
+	}
+	return nil
+}
+
+// Duration returns the total span from the first segment's start to
+// the last segment's end (0 for an empty profile).
+func (p Profile) Duration() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1].End - p[0].Start
+}
+
+// PhaseTime returns the summed duration spent in the given phase.
+func (p Profile) PhaseTime(ph Phase) float64 {
+	t := 0.0
+	for _, s := range p {
+		if s.Phase == ph {
+			t += s.Dur()
+		}
+	}
+	return t
+}
+
+// Model maps each phase to a power draw in watts for one device.
+type Model struct {
+	Watts [numPhases]float64
+}
+
+// NewModel builds a model; any phase not present in the map draws the
+// idle power.
+func NewModel(idle float64, watts map[Phase]float64) Model {
+	var m Model
+	for i := range m.Watts {
+		m.Watts[i] = idle
+	}
+	for ph, w := range watts {
+		if ph >= 0 && ph < numPhases {
+			m.Watts[ph] = w
+		}
+	}
+	return m
+}
+
+// PowerAt returns the draw during the given phase.
+func (m Model) PowerAt(ph Phase) float64 {
+	if ph < 0 || ph >= numPhases {
+		return 0
+	}
+	return m.Watts[ph]
+}
+
+// Energy integrates the model over the profile, returning joules.
+// Gaps between segments draw idle power.
+func (m Model) Energy(p Profile) float64 {
+	e := 0.0
+	for i, s := range p {
+		e += m.PowerAt(s.Phase) * s.Dur()
+		if i > 0 {
+			if gap := s.Start - p[i-1].End; gap > 0 {
+				e += m.PowerAt(Idle) * gap
+			}
+		}
+	}
+	return e
+}
+
+// PhaseEnergy splits the integral by phase (gaps count as Idle),
+// answering "where do the joules go?" — the decomposition behind the
+// paper's finding that eliminating low-power loading time *raises*
+// average power while *cutting* energy.
+func (m Model) PhaseEnergy(p Profile) map[Phase]float64 {
+	out := make(map[Phase]float64)
+	for i, s := range p {
+		out[s.Phase] += m.PowerAt(s.Phase) * s.Dur()
+		if i > 0 {
+			if gap := s.Start - p[i-1].End; gap > 0 {
+				out[Idle] += m.PowerAt(Idle) * gap
+			}
+		}
+	}
+	return out
+}
+
+// AveragePower returns energy divided by total duration (watts), the
+// quantity reported in the paper's Tables 2, 5, and 6.
+func (m Model) AveragePower(p Profile) float64 {
+	d := p.Duration()
+	if d == 0 {
+		return 0
+	}
+	return m.Energy(p) / d
+}
+
+// Sample is one telemetry reading.
+type Sample struct {
+	T     float64 // seconds since run start
+	Watts float64
+}
+
+// Sampler produces discrete power readings at a fixed rate, like
+// nvidia-smi's 1 sample/s or CapMC's ~2 samples/s.
+type Sampler struct {
+	RateHz float64
+}
+
+// Samples reads the profile at the sampler's rate. A reading reports
+// the phase active at that instant (idle in gaps and after the end).
+func (s Sampler) Samples(p Profile, m Model) []Sample {
+	if s.RateHz <= 0 || len(p) == 0 {
+		return nil
+	}
+	start := p[0].Start
+	dur := p.Duration()
+	n := int(dur*s.RateHz) + 1
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		t := start + float64(i)/s.RateHz
+		out = append(out, Sample{T: t, Watts: m.PowerAt(p.phaseAt(t))})
+	}
+	return out
+}
+
+// phaseAt returns the phase active at time t (Idle outside segments).
+func (p Profile) phaseAt(t float64) Phase {
+	i := sort.Search(len(p), func(i int) bool { return p[i].End > t })
+	if i < len(p) && p[i].Start <= t {
+		return p[i].Phase
+	}
+	return Idle
+}
+
+// EnergySavingPercent returns how much less energy "improved" uses
+// than "baseline", as the percentage the paper reports
+// (positive = saving).
+func EnergySavingPercent(baseline, improved float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - improved) / baseline * 100
+}

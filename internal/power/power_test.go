@@ -1,0 +1,194 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testModel() Model {
+	return NewModel(40, map[Phase]float64{
+		DataLoad:  55,
+		Broadcast: 60,
+		Compute:   250,
+		Allreduce: 120,
+	})
+}
+
+func TestPhaseString(t *testing.T) {
+	if DataLoad.String() != "data_load" || Compute.String() != "compute" {
+		t.Fatal("phase names wrong")
+	}
+	if Phase(99).String() == "" {
+		t.Fatal("out of range phase should still render")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Profile{{0, 10, DataLoad}, {10, 20, Compute}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Profile{{5, 3, Idle}}).Validate(); err == nil {
+		t.Fatal("reversed segment accepted")
+	}
+	if err := (Profile{{0, 10, Idle}, {5, 12, Compute}}).Validate(); err == nil {
+		t.Fatal("overlap accepted")
+	}
+}
+
+func TestEnergyExactIntegral(t *testing.T) {
+	m := testModel()
+	p := Profile{
+		{0, 100, DataLoad},  // 100 s × 55 W = 5500 J
+		{100, 110, Compute}, // 10 s × 250 W = 2500 J
+	}
+	if got := m.Energy(p); math.Abs(got-8000) > 1e-9 {
+		t.Fatalf("Energy = %v, want 8000", got)
+	}
+	if got := m.AveragePower(p); math.Abs(got-8000.0/110) > 1e-9 {
+		t.Fatalf("AveragePower = %v", got)
+	}
+}
+
+func TestEnergyChargesGapsAsIdle(t *testing.T) {
+	m := testModel()
+	p := Profile{
+		{0, 10, Compute},  // 2500 J
+		{20, 30, Compute}, // gap 10 s × 40 W = 400 J, then 2500 J
+	}
+	if got := m.Energy(p); math.Abs(got-5400) > 1e-9 {
+		t.Fatalf("Energy = %v, want 5400", got)
+	}
+}
+
+func TestPhaseTimeAndDuration(t *testing.T) {
+	p := Profile{{0, 100, DataLoad}, {100, 130, Compute}, {130, 160, Compute}}
+	if p.Duration() != 160 {
+		t.Fatalf("Duration = %v", p.Duration())
+	}
+	if p.PhaseTime(Compute) != 60 {
+		t.Fatalf("PhaseTime = %v", p.PhaseTime(Compute))
+	}
+	if (Profile{}).Duration() != 0 {
+		t.Fatal("empty duration")
+	}
+}
+
+func TestSamplerRateAndValues(t *testing.T) {
+	m := testModel()
+	p := Profile{{0, 3, DataLoad}, {3, 6, Compute}}
+	samples := Sampler{RateHz: 1}.Samples(p, m)
+	if len(samples) != 7 {
+		t.Fatalf("1 Hz over 6 s = %d samples, want 7", len(samples))
+	}
+	if samples[0].Watts != 55 || samples[2].Watts != 55 {
+		t.Fatalf("data-load samples wrong: %+v", samples[:3])
+	}
+	if samples[4].Watts != 250 {
+		t.Fatalf("compute sample wrong: %+v", samples[4])
+	}
+	// 2 Hz doubles the count (CapMC-style).
+	if got := len(Sampler{RateHz: 2}.Samples(p, m)); got != 13 {
+		t.Fatalf("2 Hz = %d samples, want 13", got)
+	}
+	if (Sampler{RateHz: 0}).Samples(p, m) != nil {
+		t.Fatal("rate 0 should produce no samples")
+	}
+}
+
+func TestPhaseAtGapIsIdle(t *testing.T) {
+	m := testModel()
+	p := Profile{{0, 1, Compute}, {5, 6, Compute}}
+	samples := Sampler{RateHz: 1}.Samples(p, m)
+	// t=2,3,4 fall in the gap.
+	if samples[2].Watts != 40 || samples[3].Watts != 40 {
+		t.Fatalf("gap not idle: %+v", samples)
+	}
+}
+
+func TestEnergySavingPercent(t *testing.T) {
+	if got := EnergySavingPercent(200, 100); got != 50 {
+		t.Fatalf("saving = %v", got)
+	}
+	if got := EnergySavingPercent(0, 100); got != 0 {
+		t.Fatalf("zero baseline: %v", got)
+	}
+	if got := EnergySavingPercent(100, 120); got != -20 {
+		t.Fatalf("negative saving = %v", got)
+	}
+}
+
+// Property: energy equals the sampled Riemann sum in the limit of the
+// sampling rate (within the discretization error bound).
+func TestQuickEnergyMatchesFineSampling(t *testing.T) {
+	m := testModel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Profile
+		tcur := 0.0
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			d := 0.5 + rng.Float64()*5
+			p = append(p, Segment{tcur, tcur + d, Phase(rng.Intn(int(numPhases)))})
+			tcur += d
+		}
+		exact := m.Energy(p)
+		const hz = 2000.0
+		sum := 0.0
+		for _, s := range (Sampler{RateHz: hz}).Samples(p, m) {
+			sum += s.Watts / hz
+		}
+		// One sample of slack at the boundary of each segment.
+		tol := float64(len(p)+1) * 300 / hz * 2
+		return math.Abs(sum-exact) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: average power is a convex combination of phase powers, so
+// it lies within [min, max] phase power.
+func TestQuickAveragePowerBounded(t *testing.T) {
+	m := testModel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Profile
+		tcur := 0.0
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			d := 0.1 + rng.Float64()*3
+			p = append(p, Segment{tcur, tcur + d, Phase(rng.Intn(int(numPhases)))})
+			tcur += d
+		}
+		avg := m.AveragePower(p)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, w := range m.Watts {
+			lo, hi = math.Min(lo, w), math.Max(hi, w)
+		}
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseEnergyDecomposition(t *testing.T) {
+	m := testModel()
+	p := Profile{
+		{0, 100, DataLoad},  // 5500 J
+		{110, 120, Compute}, // gap 10 s idle (400 J), then 2500 J
+	}
+	pe := m.PhaseEnergy(p)
+	if math.Abs(pe[DataLoad]-5500) > 1e-9 || math.Abs(pe[Compute]-2500) > 1e-9 || math.Abs(pe[Idle]-400) > 1e-9 {
+		t.Fatalf("PhaseEnergy = %v", pe)
+	}
+	// Components sum to the total integral.
+	sum := 0.0
+	for _, e := range pe {
+		sum += e
+	}
+	if math.Abs(sum-m.Energy(p)) > 1e-9 {
+		t.Fatalf("phase energies (%v) != total (%v)", sum, m.Energy(p))
+	}
+}

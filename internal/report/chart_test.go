@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersProportionalBars(t *testing.T) {
+	c := NewChart("runtime")
+	c.Width = 10
+	c.Add("a", 100)
+	c.Add("b", 50)
+	c.Add("c", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####") || strings.Contains(lines[2], "######") {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Fatalf("zero bar should be empty: %q", lines[3])
+	}
+}
+
+func TestChartTinyNonzeroVisible(t *testing.T) {
+	c := NewChart("x")
+	c.Width = 10
+	c.Add("big", 1000)
+	c.Add("tiny", 0.001)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[2], "#") {
+		t.Fatalf("tiny value invisible: %q", lines[2])
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if !strings.Contains(NewChart("e").String(), "(no data)") {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tb := New("fig", "demo", "gpus", "runtime_s")
+	tb.AddRow("6", "100.5")
+	tb.AddRow("12", "60.25")
+	tb.AddRow("384", "FAILED(OOM)")
+	c, err := ChartFromTable(tb, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "6") || !strings.Contains(out, "100.5") {
+		t.Fatalf("chart: %s", out)
+	}
+	if !strings.Contains(out, "384 (FAILED(OOM))") {
+		t.Fatalf("OOM row not annotated: %s", out)
+	}
+	if _, err := ChartFromTable(tb, 0, 9); err == nil {
+		t.Fatal("bad column accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package report renders experiment results as aligned ASCII tables
+// and CSV, the output format of the benchmark harness that regenerates
+// the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is one table or figure-series worth of results.
+type Table struct {
+	ID      string // e.g. "table3", "fig6a"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes carry provenance remarks (e.g. the paper value a column
+	// reproduces).
+	Notes []string
+}
+
+// New creates a table with the given identity and column headers.
+func New(id, title string, headers ...string) *Table {
+	return &Table{ID: id, Title: title, Headers: headers}
+}
+
+// AddRow appends one row; it panics if the cell count mismatches the
+// headers, which is always a programming error in a driver.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table %s has %d columns", len(cells), t.ID, len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a provenance note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the aligned ASCII form.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the comma-separated form (headers first; notes as
+// trailing comment lines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders a GitHub-flavored Markdown table (notes become
+// trailing italic lines), for embedding artifacts into docs.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s — %s**\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals.
+func F(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// Pct formats a percentage with two decimals and a % sign.
+func Pct(v float64) string { return F(v, 2) + "%" }

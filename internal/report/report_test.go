@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStringAligned(t *testing.T) {
+	tb := New("t1", "demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "12345")
+	tb.AddNote("a note with %d", 42)
+	s := tb.String()
+	if !strings.Contains(s, "== t1: demo ==") {
+		t.Fatalf("missing title: %s", s)
+	}
+	if !strings.Contains(s, "alpha  1") {
+		t.Fatalf("missing row: %s", s)
+	}
+	if !strings.Contains(s, "note: a note with 42") {
+		t.Fatalf("missing note: %s", s)
+	}
+	// All data lines share column offsets.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", s)
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("x", "x", "a", "b").AddRow("only-one")
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("t2", "csv", "a", "b")
+	tb.AddRow(`has,comma`, `has"quote`)
+	tb.AddNote("n")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("quote not doubled: %s", csv)
+	}
+	if !strings.Contains(csv, "# n") {
+		t.Fatalf("note missing: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("header missing: %s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal("F")
+	}
+	if I(42) != "42" {
+		t.Fatal("I")
+	}
+	if Pct(55.446) != "55.45%" {
+		t.Fatal("Pct")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("t3", "md", "a", "b")
+	tb.AddRow("x|y", "2")
+	tb.AddNote("n1")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") {
+		t.Fatalf("header missing: %s", md)
+	}
+	if !strings.Contains(md, `x\|y`) {
+		t.Fatalf("pipe not escaped: %s", md)
+	}
+	if !strings.Contains(md, "*n1*") {
+		t.Fatalf("note missing: %s", md)
+	}
+}

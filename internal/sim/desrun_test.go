@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"candle/internal/hpc"
+)
+
+func TestDESMatchesClosedFormWithoutJitter(t *testing.T) {
+	for _, tc := range []struct {
+		bench   string
+		ranks   int
+		scaling Scaling
+		epochs  int
+		loader  Loader
+	}{
+		{"NT3", 1, Strong, 0, LoaderNaive},
+		{"NT3", 48, Strong, 0, LoaderNaive},
+		{"NT3", 384, Strong, 0, LoaderChunked},
+		{"NT3", 768, Weak, 8, LoaderNaive},
+		{"P1B1", 96, Strong, 0, LoaderChunked},
+		{"P1B2", 384, Strong, 0, LoaderNaive},
+	} {
+		b := mustBench(t, tc.bench)
+		cfg := Config{Machine: hpc.Summit(), Bench: b, Ranks: tc.ranks,
+			Scaling: tc.scaling, Epochs: tc.epochs, Loader: tc.loader}
+		closed := mustRun(t, cfg)
+		ev, err := RunDES(cfg, DESOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ev.TotalTime-closed.TotalTime) > 1e-6 {
+			t.Fatalf("%s/%d: DES total %v != closed form %v",
+				tc.bench, tc.ranks, ev.TotalTime, closed.TotalTime)
+		}
+		if math.Abs(ev.LoadTime-closed.LoadTime) > 1e-6 {
+			t.Fatalf("%s/%d: DES load %v != %v", tc.bench, tc.ranks, ev.LoadTime, closed.LoadTime)
+		}
+		if math.Abs(ev.BroadcastTime-closed.BroadcastTime) > 1e-6 {
+			t.Fatalf("%s/%d: DES broadcast %v != %v", tc.bench, tc.ranks, ev.BroadcastTime, closed.BroadcastTime)
+		}
+		if math.Abs(ev.TrainTime-closed.TrainTime) > 1e-6 {
+			t.Fatalf("%s/%d: DES train %v != %v", tc.bench, tc.ranks, ev.TrainTime, closed.TrainTime)
+		}
+		if ev.StragglerPenalty != 0 {
+			t.Fatalf("jitter-free straggler penalty = %v", ev.StragglerPenalty)
+		}
+	}
+}
+
+func TestDESComputeJitterAmplifiesStragglers(t *testing.T) {
+	b := mustBench(t, "NT3")
+	cfg := Config{Machine: hpc.Summit(), Bench: b, Ranks: 48, Scaling: Strong, Loader: LoaderChunked}
+	closed := mustRun(t, cfg)
+	ev, err := RunDES(cfg, DESOptions{ComputeJitter: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous allreduce forces everyone to the slowest rank's
+	// pace: with 10% jitter the whole training phase stretches ≈10%.
+	wantStretch := 0.10 * closed.ComputePerEpoch * float64(closed.EpochsPerRank)
+	if ev.StragglerPenalty < wantStretch*0.9 || ev.StragglerPenalty > wantStretch*1.1 {
+		t.Fatalf("straggler penalty = %v, want ≈%v", ev.StragglerPenalty, wantStretch)
+	}
+	if ev.TotalTime <= closed.TotalTime {
+		t.Fatal("jitter should inflate total time")
+	}
+}
+
+func TestDESJitterPenaltyGrowsWithJitter(t *testing.T) {
+	b := mustBench(t, "NT3")
+	cfg := Config{Machine: hpc.Summit(), Bench: b, Ranks: 24, Scaling: Strong, Loader: LoaderNaive}
+	prev := -1.0
+	for _, j := range []float64{0, 0.02, 0.05, 0.1, 0.2} {
+		ev, err := RunDES(cfg, DESOptions{ComputeJitter: j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.StragglerPenalty < prev {
+			t.Fatalf("penalty not monotone in jitter at %v", j)
+		}
+		prev = ev.StragglerPenalty
+	}
+}
+
+func TestDESRankCap(t *testing.T) {
+	b := mustBench(t, "NT3")
+	cfg := Config{Machine: hpc.Summit(), Bench: b, Ranks: 3072, Scaling: Weak, Epochs: 8, Loader: LoaderNaive}
+	ev, err := RunDES(cfg, DESOptions{MaxRanksSimulated: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RanksSimulated != 64 {
+		t.Fatalf("simulated %d ranks", ev.RanksSimulated)
+	}
+	// The spread endpoints are preserved, so totals still match the
+	// closed form.
+	closed := mustRun(t, cfg)
+	if math.Abs(ev.TotalTime-closed.TotalTime) > 1e-6 {
+		t.Fatalf("capped DES total %v != %v", ev.TotalTime, closed.TotalTime)
+	}
+}
+
+func TestDESValidation(t *testing.T) {
+	b := mustBench(t, "NT3")
+	cfg := Config{Machine: hpc.Summit(), Bench: b, Ranks: 4, Scaling: Strong, Loader: LoaderNaive}
+	if _, err := RunDES(cfg, DESOptions{ComputeJitter: -0.1}); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+	if _, err := RunDES(cfg, DESOptions{ComputeJitter: 1.0}); err == nil {
+		t.Fatal("jitter ≥ 1 accepted")
+	}
+	bad := cfg
+	bad.Ranks = 0
+	if _, err := RunDES(bad, DESOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// BudgetObjective evaluates a hyperparameter assignment under an
+// explicit training budget (e.g. epochs) — the contract successive
+// halving needs to spend little on bad configurations and much on good
+// ones.
+type BudgetObjective func(p Params, budget int) (Result, error)
+
+// HalvingConfig controls RunHalving.
+type HalvingConfig struct {
+	// InitialBudget is the per-trial budget of the first rung (e.g. 2
+	// epochs).
+	InitialBudget int
+	// Eta is the keep ratio between rungs: the best 1/Eta survive and
+	// the budget multiplies by Eta. 0 means 2 (halving).
+	Eta int
+	// MaxRungs caps the number of rungs; 0 means "until one survivor".
+	MaxRungs int
+}
+
+// RungResult records one rung of the search.
+type RungResult struct {
+	Rung      int
+	Budget    int
+	Trials    []Trial
+	Survivors []Params
+}
+
+// RunHalving implements successive halving: evaluate every assignment
+// at a small budget, keep the best 1/eta, multiply the budget by eta,
+// and repeat until one survivor (or MaxRungs). It spends most of the
+// compute on promising configurations — the strategy CANDLE-style
+// hyperparameter searches use for expensive training runs.
+func (s *Supervisor) RunHalving(space []Params, obj BudgetObjective, cfg HalvingConfig) ([]RungResult, Trial, error) {
+	if obj == nil {
+		return nil, Trial{}, errors.New("supervisor: nil objective")
+	}
+	if len(space) == 0 {
+		return nil, Trial{}, errors.New("supervisor: empty trial list")
+	}
+	eta := cfg.Eta
+	if eta <= 1 {
+		eta = 2
+	}
+	budget := cfg.InitialBudget
+	if budget <= 0 {
+		budget = 1
+	}
+	survivors := space
+	var rungs []RungResult
+	var best Trial
+	haveBest := false
+	for rung := 0; ; rung++ {
+		if cfg.MaxRungs > 0 && rung >= cfg.MaxRungs {
+			break
+		}
+		b := budget // capture per rung
+		trials, err := s.Run(survivors, func(p Params) (Result, error) { return obj(p, b) })
+		if err != nil {
+			return rungs, Trial{}, err
+		}
+		// Rank successful trials by loss.
+		ok := make([]Trial, 0, len(trials))
+		for _, t := range trials {
+			if t.Err == "" {
+				ok = append(ok, t)
+			}
+		}
+		sort.SliceStable(ok, func(i, j int) bool { return ok[i].Result.Loss < ok[j].Result.Loss })
+		keep := len(ok) / eta
+		if keep < 1 {
+			keep = min(1, len(ok))
+		}
+		next := make([]Params, 0, keep)
+		for _, t := range ok[:keep] {
+			next = append(next, t.Params)
+		}
+		rungs = append(rungs, RungResult{Rung: rung, Budget: budget, Trials: trials, Survivors: next})
+		if len(ok) > 0 {
+			best = ok[0]
+			haveBest = true
+		}
+		if len(next) <= 1 {
+			break
+		}
+		survivors = next
+		budget *= eta
+	}
+	if !haveBest {
+		return rungs, Trial{}, fmt.Errorf("supervisor: every trial failed in every rung")
+	}
+	return rungs, best, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

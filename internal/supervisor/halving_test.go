@@ -1,0 +1,139 @@
+package supervisor
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// quadObjective has its optimum at x=5 and improves with budget.
+func quadObjective(calls *atomic.Int64) BudgetObjective {
+	return func(p Params, budget int) (Result, error) {
+		calls.Add(1)
+		x := p["x"]
+		base := (x - 5) * (x - 5)
+		// More budget → closer to the asymptotic loss.
+		return Result{Loss: base + 10.0/float64(budget)}, nil
+	}
+}
+
+func TestRunHalvingConvergesToOptimum(t *testing.T) {
+	space, err := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	s := New(4, nil)
+	rungs, best, err := s.RunHalving(space, quadObjective(&calls), HalvingConfig{InitialBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Params["x"] != 5 {
+		t.Fatalf("best x = %v", best.Params["x"])
+	}
+	// 8 → 4 → 2 → 1 survivors: 3 rungs of halving before a single
+	// survivor remains (the rung that produces 1 survivor ends it).
+	if len(rungs) != 3 {
+		t.Fatalf("rungs = %d", len(rungs))
+	}
+	if rungs[0].Budget != 2 || rungs[1].Budget != 4 || rungs[2].Budget != 8 {
+		t.Fatalf("budgets: %v %v %v", rungs[0].Budget, rungs[1].Budget, rungs[2].Budget)
+	}
+	if len(rungs[0].Survivors) != 4 || len(rungs[1].Survivors) != 2 || len(rungs[2].Survivors) != 1 {
+		t.Fatalf("survivor counts wrong: %d %d %d",
+			len(rungs[0].Survivors), len(rungs[1].Survivors), len(rungs[2].Survivors))
+	}
+	// Total evaluations 8+4+2 = 14 — far fewer than 8 trials × 3
+	// budgets = 24 a full grid at max budget would cost.
+	if calls.Load() != 14 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+	// The winner survived every rung.
+	for _, r := range rungs {
+		found := false
+		for _, p := range r.Survivors {
+			if p["x"] == 5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("optimum dropped at rung %d", r.Rung)
+		}
+	}
+}
+
+func TestRunHalvingEta3(t *testing.T) {
+	space, err := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	s := New(2, nil)
+	rungs, best, err := s.RunHalving(space, quadObjective(&calls), HalvingConfig{InitialBudget: 1, Eta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Params["x"] != 5 {
+		t.Fatalf("best = %v", best.Params)
+	}
+	// 9 → 3 → 1.
+	if len(rungs) != 2 || len(rungs[0].Survivors) != 3 || len(rungs[1].Survivors) != 1 {
+		t.Fatalf("rungs: %+v", rungs)
+	}
+	if rungs[1].Budget != 3 {
+		t.Fatalf("rung 1 budget = %d", rungs[1].Budget)
+	}
+}
+
+func TestRunHalvingMaxRungs(t *testing.T) {
+	space, _ := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2, 3, 4, 5, 6, 7, 8}}})
+	var calls atomic.Int64
+	s := New(1, nil)
+	rungs, _, err := s.RunHalving(space, quadObjective(&calls), HalvingConfig{InitialBudget: 1, MaxRungs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rungs) != 1 {
+		t.Fatalf("rungs = %d", len(rungs))
+	}
+}
+
+func TestRunHalvingFailuresDropOut(t *testing.T) {
+	space, _ := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2, 3, 4}}})
+	s := New(2, nil)
+	obj := func(p Params, budget int) (Result, error) {
+		if p["x"] == 1 || p["x"] == 2 {
+			return Result{}, errors.New("diverged")
+		}
+		return Result{Loss: p["x"]}, nil
+	}
+	rungs, best, err := s.RunHalving(space, obj, HalvingConfig{InitialBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Params["x"] != 3 {
+		t.Fatalf("best = %v", best.Params)
+	}
+	if len(rungs[0].Survivors) != 1 {
+		t.Fatalf("survivors: %+v", rungs[0].Survivors)
+	}
+}
+
+func TestRunHalvingAllFail(t *testing.T) {
+	space, _ := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2}}})
+	s := New(1, nil)
+	obj := func(Params, int) (Result, error) { return Result{}, errors.New("nope") }
+	if _, _, err := s.RunHalving(space, obj, HalvingConfig{InitialBudget: 1}); err == nil {
+		t.Fatal("all-fail search should error")
+	}
+}
+
+func TestRunHalvingValidation(t *testing.T) {
+	s := New(1, nil)
+	if _, _, err := s.RunHalving(nil, func(Params, int) (Result, error) { return Result{}, nil }, HalvingConfig{}); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, _, err := s.RunHalving([]Params{{}}, nil, HalvingConfig{}); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+}

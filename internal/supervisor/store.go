@@ -1,0 +1,112 @@
+package supervisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// Store is the results database of Figure 1(b).
+type Store interface {
+	Put(Trial) error
+	List() ([]Trial, error)
+}
+
+// MemStore is an in-memory store.
+type MemStore struct {
+	mu     sync.Mutex
+	trials []Trial
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Put records a trial.
+func (s *MemStore) Put(t Trial) error {
+	s.mu.Lock()
+	s.trials = append(s.trials, t)
+	s.mu.Unlock()
+	return nil
+}
+
+// List returns all trials sorted by ID.
+func (s *MemStore) List() ([]Trial, error) {
+	s.mu.Lock()
+	out := make([]Trial, len(s.trials))
+	copy(out, s.trials)
+	s.mu.Unlock()
+	sortTrials(out)
+	return out, nil
+}
+
+// FileStore persists trials to a JSON file, loading existing contents
+// on open so sweeps can accumulate across processes (the "database"
+// role in the CANDLE system overview).
+type FileStore struct {
+	mu     sync.Mutex
+	path   string
+	trials []Trial
+}
+
+// OpenFileStore opens (or creates) the JSON trial database at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	s := &FileStore{path: path}
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return s, nil
+	case err != nil:
+		return nil, fmt.Errorf("supervisor: %w", err)
+	}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &s.trials); err != nil {
+			return nil, fmt.Errorf("supervisor: corrupt store %s: %w", path, err)
+		}
+	}
+	return s, nil
+}
+
+// Put records a trial and rewrites the file.
+func (s *FileStore) Put(t Trial) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trials = append(s.trials, t)
+	return s.flushLocked()
+}
+
+func (s *FileStore) flushLocked() error {
+	raw, err := json.MarshalIndent(s.trials, "", "  ")
+	if err != nil {
+		return fmt.Errorf("supervisor: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("supervisor: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("supervisor: %w", err)
+	}
+	return nil
+}
+
+// List returns all trials sorted by ID.
+func (s *FileStore) List() ([]Trial, error) {
+	s.mu.Lock()
+	out := make([]Trial, len(s.trials))
+	copy(out, s.trials)
+	s.mu.Unlock()
+	sortTrials(out)
+	return out, nil
+}
+
+// Len returns the number of stored trials.
+func (s *FileStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.trials)
+}
+
+func logf(x float64) float64 { return math.Log(x) }
+func expf(x float64) float64 { return math.Exp(x) }

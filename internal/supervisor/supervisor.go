@@ -1,0 +1,242 @@
+// Package supervisor rebuilds the CANDLE/Supervisor component of the
+// paper's system overview (Figure 1b): a workflow manager that
+// dispatches hyperparameter-optimization trials over a pool of
+// workers, with a results database. The real project drives the
+// Python benchmarks through Swift/T workflows; here trials call an
+// Objective (typically a real internal/candle run) from a goroutine
+// pool, and the database is an in-memory store with optional JSON
+// persistence.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Params is one trial's hyperparameter assignment.
+type Params map[string]float64
+
+// clone copies a Params map.
+func (p Params) clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is what a trial's objective reports.
+type Result struct {
+	Loss     float64
+	Accuracy float64
+	Seconds  float64
+}
+
+// Trial is one hyperparameter evaluation.
+type Trial struct {
+	ID     int
+	Params Params
+	Result Result
+	// Err is non-empty when the objective failed; failed trials are
+	// kept in the store but never win Best.
+	Err string
+}
+
+// Objective evaluates one hyperparameter assignment.
+type Objective func(p Params) (Result, error)
+
+// Dimension describes one axis of the search space.
+type Dimension struct {
+	Name string
+	// Values enumerates grid points (grid search).
+	Values []float64
+	// Min/Max bound random sampling; Log samples log-uniformly
+	// (learning rates).
+	Min, Max float64
+	Log      bool
+}
+
+// GridSpace returns the cartesian product of the dimensions' Values.
+func GridSpace(dims []Dimension) ([]Params, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("supervisor: empty search space")
+	}
+	out := []Params{{}}
+	for _, d := range dims {
+		if len(d.Values) == 0 {
+			return nil, fmt.Errorf("supervisor: dimension %q has no grid values", d.Name)
+		}
+		var next []Params
+		for _, base := range out {
+			for _, v := range d.Values {
+				p := base.clone()
+				p[d.Name] = v
+				next = append(next, p)
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// RandomSpace draws n assignments from the dimensions' ranges.
+func RandomSpace(dims []Dimension, n int, seed int64) ([]Params, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("supervisor: empty search space")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("supervisor: need positive sample count, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Params, n)
+	for i := range out {
+		p := Params{}
+		for _, d := range dims {
+			switch {
+			case len(d.Values) > 0:
+				p[d.Name] = d.Values[rng.Intn(len(d.Values))]
+			case d.Max > d.Min:
+				if d.Log {
+					if d.Min <= 0 {
+						return nil, fmt.Errorf("supervisor: log dimension %q needs positive min", d.Name)
+					}
+					lo, hi := logf(d.Min), logf(d.Max)
+					p[d.Name] = expf(lo + rng.Float64()*(hi-lo))
+				} else {
+					p[d.Name] = d.Min + rng.Float64()*(d.Max-d.Min)
+				}
+			default:
+				return nil, fmt.Errorf("supervisor: dimension %q has neither values nor a range", d.Name)
+			}
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Supervisor runs trials over a worker pool and records them.
+type Supervisor struct {
+	// Workers is the parallelism (≤1 means sequential).
+	Workers int
+	// Store receives every finished trial; nil means a fresh MemStore.
+	Store Store
+}
+
+// New returns a supervisor with the given parallelism and store.
+func New(workers int, store Store) *Supervisor {
+	if store == nil {
+		store = NewMemStore()
+	}
+	return &Supervisor{Workers: workers, Store: store}
+}
+
+// Run evaluates every assignment, in order of submission, over the
+// worker pool, storing all trials. It returns the trials sorted by ID.
+// Objective errors do not abort the sweep; they are recorded on the
+// trial.
+func (s *Supervisor) Run(space []Params, obj Objective) ([]Trial, error) {
+	if obj == nil {
+		return nil, errors.New("supervisor: nil objective")
+	}
+	if len(space) == 0 {
+		return nil, errors.New("supervisor: empty trial list")
+	}
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(space) {
+		workers = len(space)
+	}
+	type job struct {
+		id int
+		p  Params
+	}
+	jobs := make(chan job)
+	trials := make([]Trial, len(space))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				tr := Trial{ID: j.id, Params: j.p}
+				res, err := safeObjective(obj, j.p)
+				if err != nil {
+					tr.Err = err.Error()
+				} else {
+					tr.Result = res
+				}
+				trials[j.id] = tr
+			}
+		}()
+	}
+	for i, p := range space {
+		jobs <- job{id: i, p: p}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, tr := range trials {
+		if err := s.Store.Put(tr); err != nil {
+			return nil, err
+		}
+	}
+	return trials, nil
+}
+
+// safeObjective converts objective panics into errors so one broken
+// trial cannot take down the sweep.
+func safeObjective(obj Objective, p Params) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("objective panicked: %v", r)
+		}
+	}()
+	return obj(p)
+}
+
+// Metric selects what Best optimizes.
+type Metric int
+
+// Best-trial metrics.
+const (
+	MinLoss Metric = iota
+	MaxAccuracy
+	MinSeconds
+)
+
+// Best returns the best successful trial under the metric; ok is
+// false when no trial succeeded.
+func Best(trials []Trial, m Metric) (Trial, bool) {
+	best := -1
+	better := func(a, b Trial) bool {
+		switch m {
+		case MaxAccuracy:
+			return a.Result.Accuracy > b.Result.Accuracy
+		case MinSeconds:
+			return a.Result.Seconds < b.Result.Seconds
+		default:
+			return a.Result.Loss < b.Result.Loss
+		}
+	}
+	for i, t := range trials {
+		if t.Err != "" {
+			continue
+		}
+		if best < 0 || better(t, trials[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Trial{}, false
+	}
+	return trials[best], true
+}
+
+// sortTrials orders by ID (stable presentation).
+func sortTrials(ts []Trial) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+}

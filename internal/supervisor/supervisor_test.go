@@ -1,0 +1,277 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridSpaceCartesianProduct(t *testing.T) {
+	space, err := GridSpace([]Dimension{
+		{Name: "lr", Values: []float64{0.001, 0.01, 0.1}},
+		{Name: "batch", Values: []float64{10, 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(space))
+	}
+	seen := map[string]bool{}
+	for _, p := range space {
+		key := fmt.Sprintf("%v/%v", p["lr"], p["batch"])
+		if seen[key] {
+			t.Fatalf("duplicate point %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGridSpaceErrors(t *testing.T) {
+	if _, err := GridSpace(nil); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, err := GridSpace([]Dimension{{Name: "x"}}); err == nil {
+		t.Fatal("valueless dimension accepted")
+	}
+}
+
+func TestRandomSpaceBoundsAndDeterminism(t *testing.T) {
+	dims := []Dimension{
+		{Name: "lr", Min: 1e-4, Max: 1e-1, Log: true},
+		{Name: "batch", Values: []float64{10, 20, 40}},
+		{Name: "dropout", Min: 0, Max: 0.5},
+	}
+	a, err := RandomSpace(dims, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSpace(dims, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatal("same seed produced different samples")
+			}
+		}
+		if lr := a[i]["lr"]; lr < 1e-4 || lr > 1e-1 {
+			t.Fatalf("lr %v out of range", lr)
+		}
+		if d := a[i]["dropout"]; d < 0 || d > 0.5 {
+			t.Fatalf("dropout %v out of range", d)
+		}
+		bt := a[i]["batch"]
+		if bt != 10 && bt != 20 && bt != 40 {
+			t.Fatalf("batch %v not from values", bt)
+		}
+	}
+}
+
+func TestRandomSpaceErrors(t *testing.T) {
+	if _, err := RandomSpace(nil, 3, 1); err == nil {
+		t.Fatal("empty dims accepted")
+	}
+	if _, err := RandomSpace([]Dimension{{Name: "x", Min: 1, Max: 2}}, 0, 1); err == nil {
+		t.Fatal("0 samples accepted")
+	}
+	if _, err := RandomSpace([]Dimension{{Name: "x", Min: 0, Max: 1, Log: true}}, 1, 1); err == nil {
+		t.Fatal("log dimension with min 0 accepted")
+	}
+	if _, err := RandomSpace([]Dimension{{Name: "x"}}, 1, 1); err == nil {
+		t.Fatal("rangeless dimension accepted")
+	}
+}
+
+func TestRunEvaluatesAllTrials(t *testing.T) {
+	space, _ := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2, 3, 4, 5}}})
+	var calls atomic.Int32
+	s := New(3, nil)
+	trials, err := s.Run(space, func(p Params) (Result, error) {
+		calls.Add(1)
+		x := p["x"]
+		return Result{Loss: (x - 3) * (x - 3), Accuracy: 1 / (1 + x), Seconds: x}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 5 || len(trials) != 5 {
+		t.Fatalf("calls %d trials %d", calls.Load(), len(trials))
+	}
+	// IDs align with submission order.
+	for i, tr := range trials {
+		if tr.ID != i {
+			t.Fatalf("trial %d has ID %d", i, tr.ID)
+		}
+	}
+	best, ok := Best(trials, MinLoss)
+	if !ok || best.Params["x"] != 3 {
+		t.Fatalf("best loss trial: %+v", best)
+	}
+	bestAcc, _ := Best(trials, MaxAccuracy)
+	if bestAcc.Params["x"] != 1 {
+		t.Fatalf("best accuracy trial: %+v", bestAcc)
+	}
+	bestTime, _ := Best(trials, MinSeconds)
+	if bestTime.Params["x"] != 1 {
+		t.Fatalf("fastest trial: %+v", bestTime)
+	}
+	// Store has all of them.
+	stored, err := s.Store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 5 {
+		t.Fatalf("store holds %d", len(stored))
+	}
+}
+
+func TestRunIsolatesFailuresAndPanics(t *testing.T) {
+	space, _ := GridSpace([]Dimension{{Name: "x", Values: []float64{1, 2, 3}}})
+	s := New(2, nil)
+	trials, err := s.Run(space, func(p Params) (Result, error) {
+		switch p["x"] {
+		case 1:
+			return Result{}, errors.New("boom")
+		case 2:
+			panic("kaboom")
+		}
+		return Result{Loss: 0.5}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials[0].Err == "" || trials[1].Err == "" {
+		t.Fatalf("failures not recorded: %+v", trials)
+	}
+	best, ok := Best(trials, MinLoss)
+	if !ok || best.Params["x"] != 3 {
+		t.Fatalf("best should skip failures: %+v", best)
+	}
+}
+
+func TestBestWithNoSuccess(t *testing.T) {
+	if _, ok := Best([]Trial{{Err: "x"}}, MinLoss); ok {
+		t.Fatal("Best found a winner among failures")
+	}
+	if _, ok := Best(nil, MinLoss); ok {
+		t.Fatal("Best of nothing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := New(1, nil)
+	if _, err := s.Run(nil, func(Params) (Result, error) { return Result{}, nil }); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, err := s.Run([]Params{{}}, nil); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.json")
+	st, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Trial{ID: 0, Params: Params{"lr": 0.01}, Result: Result{Loss: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Trial{ID: 1, Params: Params{"lr": 0.1}, Result: Result{Loss: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: contents survive.
+	st2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Result.Loss != 0.2 || got[0].Params["lr"] != 0.01 {
+		t.Fatalf("persistence mangled: %+v", got)
+	}
+	if st2.Len() != 2 {
+		t.Fatal("Len")
+	}
+	// A sweep can append to the same database.
+	s := New(1, st2)
+	space, _ := GridSpace([]Dimension{{Name: "lr", Values: []float64{0.5}}})
+	if _, err := s.Run(space, func(Params) (Result, error) { return Result{Loss: 1}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 3 {
+		t.Fatalf("appended store len = %d", st2.Len())
+	}
+}
+
+func TestOpenFileStoreCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("corrupt store accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// Property: grid size is the product of dimension sizes and every
+// point is within its dimension's value set.
+func TestQuickGridProduct(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		na, nb, nc := int(a)%4+1, int(b)%4+1, int(c)%4+1
+		dims := []Dimension{
+			{Name: "a", Values: seq(na)},
+			{Name: "b", Values: seq(nb)},
+			{Name: "c", Values: seq(nc)},
+		}
+		space, err := GridSpace(dims)
+		if err != nil {
+			return false
+		}
+		return len(space) == na*nb*nc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// Property: log-uniform samples cover orders of magnitude (the median
+// of many samples from [1e-4, 1e0] lies well below the arithmetic
+// midpoint).
+func TestQuickLogSamplingSkew(t *testing.T) {
+	dims := []Dimension{{Name: "lr", Min: 1e-4, Max: 1, Log: true}}
+	space, err := RandomSpace(dims, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	for _, p := range space {
+		if p["lr"] < 0.01 { // log-midpoint of [1e-4, 1e0]
+			below++
+		}
+	}
+	if math.Abs(float64(below)-200) > 60 {
+		t.Fatalf("log sampling not centered on log-midpoint: %d/400 below 0.01", below)
+	}
+}

@@ -1,0 +1,37 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandNormal returns a rows×cols matrix with N(0, std²) entries drawn
+// from rng, which must not be nil so results stay deterministic.
+func RandNormal(rng *rand.Rand, rows, cols int, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform returns a rows×cols matrix with entries uniform in
+// [lo, hi).
+func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// GlorotUniform returns a fanIn×fanOut weight matrix initialized with
+// the Glorot/Xavier uniform scheme Keras uses by default, which keeps
+// activation variance stable across layers.
+func GlorotUniform(rng *rand.Rand, fanIn, fanOut int) *Matrix {
+	limit := 0.0
+	if fanIn+fanOut > 0 {
+		limit = math.Sqrt(6.0 / float64(fanIn+fanOut))
+	}
+	return RandUniform(rng, fanIn, fanOut, -limit, limit)
+}

@@ -1,0 +1,372 @@
+// Package tensor provides the dense numeric containers and parallel
+// linear-algebra kernels that the neural-network framework in
+// internal/nn is built on. Everything is float64 and row-major; a
+// Matrix with R rows and C columns stores element (i, j) at
+// Data[i*C+j].
+//
+// The package is deliberately small: matrices, a handful of BLAS-like
+// kernels (matmul, transposed variants, axpy, scale), reductions, and
+// element-wise maps. Kernels split work across goroutines when the
+// problem is large enough to amortize the scheduling cost, mirroring
+// how an HPC math library would use threads.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice size mismatch: %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Matrix) SameShape(n *Matrix) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+func (m *Matrix) shapeCheck(n *Matrix, op string) {
+	if !m.SameShape(n) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+}
+
+// Add sets m += n in place and returns m.
+func (m *Matrix) Add(n *Matrix) *Matrix {
+	m.shapeCheck(n, "Add")
+	for i, v := range n.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// Sub sets m -= n in place and returns m.
+func (m *Matrix) Sub(n *Matrix) *Matrix {
+	m.shapeCheck(n, "Sub")
+	for i, v := range n.Data {
+		m.Data[i] -= v
+	}
+	return m
+}
+
+// MulElem sets m *= n element-wise in place and returns m.
+func (m *Matrix) MulElem(n *Matrix) *Matrix {
+	m.shapeCheck(n, "MulElem")
+	for i, v := range n.Data {
+		m.Data[i] *= v
+	}
+	return m
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AXPY sets m += a*n in place and returns m.
+func (m *Matrix) AXPY(a float64, n *Matrix) *Matrix {
+	m.shapeCheck(n, "AXPY")
+	for i, v := range n.Data {
+		m.Data[i] += a * v
+	}
+	return m
+}
+
+// Apply replaces each element x with f(x) in place and returns m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// Map returns a new matrix whose elements are f applied to m's.
+func (m *Matrix) Map(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the largest element; it panics on an empty matrix.
+func (m *Matrix) Max() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Max of empty matrix")
+	}
+	mx := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Transpose returns a new matrix that is mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// parallelThreshold is the number of scalar multiply-adds below which
+// matmul kernels stay single-threaded.
+const parallelThreshold = 64 * 1024
+
+// parallelRows runs f over row ranges [lo, hi) of n rows, splitting
+// across GOMAXPROCS workers when work (an estimate of total flops) is
+// large enough.
+func parallelRows(n int, work int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || n < 2 {
+		f(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a·b. It panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a·bᵀ without materializing the transpose.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ·b without materializing the transpose.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	// Parallelize over output rows (a's columns) to keep writes disjoint.
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// AddRowVector adds vector v (length m.Cols) to every row of m in place.
+func (m *Matrix) AddRowVector(v []float64) *Matrix {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+	return m
+}
+
+// ColSums returns a length-Cols vector of per-column sums.
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RowSlice returns a new matrix holding rows [lo, hi) of m. The data
+// is shared with m (a view), so mutations are visible both ways.
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// Equal reports whether m and n are identical in shape and elements.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i, v := range m.Data {
+		if n.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports whether m and n agree element-wise within tol.
+func (m *Matrix) AlmostEqual(n *Matrix, tol float64) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(n.Data[i]-v) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	s := small.String()
+	if !strings.Contains(s, "1 2; 3 4") {
+		t.Fatalf("String = %q", s)
+	}
+	big := New(100, 100)
+	if bs := big.String(); !strings.Contains(bs, "Matrix(100x100)") {
+		t.Fatalf("big String = %q", bs)
+	}
+}
+
+func TestFillZeroMaxEmpty(t *testing.T) {
+	m := New(2, 3)
+	m.Fill(7)
+	if m.Sum() != 42 {
+		t.Fatalf("Fill: %v", m.Data)
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatal("Zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max of empty should panic")
+		}
+	}()
+	New(0, 0).Max()
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if New(2, 2).Equal(New(2, 3)) {
+		t.Fatal("shape mismatch equal")
+	}
+	if New(2, 2).AlmostEqual(New(3, 2), 1) {
+		t.Fatal("shape mismatch almost-equal")
+	}
+}
+
+func TestMatMulTDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMulT(New(2, 3), New(2, 4))
+}
+
+func TestTMatMulDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TMatMul(New(2, 3), New(3, 4))
+}
+
+func TestAXPYShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 2).AXPY(1, New(2, 1))
+}
+
+func TestAddRowVectorLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).AddRowVector([]float64{1, 2})
+}
+
+// TestParallelKernelsLargeMatchNaive drives the multi-goroutine path
+// of every matmul kernel (the work sizes exceed parallelThreshold).
+func TestParallelKernelsLargeMatchNaive(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-proc environment")
+	}
+	rng := rand.New(rand.NewSource(99))
+	a := RandNormal(rng, 150, 200, 1)
+	b := RandNormal(rng, 200, 120, 1)
+	if !MatMul(a, b).AlmostEqual(matMulNaive(a, b), 1e-9) {
+		t.Fatal("parallel MatMul wrong")
+	}
+	c := RandNormal(rng, 130, 200, 1)
+	if !MatMulT(a, c).AlmostEqual(MatMul(a, c.Transpose()), 1e-9) {
+		t.Fatal("parallel MatMulT wrong")
+	}
+	d := RandNormal(rng, 150, 90, 1)
+	if !TMatMul(a, d).AlmostEqual(MatMul(a.Transpose(), d), 1e-9) {
+		t.Fatal("parallel TMatMul wrong")
+	}
+}

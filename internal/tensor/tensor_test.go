@@ -1,0 +1,337 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("At wrong: %v", m)
+	}
+	m.Set(1, 1, 42)
+	if m.At(1, 1) != 42 {
+		t.Fatal("Set did not stick")
+	}
+}
+
+func TestFromSlicePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{10, 20, 30, 40})
+	a.Add(b)
+	want := []float64{11, 22, 33, 44}
+	for i, v := range want {
+		if a.Data[i] != v {
+			t.Fatalf("Add: got %v want %v", a.Data, want)
+		}
+	}
+	a.Sub(b)
+	for i, v := range []float64{1, 2, 3, 4} {
+		if a.Data[i] != v {
+			t.Fatalf("Sub: got %v", a.Data)
+		}
+	}
+	a.Scale(2)
+	if a.Data[3] != 8 {
+		t.Fatalf("Scale: got %v", a.Data)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 1, 1})
+	b := FromSlice(1, 3, []float64{1, 2, 3})
+	a.AXPY(0.5, b)
+	want := []float64{1.5, 2, 2.5}
+	for i, v := range want {
+		if math.Abs(a.Data[i]-v) > 1e-12 {
+			t.Fatalf("AXPY: got %v want %v", a.Data, want)
+		}
+	}
+}
+
+func TestMulElem(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{2, 2, 2})
+	a.MulElem(b)
+	if a.Data[0] != 2 || a.Data[2] != 6 {
+		t.Fatalf("MulElem: %v", a.Data)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Add(New(2, 3))
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !c.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 5, 5, 1)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(a, id).AlmostEqual(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !MatMul(id, a).AlmostEqual(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulInnerDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// matMulNaive is the reference O(n³) implementation used to verify the
+// parallel kernels.
+func matMulNaive(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaiveLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 70, 90, 1)
+	b := RandNormal(rng, 90, 60, 1)
+	if !MatMul(a, b).AlmostEqual(matMulNaive(a, b), 1e-9) {
+		t.Fatal("parallel MatMul disagrees with naive")
+	}
+}
+
+func TestMatMulTAndTMatMulMatchTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandNormal(rng, 17, 23, 1)
+	b := RandNormal(rng, 29, 23, 1)
+	if !MatMulT(a, b).AlmostEqual(MatMul(a, b.Transpose()), 1e-9) {
+		t.Fatal("MatMulT != A·Bᵀ")
+	}
+	c := RandNormal(rng, 17, 31, 1)
+	if !TMatMul(a, c).AlmostEqual(MatMul(a.Transpose(), c), 1e-9) {
+		t.Fatal("TMatMul != Aᵀ·C")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandNormal(rng, 7, 11, 1)
+	if !a.Transpose().Transpose().Equal(a) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestRowSliceIsView(t *testing.T) {
+	m := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	v := m.RowSlice(1, 3)
+	if v.Rows != 2 || v.At(0, 0) != 3 || v.At(1, 1) != 6 {
+		t.Fatalf("RowSlice wrong: %v", v)
+	}
+	v.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("RowSlice is not a view")
+	}
+}
+
+func TestRowSliceBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 2).RowSlice(2, 4)
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	m.AddRowVector([]float64{10, 20, 30})
+	if m.At(0, 0) != 11 || m.At(1, 2) != 36 {
+		t.Fatalf("AddRowVector: %v", m)
+	}
+	s := m.ColSums()
+	want := []float64{25, 47, 69}
+	for i, v := range want {
+		if s[i] != v {
+			t.Fatalf("ColSums = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestSumMaxNorm(t *testing.T) {
+	m := FromSlice(1, 4, []float64{3, -1, 4, -1})
+	if m.Sum() != 5 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	if m.Max() != 4 {
+		t.Fatalf("Max = %v", m.Max())
+	}
+	if math.Abs(m.Norm2()-math.Sqrt(27)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", m.Norm2())
+	}
+}
+
+func TestApplyAndMap(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	n := m.Map(func(x float64) float64 { return x * x })
+	if m.Data[1] != 2 {
+		t.Fatal("Map mutated receiver")
+	}
+	if n.Data[2] != 9 {
+		t.Fatalf("Map wrong: %v", n.Data)
+	}
+	m.Apply(func(x float64) float64 { return -x })
+	if m.Data[0] != -1 {
+		t.Fatalf("Apply wrong: %v", m.Data)
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := GlorotUniform(rng, 100, 50)
+	limit := math.Sqrt(6.0 / 150.0)
+	for _, v := range w.Data {
+		if v < -limit || v >= limit {
+			t.Fatalf("Glorot value %v outside [%v,%v)", v, -limit, limit)
+		}
+	}
+	// Should not be all zero.
+	if w.Norm2() == 0 {
+		t.Fatal("Glorot init all zero")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := RandNormal(rand.New(rand.NewSource(7)), 4, 4, 1)
+	b := RandNormal(rand.New(rand.NewSource(7)), 4, 4, 1)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+}
+
+// Property: matmul distributes over addition: A(B+C) = AB + AC.
+func TestQuickMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := 2 + rng.Intn(8)
+		p := 2 + rng.Intn(8)
+		a := RandNormal(rng, n, m, 1)
+		b := RandNormal(rng, m, p, 1)
+		c := RandNormal(rng, m, p, 1)
+		left := MatMul(a, b.Clone().Add(c))
+		right := MatMul(a, b).Add(MatMul(a, c))
+		return left.AlmostEqual(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestQuickMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		p := 2 + rng.Intn(6)
+		a := RandNormal(rng, n, m, 1)
+		b := RandNormal(rng, m, p, 1)
+		left := MatMul(a, b).Transpose()
+		right := MatMul(b.Transpose(), a.Transpose())
+		return left.AlmostEqual(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ColSums(A+B) = ColSums(A)+ColSums(B).
+func TestQuickColSumsLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(10)
+		a := RandNormal(rng, n, m, 1)
+		b := RandNormal(rng, n, m, 1)
+		sa, sb := a.ColSums(), b.ColSums()
+		sum := a.Clone().Add(b).ColSums()
+		for i := range sum {
+			if math.Abs(sum[i]-(sa[i]+sb[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 128, 128, 1)
+	y := RandNormal(rng, 128, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+// Analysis helpers over recorded timelines — the questions the paper
+// answers by eyeballing chrome://tracing ("how long is the broadcast?",
+// "what fraction of the run is communication?") as code.
+
+// CategoryTime sums event durations per category for one rank (tid).
+func (t *Timeline) CategoryTime(tid int) map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range t.Events() {
+		if e.TID == tid {
+			out[e.Cat] += e.Dur
+		}
+	}
+	return out
+}
+
+// BusyFraction returns the share of rank tid's active span spent in
+// the given category (0 when the rank has no events).
+func (t *Timeline) BusyFraction(tid int, cat string) float64 {
+	var total, in float64
+	var start, end float64
+	first := true
+	for _, e := range t.Events() {
+		if e.TID != tid {
+			continue
+		}
+		if first || e.Start < start {
+			start = e.Start
+		}
+		if first || e.End() > end {
+			end = e.End()
+		}
+		first = false
+		if e.Cat == cat {
+			in += e.Dur
+		}
+	}
+	if first {
+		return 0
+	}
+	total = end - start
+	if total <= 0 {
+		return 0
+	}
+	return in / total
+}
+
+// Ranks returns the distinct TIDs present, ascending.
+func (t *Timeline) Ranks() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range t.Events() {
+		if !seen[e.TID] {
+			seen[e.TID] = true
+			out = append(out, e.TID)
+		}
+	}
+	// Events() is start-sorted; sort TIDs properly.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

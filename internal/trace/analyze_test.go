@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func analysisTimeline() *Timeline {
+	tl := NewTimeline()
+	// Rank 0: 0–10 io, 10–12 broadcast, 12–20 compute.
+	tl.Complete("data_loading", "io", 0, 0, 0, 10)
+	tl.Complete("mpi_broadcast", "broadcast", 0, 0, 10, 2)
+	tl.Complete("compute", "compute", 0, 0, 12, 8)
+	// Rank 1: shifted.
+	tl.Complete("data_loading", "io", 0, 1, 0, 12)
+	tl.Complete("compute", "compute", 0, 1, 12, 4)
+	return tl
+}
+
+func TestCategoryTime(t *testing.T) {
+	tl := analysisTimeline()
+	ct := tl.CategoryTime(0)
+	if ct["io"] != 10 || ct["broadcast"] != 2 || ct["compute"] != 8 {
+		t.Fatalf("CategoryTime = %v", ct)
+	}
+	if len(tl.CategoryTime(7)) != 0 {
+		t.Fatal("absent rank should be empty")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	tl := analysisTimeline()
+	if f := tl.BusyFraction(0, "io"); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("io fraction = %v", f)
+	}
+	if f := tl.BusyFraction(0, "compute"); math.Abs(f-0.4) > 1e-12 {
+		t.Fatalf("compute fraction = %v", f)
+	}
+	if f := tl.BusyFraction(1, "io"); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("rank 1 io fraction = %v", f)
+	}
+	if tl.BusyFraction(9, "io") != 0 {
+		t.Fatal("absent rank fraction")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	tl := analysisTimeline()
+	tl.Complete("x", "io", 0, 5, 0, 1)
+	got := tl.Ranks()
+	want := []int{0, 1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Ranks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v", got)
+		}
+	}
+	if len(NewTimeline().Ranks()) != 0 {
+		t.Fatal("empty timeline ranks")
+	}
+}
+
+func TestBusyFractionOnSimTimelineShape(t *testing.T) {
+	// On a naive-loader NT3 run at scale, I/O dominates rank 0's span
+	// — the paper's core observation, read off the timeline.
+	tl := NewTimeline()
+	tl.Complete("data_loading", "io", 0, 0, 0, 126)
+	tl.Complete("negotiate_broadcast", "broadcast", 0, 0, 126, 40)
+	tl.Complete("compute", "compute", 0, 0, 166, 23)
+	if tl.BusyFraction(0, "io") < 0.5 {
+		t.Fatal("io should dominate")
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profiler accumulates named phase durations, playing the role
+// Python's cProfile plays in the paper: attributing total runtime to
+// data loading, training, and evaluation.
+type Profiler struct {
+	mu     sync.Mutex
+	clock  func() float64
+	phases map[string]*PhaseStat
+	order  []string
+}
+
+// PhaseStat is the accumulated time of one named phase.
+type PhaseStat struct {
+	Name  string
+	Total float64 // seconds
+	Count int
+}
+
+// NewProfiler returns a profiler using the wall clock.
+func NewProfiler() *Profiler {
+	start := time.Now()
+	return NewProfilerWithClock(func() float64 { return time.Since(start).Seconds() })
+}
+
+// NewProfilerWithClock returns a profiler reading the given clock
+// (seconds); simulations pass their virtual clock.
+func NewProfilerWithClock(clock func() float64) *Profiler {
+	return &Profiler{clock: clock, phases: make(map[string]*PhaseStat)}
+}
+
+// Start begins timing a phase and returns a stop function.
+//
+//	defer p.Start("data_loading")()
+func (p *Profiler) Start(name string) func() {
+	begin := p.clock()
+	return func() { p.Record(name, p.clock()-begin) }
+}
+
+// Record adds an externally measured duration to a phase.
+func (p *Profiler) Record(name string, seconds float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.phases[name]
+	if !ok {
+		st = &PhaseStat{Name: name}
+		p.phases[name] = st
+		p.order = append(p.order, name)
+	}
+	st.Total += seconds
+	st.Count++
+}
+
+// Total returns the accumulated seconds for one phase (0 if absent).
+func (p *Profiler) Total(name string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.phases[name]; ok {
+		return st.Total
+	}
+	return 0
+}
+
+// Stats returns all phases in first-recorded order.
+func (p *Profiler) Stats() []PhaseStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PhaseStat, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.phases[name])
+	}
+	return out
+}
+
+// Report renders a cProfile-style table sorted by descending total.
+func (p *Profiler) Report() string {
+	stats := p.Stats()
+	sort.SliceStable(stats, func(i, j int) bool { return stats[i].Total > stats[j].Total })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %8s\n", "phase", "total(s)", "calls")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-28s %10.3f %8d\n", s.Name, s.Total, s.Count)
+	}
+	return b.String()
+}

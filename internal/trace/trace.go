@@ -1,0 +1,169 @@
+// Package trace records Horovod-style activity timelines in the
+// Chrome trace-event JSON format (viewable at chrome://tracing), and
+// provides a cProfile-like phase profiler. Timestamps are float64
+// seconds so the same machinery serves both wall-clock (real training)
+// and virtual-clock (simulated large-scale) runs.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one complete ("ph":"X") trace event. Times are seconds;
+// serialization converts to the microseconds Chrome expects.
+type Event struct {
+	Name  string  // e.g. "negotiate_broadcast", "NCCL_allreduce"
+	Cat   string  // e.g. "broadcast", "allreduce"
+	Start float64 // seconds
+	Dur   float64 // seconds
+	PID   int     // process / node
+	TID   int     // rank / device
+	Args  map[string]any
+}
+
+// End returns the event's end time in seconds.
+func (e Event) End() float64 { return e.Start + e.Dur }
+
+// Timeline is a concurrency-safe collector of trace events.
+type Timeline struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Add records one event.
+func (t *Timeline) Add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Complete records a finished span.
+func (t *Timeline) Complete(name, cat string, pid, tid int, start, dur float64) {
+	t.Add(Event{Name: name, Cat: cat, PID: pid, TID: tid, Start: start, Dur: dur})
+}
+
+// Events returns a copy of all recorded events sorted by start time.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Filter returns the events whose Name equals name, sorted by start.
+func (t *Timeline) Filter(name string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FilterCat returns the events whose Cat equals cat, sorted by start.
+func (t *Timeline) FilterCat(cat string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalDuration sums the duration of all events with the given name.
+func (t *Timeline) TotalDuration(name string) float64 {
+	sum := 0.0
+	for _, e := range t.Events() {
+		if e.Name == name {
+			sum += e.Dur
+		}
+	}
+	return sum
+}
+
+// Span returns the earliest start and latest end among events with the
+// given category; ok is false if there are none. This is how the
+// paper reads "the broadcast takes 43 s" off the Horovod timeline.
+func (t *Timeline) Span(cat string) (start, end float64, ok bool) {
+	first := true
+	for _, e := range t.Events() {
+		if e.Cat != cat {
+			continue
+		}
+		if first || e.Start < start {
+			start = e.Start
+		}
+		if first || e.End() > end {
+			end = e.End()
+		}
+		first = false
+	}
+	return start, end, !first
+}
+
+// chromeEvent is the on-disk representation.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON serializes the timeline in Chrome trace format
+// ({"traceEvents": [...]}).
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	evs := t.Events()
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, len(evs))}
+	for i, e := range evs {
+		out.TraceEvents[i] = chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "X",
+			TS: e.Start * 1e6, Dur: e.Dur * 1e6,
+			PID: e.PID, TID: e.TID, Args: e.Args,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a timeline previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Timeline, error) {
+	var in struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	t := NewTimeline()
+	for _, ce := range in.TraceEvents {
+		t.Add(Event{
+			Name: ce.Name, Cat: ce.Cat,
+			Start: ce.TS / 1e6, Dur: ce.Dur / 1e6,
+			PID: ce.PID, TID: ce.TID, Args: ce.Args,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTimelineAddAndSort(t *testing.T) {
+	tl := NewTimeline()
+	tl.Complete("b", "compute", 0, 1, 5, 1)
+	tl.Complete("a", "compute", 0, 0, 1, 2)
+	evs := tl.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("not sorted by start: %v", evs)
+	}
+	if evs[0].End() != 3 {
+		t.Fatalf("End = %v", evs[0].End())
+	}
+}
+
+func TestFilterAndTotalDuration(t *testing.T) {
+	tl := NewTimeline()
+	tl.Complete("allreduce", "allreduce", 0, 0, 0, 2)
+	tl.Complete("allreduce", "allreduce", 0, 1, 3, 4)
+	tl.Complete("broadcast", "broadcast", 0, 0, 1, 1)
+	if got := tl.TotalDuration("allreduce"); got != 6 {
+		t.Fatalf("TotalDuration = %v", got)
+	}
+	if got := len(tl.Filter("allreduce")); got != 2 {
+		t.Fatalf("Filter = %d events", got)
+	}
+	if got := len(tl.FilterCat("broadcast")); got != 1 {
+		t.Fatalf("FilterCat = %d events", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tl := NewTimeline()
+	if _, _, ok := tl.Span("broadcast"); ok {
+		t.Fatal("Span of empty timeline reported ok")
+	}
+	tl.Complete("negotiate_broadcast", "broadcast", 0, 0, 10, 5)
+	tl.Complete("mpi_broadcast", "broadcast", 0, 1, 12, 8)
+	tl.Complete("allreduce", "allreduce", 0, 0, 30, 1)
+	start, end, ok := tl.Span("broadcast")
+	if !ok || start != 10 || end != 20 {
+		t.Fatalf("Span = %v..%v ok=%v", start, end, ok)
+	}
+}
+
+func TestWriteReadJSONRoundTrip(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(Event{Name: "NCCL_allreduce", Cat: "allreduce", Start: 1.5, Dur: 0.25, PID: 2, TID: 3,
+		Args: map[string]any{"bytes": 1024.0}})
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatalf("missing traceEvents key: %s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := back.Events()
+	if len(evs) != 1 {
+		t.Fatalf("round trip lost events: %d", len(evs))
+	}
+	e := evs[0]
+	if e.Name != "NCCL_allreduce" || e.Cat != "allreduce" || e.Start != 1.5 || e.Dur != 0.25 || e.PID != 2 || e.TID != 3 {
+		t.Fatalf("round trip mangled event: %+v", e)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTimelineConcurrentAdd(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tl.Complete("e", "c", 0, i, float64(j), 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tl.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", tl.Len())
+	}
+}
+
+func TestProfilerRecordAndReport(t *testing.T) {
+	now := 0.0
+	p := NewProfilerWithClock(func() float64 { return now })
+	stop := p.Start("data_loading")
+	now = 5
+	stop()
+	p.Record("training", 10)
+	p.Record("training", 2)
+	if got := p.Total("data_loading"); got != 5 {
+		t.Fatalf("data_loading = %v", got)
+	}
+	if got := p.Total("training"); got != 12 {
+		t.Fatalf("training = %v", got)
+	}
+	if got := p.Total("absent"); got != 0 {
+		t.Fatalf("absent = %v", got)
+	}
+	stats := p.Stats()
+	if len(stats) != 2 || stats[0].Name != "data_loading" || stats[1].Count != 2 {
+		t.Fatalf("Stats = %+v", stats)
+	}
+	rep := p.Report()
+	if !strings.Contains(rep, "training") || !strings.Contains(rep, "12.000") {
+		t.Fatalf("Report = %q", rep)
+	}
+	// Report sorts by total descending: training first.
+	if strings.Index(rep, "training") > strings.Index(rep, "data_loading") {
+		t.Fatal("Report not sorted by total")
+	}
+}
+
+func TestProfilerWallClock(t *testing.T) {
+	p := NewProfiler()
+	p.Start("x")()
+	if p.Total("x") < 0 {
+		t.Fatal("negative duration")
+	}
+}
