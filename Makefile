@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-tensor ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages where goroutines share tensor buffers: the
+# kernel worker pool, the layers that reuse forward/backward buffers,
+# and the multi-rank runner that drives both concurrently.
+race:
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/candle
+
+vet:
+	$(GO) vet ./...
+
+# Kernel and layer-step micro-benchmarks (the numbers recorded in
+# BENCH_tensor.json).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor ./internal/nn
+
+bench-tensor:
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkDenseStep' -benchmem -run '^$$' ./internal/tensor ./internal/nn
+
+ci: build test race vet

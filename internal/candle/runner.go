@@ -3,6 +3,7 @@ package candle
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -117,6 +118,14 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 		epochsPerRank = horovod.CompEpochsBalanced(cfg.TotalEpochs, cfg.Ranks)
 	}
 	trainPath, testPath := b.Files(cfg.DataDir)
+
+	// Each rank is one goroutine driving tensor kernels; divide the
+	// machine between them instead of letting R ranks each fan out to
+	// GOMAXPROCS kernel goroutines — the oversubscription the paper
+	// flags on shared nodes. The budget is global and restored on
+	// return so nested or subsequent runs see the caller's setting.
+	prevWorkers := tensor.SetWorkers(max(1, runtime.GOMAXPROCS(0)/cfg.Ranks))
+	defer tensor.SetWorkers(prevWorkers)
 
 	world := mpi.NewWorld(cfg.Ranks)
 	results := make([]RankResult, cfg.Ranks)

@@ -15,7 +15,8 @@ type Activation struct {
 	statelessBase
 	Kind string
 	in   *tensor.Matrix // cached pre-activation (relu/sigmoid/tanh)
-	out  *tensor.Matrix // cached output (sigmoid/tanh/softmax)
+	out  *tensor.Matrix // reusable output buffer (also backward cache)
+	dx   *tensor.Matrix // reusable backward buffer
 }
 
 // NewActivation returns an activation layer of the given kind. Unknown
@@ -51,20 +52,30 @@ func (a *Activation) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 		return x
 	case "relu":
 		a.in = x
-		return x.Map(func(v float64) float64 {
+		a.out = ensure(a.out, x.Rows, x.Cols)
+		for i, v := range x.Data {
 			if v > 0 {
-				return v
+				a.out.Data[i] = v
+			} else {
+				a.out.Data[i] = 0
 			}
-			return 0
-		})
+		}
+		return a.out
 	case "sigmoid":
-		a.out = x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		a.out = ensure(a.out, x.Rows, x.Cols)
+		for i, v := range x.Data {
+			a.out.Data[i] = 1 / (1 + math.Exp(-v))
+		}
 		return a.out
 	case "tanh":
-		a.out = x.Map(math.Tanh)
+		a.out = ensure(a.out, x.Rows, x.Cols)
+		for i, v := range x.Data {
+			a.out.Data[i] = math.Tanh(v)
+		}
 		return a.out
 	case "softmax":
-		out := tensor.New(x.Rows, x.Cols)
+		a.out = ensure(a.out, x.Rows, x.Cols)
+		out := a.out
 		for i := 0; i < x.Rows; i++ {
 			row := x.Row(i)
 			orow := out.Row(i)
@@ -84,11 +95,16 @@ func (a *Activation) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 				orow[j] /= sum
 			}
 		}
-		a.out = out
 		return out
 	default:
 		panic("nn: activation not built: " + a.Kind)
 	}
+}
+
+// ensureDx sizes the reusable backward buffer to match dout.
+func (a *Activation) ensureDx(dout *tensor.Matrix) *tensor.Matrix {
+	a.dx = ensure(a.dx, dout.Rows, dout.Cols)
+	return a.dx
 }
 
 // Backward implements Layer.
@@ -97,21 +113,23 @@ func (a *Activation) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	case "linear":
 		return dout
 	case "relu":
-		dx := tensor.New(dout.Rows, dout.Cols)
+		dx := a.ensureDx(dout)
 		for i, v := range a.in.Data {
 			if v > 0 {
 				dx.Data[i] = dout.Data[i]
+			} else {
+				dx.Data[i] = 0
 			}
 		}
 		return dx
 	case "sigmoid":
-		dx := tensor.New(dout.Rows, dout.Cols)
+		dx := a.ensureDx(dout)
 		for i, y := range a.out.Data {
 			dx.Data[i] = dout.Data[i] * y * (1 - y)
 		}
 		return dx
 	case "tanh":
-		dx := tensor.New(dout.Rows, dout.Cols)
+		dx := a.ensureDx(dout)
 		for i, y := range a.out.Data {
 			dx.Data[i] = dout.Data[i] * (1 - y*y)
 		}
@@ -119,7 +137,7 @@ func (a *Activation) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	case "softmax":
 		// Row-wise Jacobian-vector product:
 		// dz_i = y_i * (g_i - Σ_j g_j y_j).
-		dx := tensor.New(dout.Rows, dout.Cols)
+		dx := a.ensureDx(dout)
 		for r := 0; r < dout.Rows; r++ {
 			y := a.out.Row(r)
 			g := dout.Row(r)

@@ -28,6 +28,9 @@ type BatchNorm struct {
 	xhat  *tensor.Matrix
 	std   []float64
 	batch int
+	// reusable scratch
+	mean, variance, sumD, sumDH []float64
+	out, dx                     *tensor.Matrix
 }
 
 // NewBatchNorm returns a batch-normalization layer with standard
@@ -64,10 +67,16 @@ func (b *BatchNorm) Build(_ *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (b *BatchNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	n := float64(x.Rows)
-	out := tensor.New(x.Rows, b.dim)
+	b.out = ensure(b.out, x.Rows, b.dim)
+	out := b.out
 	if training {
-		mean := make([]float64, b.dim)
-		variance := make([]float64, b.dim)
+		b.mean = ensureVec(b.mean, b.dim)
+		b.variance = ensureVec(b.variance, b.dim)
+		mean, variance := b.mean, b.variance
+		for j := range mean {
+			mean[j] = 0
+			variance[j] = 0
+		}
 		for r := 0; r < x.Rows; r++ {
 			for j, v := range x.Row(r) {
 				mean[j] += v
@@ -85,11 +94,11 @@ func (b *BatchNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 		for j := range variance {
 			variance[j] /= n
 		}
-		b.std = make([]float64, b.dim)
+		b.std = ensureVec(b.std, b.dim)
 		for j := range b.std {
 			b.std[j] = math.Sqrt(variance[j] + b.Epsilon)
 		}
-		b.xhat = tensor.New(x.Rows, b.dim)
+		b.xhat = ensure(b.xhat, x.Rows, b.dim)
 		b.batch = x.Rows
 		for r := 0; r < x.Rows; r++ {
 			xr, hr, or := x.Row(r), b.xhat.Row(r), out.Row(r)
@@ -129,10 +138,16 @@ func (b *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 		panic("nn: batchnorm backward before training forward")
 	}
 	n := float64(b.batch)
-	dx := tensor.New(b.batch, b.dim)
+	b.dx = ensure(b.dx, b.batch, b.dim)
+	dx := b.dx
 	// Column sums needed by the batch-norm gradient.
-	sumD := make([]float64, b.dim)  // Σ dout
-	sumDH := make([]float64, b.dim) // Σ dout·xhat
+	b.sumD = ensureVec(b.sumD, b.dim)   // Σ dout
+	b.sumDH = ensureVec(b.sumDH, b.dim) // Σ dout·xhat
+	sumD, sumDH := b.sumD, b.sumDH
+	for j := range sumD {
+		sumD[j] = 0
+		sumDH[j] = 0
+	}
 	for r := 0; r < b.batch; r++ {
 		dr, hr := dout.Row(r), b.xhat.Row(r)
 		for j := range dr {

@@ -31,8 +31,11 @@ type Conv1D struct {
 	outSteps int
 	padLeft  int
 	w, b     *Param
-	patches  *tensor.Matrix // cached im2col matrix for backward
+	patches  *tensor.Matrix // cached im2col matrix for backward (reused)
 	batch    int
+	// Reusable step buffers: the flat matmul result, its B-major view,
+	// the backward view of dout, the patch gradient, and dx.
+	flat, out, dflat, dpatch, dx *tensor.Matrix
 }
 
 // NewConv1D returns a valid-padding, stride-1 Conv1D layer with the
@@ -105,11 +108,14 @@ func (c *Conv1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	c.batch = x.Rows
 	k := c.Kernel * c.InCh
 	s := c.stride()
-	patches := tensor.New(x.Rows*c.outSteps, k)
+	c.patches = ensure(c.patches, x.Rows*c.outSteps, k)
+	if c.padLeft > 0 || (c.outSteps-1)*s+c.Kernel > c.steps {
+		c.patches.Zero() // padded windows keep implicit zeros
+	}
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		for t := 0; t < c.outSteps; t++ {
-			prow := patches.Row(r*c.outSteps + t)
+			prow := c.patches.Row(r*c.outSteps + t)
 			srcStep := t*s - c.padLeft
 			for kk := 0; kk < c.Kernel; kk++ {
 				step := srcStep + kk
@@ -120,24 +126,35 @@ func (c *Conv1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 			}
 		}
 	}
-	c.patches = patches
-	flat := tensor.MatMul(patches, c.w.Value) // (B·outSteps)×filters
-	flat.AddRowVector(c.b.Value.Data)
+	c.flat = ensure(c.flat, x.Rows*c.outSteps, c.Filters)
+	tensor.MatMulInto(c.flat, c.patches, c.w.Value) // (B·outSteps)×filters
+	c.flat.AddRowVector(c.b.Value.Data)
 	// Reshape (B·outSteps)×filters into B×(outSteps·filters); the
-	// row-major layouts coincide, so this is just a header change.
-	return tensor.FromSlice(x.Rows, c.outSteps*c.Filters, flat.Data)
+	// row-major layouts coincide, so the view is just a header sharing
+	// flat's storage.
+	if c.out == nil {
+		c.out = &tensor.Matrix{}
+	}
+	c.out.Rows, c.out.Cols, c.out.Data = x.Rows, c.outSteps*c.Filters, c.flat.Data
+	return c.out
 }
 
 // Backward implements Layer.
 func (c *Conv1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	// View dout as (B·outSteps)×filters.
-	dflat := tensor.FromSlice(c.batch*c.outSteps, c.Filters, dout.Data)
-	c.w.Grad.Add(tensor.TMatMul(c.patches, dflat))
-	for j, v := range dflat.ColSums() {
-		c.b.Grad.Data[j] += v
+	if c.dflat == nil {
+		c.dflat = &tensor.Matrix{}
 	}
-	dpatch := tensor.MatMulT(dflat, c.w.Value) // (B·outSteps)×(kernel·inCh)
-	dx := tensor.New(c.batch, c.steps*c.InCh)
+	c.dflat.Rows, c.dflat.Cols, c.dflat.Data = c.batch*c.outSteps, c.Filters, dout.Data
+	dflat := c.dflat
+	addGrad(c.w.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, c.patches, dflat) })
+	dflat.AccumColSums(c.b.Grad.Data)
+	c.dpatch = ensure(c.dpatch, c.batch*c.outSteps, c.Kernel*c.InCh)
+	tensor.MatMulTInto(c.dpatch, dflat, c.w.Value) // (B·outSteps)×(kernel·inCh)
+	dpatch := c.dpatch
+	c.dx = ensure(c.dx, c.batch, c.steps*c.InCh)
+	c.dx.Zero()
+	dx := c.dx
 	s := c.stride()
 	for r := 0; r < c.batch; r++ {
 		drow := dx.Row(r)
@@ -174,6 +191,7 @@ type AveragePooling1D struct {
 	steps    int
 	outSteps int
 	batch    int
+	out, dx  *tensor.Matrix // reusable buffers
 }
 
 // NewAveragePooling1D returns an average-pooling layer with the given
@@ -204,7 +222,8 @@ func (p *AveragePooling1D) Build(_ *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (p *AveragePooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	p.batch = x.Rows
-	out := tensor.New(x.Rows, p.outSteps*p.Ch)
+	p.out = ensure(p.out, x.Rows, p.outSteps*p.Ch)
+	out := p.out
 	inv := 1 / float64(p.Pool)
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
@@ -224,7 +243,9 @@ func (p *AveragePooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 
 // Backward implements Layer.
 func (p *AveragePooling1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(p.batch, p.steps*p.Ch)
+	p.dx = ensure(p.dx, p.batch, p.steps*p.Ch)
+	p.dx.Zero()
+	dx := p.dx
 	inv := 1 / float64(p.Pool)
 	for r := 0; r < p.batch; r++ {
 		drow := dout.Row(r)
@@ -254,6 +275,7 @@ type MaxPooling1D struct {
 	outSteps int
 	argmax   []int // flat index into input for each output element
 	batch    int
+	out, dx  *tensor.Matrix // reusable buffers
 }
 
 // NewMaxPooling1D returns a max-pooling layer with the given window
@@ -282,8 +304,13 @@ func (p *MaxPooling1D) Build(_ *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (p *MaxPooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	p.batch = x.Rows
-	out := tensor.New(x.Rows, p.outSteps*p.Ch)
-	p.argmax = make([]int, x.Rows*p.outSteps*p.Ch)
+	p.out = ensure(p.out, x.Rows, p.outSteps*p.Ch)
+	out := p.out
+	if n := x.Rows * p.outSteps * p.Ch; cap(p.argmax) >= n {
+		p.argmax = p.argmax[:n]
+	} else {
+		p.argmax = make([]int, n)
+	}
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		orow := out.Row(r)
@@ -308,7 +335,9 @@ func (p *MaxPooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 
 // Backward implements Layer.
 func (p *MaxPooling1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(p.batch, p.steps*p.Ch)
+	p.dx = ensure(p.dx, p.batch, p.steps*p.Ch)
+	p.dx.Zero()
+	dx := p.dx
 	w := p.outSteps * p.Ch
 	for r := 0; r < p.batch; r++ {
 		drow := dout.Row(r)

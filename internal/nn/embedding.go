@@ -20,6 +20,8 @@ type Embedding struct {
 	w     *Param // Vocab × Dim
 	ids   []int  // cached token ids of the last batch (B·steps)
 	batch int
+	out   *tensor.Matrix // reusable forward buffer
+	dx    *tensor.Matrix // reusable (always-zero) backward buffer
 }
 
 // NewEmbedding returns an embedding over a vocabulary of the given
@@ -47,8 +49,13 @@ func (e *Embedding) Build(rng *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (e *Embedding) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	e.batch = x.Rows
-	e.ids = make([]int, x.Rows*e.steps)
-	out := tensor.New(x.Rows, e.steps*e.Dim)
+	if n := x.Rows * e.steps; cap(e.ids) >= n {
+		e.ids = e.ids[:n]
+	} else {
+		e.ids = make([]int, n)
+	}
+	e.out = ensure(e.out, x.Rows, e.steps*e.Dim)
+	out := e.out
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		orow := out.Row(r)
@@ -79,7 +86,9 @@ func (e *Embedding) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	}
 	// Token ids are not differentiable; return zeros of the input
 	// shape so the layer composes (it is normally first anyway).
-	return tensor.New(e.batch, e.steps)
+	e.dx = ensure(e.dx, e.batch, e.steps)
+	e.dx.Zero()
+	return e.dx
 }
 
 // Params implements Layer.

@@ -24,6 +24,7 @@ type LocallyConnected1D struct {
 	w, b    *Param
 	patches *tensor.Matrix
 	batch   int
+	out, dx *tensor.Matrix // reusable buffers
 }
 
 // NewLocallyConnected1D returns an untied-weights 1-D convolution.
@@ -60,8 +61,9 @@ func (l *LocallyConnected1D) Build(rng *rand.Rand, inDim int) (int, error) {
 func (l *LocallyConnected1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	l.batch = x.Rows
 	k := l.Kernel * l.InCh
-	l.patches = tensor.New(x.Rows*l.outSteps, k)
-	out := tensor.New(x.Rows, l.outSteps*l.Filters)
+	l.patches = ensure(l.patches, x.Rows*l.outSteps, k)
+	l.out = ensure(l.out, x.Rows, l.outSteps*l.Filters)
+	out := l.out
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		orow := out.Row(r)
@@ -84,7 +86,9 @@ func (l *LocallyConnected1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 // Backward implements Layer.
 func (l *LocallyConnected1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	k := l.Kernel * l.InCh
-	dx := tensor.New(l.batch, l.steps*l.InCh)
+	l.dx = ensure(l.dx, l.batch, l.steps*l.InCh)
+	l.dx.Zero()
+	dx := l.dx
 	for r := 0; r < l.batch; r++ {
 		drow := dout.Row(r)
 		xrow := dx.Row(r)

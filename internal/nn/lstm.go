@@ -33,6 +33,31 @@ type LSTM struct {
 	os    []*tensor.Matrix
 	cs    []*tensor.Matrix // cell states B×U
 	hs    []*tensor.Matrix // hidden states B×U
+
+	// reusable scratch
+	zero   *tensor.Matrix // B×U zeros: initial h and c, and their BPTT stand-ins
+	z, zh  *tensor.Matrix // gate pre-activation and its recurrent term
+	dx     *tensor.Matrix
+	dhBuf  *tensor.Matrix
+	dcBuf  *tensor.Matrix
+	dzBuf  *tensor.Matrix
+	dxtBuf *tensor.Matrix
+}
+
+// ensureSteps sizes a per-step cache slice, reusing both the slice and
+// the matrices it holds.
+func ensureSteps(s []*tensor.Matrix, steps, rows, cols int) []*tensor.Matrix {
+	if cap(s) >= steps {
+		s = s[:steps]
+	} else {
+		grown := make([]*tensor.Matrix, steps)
+		copy(grown, s)
+		s = grown
+	}
+	for t := range s {
+		s[t] = ensure(s[t], rows, cols)
+	}
+	return s
 }
 
 // NewLSTM returns an LSTM with the given hidden units over a signal
@@ -73,32 +98,32 @@ func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 func (l *LSTM) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	B, U := x.Rows, l.Units
 	l.batch = B
-	l.xs = make([]*tensor.Matrix, l.steps)
-	l.is = make([]*tensor.Matrix, l.steps)
-	l.fs = make([]*tensor.Matrix, l.steps)
-	l.gs = make([]*tensor.Matrix, l.steps)
-	l.os = make([]*tensor.Matrix, l.steps)
-	l.cs = make([]*tensor.Matrix, l.steps)
-	l.hs = make([]*tensor.Matrix, l.steps)
+	l.xs = ensureSteps(l.xs, l.steps, B, l.InDim)
+	l.is = ensureSteps(l.is, l.steps, B, U)
+	l.fs = ensureSteps(l.fs, l.steps, B, U)
+	l.gs = ensureSteps(l.gs, l.steps, B, U)
+	l.os = ensureSteps(l.os, l.steps, B, U)
+	l.cs = ensureSteps(l.cs, l.steps, B, U)
+	l.hs = ensureSteps(l.hs, l.steps, B, U)
+	l.zero = ensure(l.zero, B, U)
+	l.zero.Zero()
+	l.z = ensure(l.z, B, 4*U)
+	l.zh = ensure(l.zh, B, 4*U)
 
-	h := tensor.New(B, U)
-	c := tensor.New(B, U)
+	h, c := l.zero, l.zero
 	for t := 0; t < l.steps; t++ {
-		xt := tensor.New(B, l.InDim)
+		xt := l.xs[t]
 		for r := 0; r < B; r++ {
 			copy(xt.Row(r), x.Row(r)[t*l.InDim:(t+1)*l.InDim])
 		}
-		l.xs[t] = xt
-		z := tensor.MatMul(xt, l.wx.Value)
-		z.Add(tensor.MatMul(h, l.wh.Value))
+		z := l.z
+		tensor.MatMulInto(z, xt, l.wx.Value)
+		tensor.MatMulInto(l.zh, h, l.wh.Value)
+		z.Add(l.zh)
 		z.AddRowVector(l.b.Value.Data)
 
-		it := tensor.New(B, U)
-		ft := tensor.New(B, U)
-		gt := tensor.New(B, U)
-		ot := tensor.New(B, U)
-		cNew := tensor.New(B, U)
-		hNew := tensor.New(B, U)
+		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
+		cNew, hNew := l.cs[t], l.hs[t]
 		for r := 0; r < B; r++ {
 			zr := z.Row(r)
 			cr, crNew := c.Row(r), cNew.Row(r)
@@ -112,8 +137,6 @@ func (l *LSTM) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 				hNew.Row(r)[u] = ov * math.Tanh(crNew[u])
 			}
 		}
-		l.is[t], l.fs[t], l.gs[t], l.os[t] = it, ft, gt, ot
-		l.cs[t], l.hs[t] = cNew, hNew
 		h, c = hNew, cNew
 	}
 	return h
@@ -122,19 +145,23 @@ func (l *LSTM) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 // Backward implements Layer.
 func (l *LSTM) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	B, U := l.batch, l.Units
-	dx := tensor.New(B, l.steps*l.InDim)
-	dh := dout.Clone()
-	dc := tensor.New(B, U)
+	l.dx = ensure(l.dx, B, l.steps*l.InDim)
+	dx := l.dx
+	l.dhBuf = ensure(l.dhBuf, B, U)
+	l.dcBuf = ensure(l.dcBuf, B, U)
+	l.dcBuf.Zero()
+	l.dzBuf = ensure(l.dzBuf, B, 4*U)
+	l.dxtBuf = ensure(l.dxtBuf, B, l.InDim)
+	dh := dout // read-only this step; replaced by dhBuf below
+	dc := l.dcBuf
 	for t := l.steps - 1; t >= 0; t-- {
 		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
 		ct := l.cs[t]
-		var cPrev *tensor.Matrix
+		cPrev := l.zero
 		if t > 0 {
 			cPrev = l.cs[t-1]
-		} else {
-			cPrev = tensor.New(B, U)
 		}
-		dz := tensor.New(B, 4*U)
+		dz := l.dzBuf
 		for r := 0; r < B; r++ {
 			dhr, dcr := dh.Row(r), dc.Row(r)
 			ir, fr, gr, or := it.Row(r), ft.Row(r), gt.Row(r), ot.Row(r)
@@ -155,25 +182,24 @@ func (l *LSTM) Backward(dout *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 		// Parameter gradients.
-		l.wx.Grad.Add(tensor.TMatMul(l.xs[t], dz))
-		var hPrev *tensor.Matrix
+		addGrad(l.wx.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, l.xs[t], dz) })
+		hPrev := l.zero
 		if t > 0 {
 			hPrev = l.hs[t-1]
-		} else {
-			hPrev = tensor.New(B, U)
 		}
-		l.wh.Grad.Add(tensor.TMatMul(hPrev, dz))
-		for j, v := range dz.ColSums() {
-			l.b.Grad.Data[j] += v
-		}
+		addGrad(l.wh.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, hPrev, dz) })
+		dz.AccumColSums(l.b.Grad.Data)
 		// Input and recurrent gradients.
-		dxt := tensor.MatMulT(dz, l.wx.Value)
+		dxt := l.dxtBuf
+		tensor.MatMulTInto(dxt, dz, l.wx.Value)
 		for r := 0; r < B; r++ {
 			copy(dx.Row(r)[t*l.InDim:(t+1)*l.InDim], dxt.Row(r))
 		}
 		// With return_sequences=false, earlier steps receive only the
-		// recurrent gradient.
-		dh = tensor.MatMulT(dz, l.wh.Value)
+		// recurrent gradient. dh was fully consumed above, so the single
+		// buffer can be overwritten in place.
+		tensor.MatMulTInto(l.dhBuf, dz, l.wh.Value)
+		dh = l.dhBuf
 	}
 	return dx
 }

@@ -34,6 +34,43 @@ func newParam(name string, value *tensor.Matrix) *Param {
 	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
 }
 
+// ensure returns a rows×cols matrix, reusing buf's storage when it is
+// big enough. Layers keep their forward/backward outputs in such
+// reusable buffers so a steady-state training step (fixed batch size)
+// allocates nothing. Contents are unspecified: callers must fully
+// overwrite (every Into kernel does) or Zero first.
+func ensure(buf *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if buf == nil {
+		return tensor.New(rows, cols)
+	}
+	if buf.Rows == rows && buf.Cols == cols {
+		return buf
+	}
+	if cap(buf.Data) >= rows*cols {
+		buf.Rows, buf.Cols, buf.Data = rows, cols, buf.Data[:rows*cols]
+		return buf
+	}
+	return tensor.New(rows, cols)
+}
+
+// ensureVec is ensure for flat float64 scratch vectors.
+func ensureVec(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// addGrad accumulates op's result into grad without allocating in
+// steady state: the product lands in an arena scratch matrix that is
+// immediately returned to the pool.
+func addGrad(grad *tensor.Matrix, op func(dst *tensor.Matrix)) {
+	s := tensor.Get(grad.Rows, grad.Cols)
+	op(s)
+	grad.Add(s)
+	tensor.Put(s)
+}
+
 // Layer is one stage of a Sequential model. Build is called once with
 // the flattened input width; Forward must cache whatever Backward
 // needs. Backward receives dL/d(output) and returns dL/d(input) while
@@ -60,6 +97,8 @@ type Dense struct {
 	name  string
 	w, b  *Param
 	x     *tensor.Matrix // cached input
+	out   *tensor.Matrix // reusable forward buffer
+	dx    *tensor.Matrix // reusable backward buffer
 }
 
 // NewDense returns a Dense layer with the given number of output
@@ -87,20 +126,20 @@ func (d *Dense) Build(rng *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	d.x = x
-	out := tensor.MatMul(x, d.w.Value)
-	out.AddRowVector(d.b.Value.Data)
-	return out
+	d.out = ensure(d.out, x.Rows, d.Units)
+	tensor.MatMulInto(d.out, x, d.w.Value)
+	d.out.AddRowVector(d.b.Value.Data)
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	// dW = xᵀ·dout, db = column sums of dout, dx = dout·Wᵀ.
-	d.w.Grad.Add(tensor.TMatMul(d.x, dout))
-	bg := dout.ColSums()
-	for j, v := range bg {
-		d.b.Grad.Data[j] += v
-	}
-	return tensor.MatMulT(dout, d.w.Value)
+	addGrad(d.w.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, d.x, dout) })
+	dout.AccumColSums(d.b.Grad.Data)
+	d.dx = ensure(d.dx, dout.Rows, d.w.Value.Rows)
+	tensor.MatMulTInto(d.dx, dout, d.w.Value)
+	return d.dx
 }
 
 // Params implements Layer.
@@ -127,9 +166,12 @@ func (*Flatten) Backward(dout *tensor.Matrix) *tensor.Matrix { return dout }
 // the identity at inference time.
 type Dropout struct {
 	statelessBase
-	Rate float64
-	rng  *rand.Rand
-	mask *tensor.Matrix
+	Rate   float64
+	rng    *rand.Rand
+	mask   *tensor.Matrix
+	masked bool           // whether mask applies to the last forward
+	out    *tensor.Matrix // reusable forward buffer
+	dx     *tensor.Matrix // reusable backward buffer
 }
 
 // NewDropout returns a Dropout layer with drop probability rate in
@@ -151,26 +193,34 @@ func (d *Dropout) Build(rng *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	if !training || d.Rate == 0 {
-		d.mask = nil
+		d.masked = false
 		return x
 	}
+	d.masked = true
 	keep := 1 - d.Rate
-	d.mask = tensor.New(x.Rows, x.Cols)
-	out := tensor.New(x.Rows, x.Cols)
+	d.mask = ensure(d.mask, x.Rows, x.Cols)
+	d.out = ensure(d.out, x.Rows, x.Cols)
 	inv := 1 / keep
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask.Data[i] = inv
-			out.Data[i] = v * inv
+			d.out.Data[i] = v * inv
+		} else {
+			d.mask.Data[i] = 0
+			d.out.Data[i] = 0
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if d.mask == nil {
+	if !d.masked {
 		return dout
 	}
-	return dout.Clone().MulElem(d.mask)
+	d.dx = ensure(d.dx, dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		d.dx.Data[i] = v * d.mask.Data[i]
+	}
+	return d.dx
 }

@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file implements the scratch arena: a sync.Pool-backed free list
+// of matrices bucketed by power-of-two capacity. Training steps borrow
+// temporaries with Get and return them with Put, so a warmed steady
+// state does near-zero heap allocation regardless of how many batches
+// run.
+
+// arenaClasses[c] holds *Matrix values whose Data has cap exactly
+// 1<<c. 48 classes cover every slice Go can address.
+var arenaClasses [48]sync.Pool
+
+// sizeClass returns the bucket whose capacity 1<<c is the smallest
+// power of two ≥ n. n must be > 0.
+func sizeClass(n int) int { return bits.Len(uint(n - 1)) }
+
+// Get returns a zeroed rows×cols matrix from the arena, allocating
+// only when no pooled matrix of a suitable class exists. Pair it with
+// Put when the scratch value is dead; matrices from Get are otherwise
+// indistinguishable from New's.
+func Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if n <= 0 {
+		return New(rows, cols) // validates negative dims, handles empty
+	}
+	c := sizeClass(n)
+	m, ok := arenaClasses[c].Get().(*Matrix)
+	if !ok {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, 1<<c)}
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Put returns a matrix obtained from Get (or any matrix the caller no
+// longer needs) to the arena. The matrix must not be used after Put.
+// Matrices whose capacity is not a power of two — e.g. views from
+// RowSlice or FromSlice wrappers — are dropped rather than pooled, so
+// Put never corrupts a bucket's size invariant.
+func Put(m *Matrix) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	c := sizeClass(cap(m.Data))
+	if cap(m.Data) != 1<<c {
+		return
+	}
+	m.Data = m.Data[:cap(m.Data)]
+	arenaClasses[c].Put(m)
+}

@@ -6,16 +6,26 @@
 //
 // The package is deliberately small: matrices, a handful of BLAS-like
 // kernels (matmul, transposed variants, axpy, scale), reductions, and
-// element-wise maps. Kernels split work across goroutines when the
-// problem is large enough to amortize the scheduling cost, mirroring
-// how an HPC math library would use threads.
+// element-wise maps. Three mechanisms make the hot path production
+// grade:
+//
+//   - Destination-passing kernels (MatMulInto, MatMulTInto,
+//     TMatMulInto, TransposeInto, ColSumsInto) write caller-owned
+//     matrices so steady-state training steps allocate nothing.
+//   - A sync.Pool-backed scratch arena (Get/Put) recycles temporaries.
+//   - A persistent, globally bounded worker pool (SetWorkers) shares a
+//     fixed goroutine budget across all concurrent kernel callers, so
+//     R rank-goroutines never oversubscribe the machine.
+//
+// The matmul kernels are cache-blocked (tiled over k and j with 4-way
+// unrolled inner loops) but accumulate each output element in the same
+// order as a naive triple loop, so they are bit-exact against a serial
+// reference on finite inputs.
 package tensor
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major float64 matrix.
@@ -173,147 +183,77 @@ func (m *Matrix) Norm2() float64 {
 	return math.Sqrt(s)
 }
 
-// Transpose returns a new matrix that is mᵀ.
-func (m *Matrix) Transpose() *Matrix {
-	out := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			out.Data[j*m.Rows+i] = v
-		}
-	}
-	return out
-}
-
-// parallelThreshold is the number of scalar multiply-adds below which
-// matmul kernels stay single-threaded.
-const parallelThreshold = 64 * 1024
-
-// parallelRows runs f over row ranges [lo, hi) of n rows, splitting
-// across GOMAXPROCS workers when work (an estimate of total flops) is
-// large enough.
-func parallelRows(n int, work int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || n < 2 {
-		f(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// MatMul returns a·b. It panics if the inner dimensions disagree.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
-}
-
-// MatMulT returns a·bᵀ without materializing the transpose.
-func MatMulT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulT dim mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				s := 0.0
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
-		}
-	})
-	return out
-}
-
-// TMatMul returns aᵀ·b without materializing the transpose.
-func TMatMul(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: TMatMul dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	// Parallelize over output rows (a's columns) to keep writes disjoint.
-	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := out.Row(i)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
-}
-
-// AddRowVector adds vector v (length m.Cols) to every row of m in place.
+// AddRowVector adds vector v (length m.Cols) to every row of m in
+// place, in parallel for large matrices (it sits on every Dense and
+// Conv1D forward as the bias add).
 func (m *Matrix) AddRowVector(v []float64) *Matrix {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j := range row {
-			row[j] += v[j]
+	if serialRows(m.Rows, m.Rows*m.Cols) {
+		addRowVectorRange(m, v, 0, m.Rows)
+		return m
+	}
+	parallelRows(m.Rows, m.Rows*m.Cols, func(lo, hi int) {
+		addRowVectorRange(m, v, lo, hi)
+	})
+	return m
+}
+
+func addRowVectorRange(m *Matrix, v []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)[:len(v)]
+		for j, bv := range v {
+			row[j] += bv
 		}
 	}
-	return m
 }
 
 // ColSums returns a length-Cols vector of per-column sums.
 func (m *Matrix) ColSums() []float64 {
 	out := make([]float64, m.Cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto overwrites dst (length m.Cols) with per-column sums.
+// Large matrices are split by column range across the worker pool:
+// each worker walks the rows but touches only its contiguous column
+// slice, so reads cover the matrix exactly once and writes stay
+// disjoint.
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto length %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	m.AccumColSums(dst)
+}
+
+// AccumColSums adds per-column sums of m into dst (length m.Cols) —
+// the accumulation the bias-gradient path of every layer needs.
+func (m *Matrix) AccumColSums(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: AccumColSums length %d != cols %d", len(dst), m.Cols))
+	}
+	if serialRows(m.Cols, m.Rows*m.Cols) {
+		accumColSumsRange(m, dst, 0, m.Cols)
+		return
+	}
+	parallelRows(m.Cols, m.Rows*m.Cols, func(lo, hi int) {
+		accumColSumsRange(m, dst, lo, hi)
+	})
+}
+
+func accumColSumsRange(m *Matrix, dst []float64, lo, hi int) {
+	out := dst[lo:hi]
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		row := m.Row(i)[lo:hi]
 		for j, v := range row {
 			out[j] += v
 		}
 	}
-	return out
 }
 
 // RowSlice returns a new matrix holding rows [lo, hi) of m. The data
