@@ -8,11 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages where goroutines share tensor buffers: the
-# kernel worker pool, the layers that reuse forward/backward buffers,
-# and the multi-rank runner that drives both concurrently.
+# Race-check the packages where goroutines share state: the kernel
+# worker pool, the layers that reuse forward/backward buffers, the MPI
+# substrate's abort/fault machinery, the Horovod layer, and the
+# multi-rank runner that drives them all concurrently.
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/candle
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle
 
 vet:
 	$(GO) vet ./...

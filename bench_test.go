@@ -112,8 +112,11 @@ func BenchmarkRealNT3Distributed4(b *testing.B) { benchRealRun(b, 4) }
 // allreduceNaiveGather is the strawman allreduce: allgather everything
 // and reduce locally — O(N·M) traffic per rank instead of the ring's
 // O(M).
-func allreduceNaiveGather(c *mpi.Comm, data []float64) {
-	all := c.Allgather(data)
+func allreduceNaiveGather(c *mpi.Comm, data []float64) error {
+	all, err := c.Allgather(data)
+	if err != nil {
+		return err
+	}
 	for i := range data {
 		s := 0.0
 		for _, contrib := range all {
@@ -121,6 +124,7 @@ func allreduceNaiveGather(c *mpi.Comm, data []float64) {
 		}
 		data[i] = s
 	}
+	return nil
 }
 
 func benchAllreduce(b *testing.B, ring bool) {
@@ -135,11 +139,9 @@ func benchAllreduce(b *testing.B, ring bool) {
 				data[j] = float64(c.Rank() + j)
 			}
 			if ring {
-				c.AllreduceSum(data)
-			} else {
-				allreduceNaiveGather(c, data)
+				return c.AllreduceSum(data)
 			}
-			return nil
+			return allreduceNaiveGather(c, data)
 		})
 		if err != nil {
 			b.Fatal(err)

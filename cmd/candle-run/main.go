@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"candle/internal/candle"
 	"candle/internal/csvio"
 	"candle/internal/hpc"
+	"candle/internal/mpi"
 	"candle/internal/sim"
 	"candle/internal/trace"
 )
@@ -26,6 +29,16 @@ var psMode bool
 
 // timelineOut, when non-empty, receives the real run's Chrome trace.
 var timelineOut string
+
+// injectFault holds the parsed -inject-fault plan (nil = no faults).
+var injectFault *mpi.FaultPlan
+
+// elastic enables elastic restart on rank failure in real mode.
+var elastic bool
+
+// ckptDir is the real-mode checkpoint directory (elastic recovery
+// restores from it after a kill).
+var ckptDir string
 
 func main() {
 	var (
@@ -42,10 +55,23 @@ func main() {
 		dataDir = flag.String("data-dir", "", "directory for generated CSVs (real mode); empty = temp dir")
 		ps      = flag.Bool("ps", false, "use the parameter-server baseline instead of allreduce (real mode)")
 		tlOut   = flag.String("timeline", "", "write a Chrome-trace timeline of the real run to this file")
+		fault   = flag.String("inject-fault", "", "kill a rank at a collective step, as rank@step, e.g. 2@5 (real mode)")
+		elast   = flag.Bool("elastic", false, "recover from rank failures by restarting on a shrunken world (real mode)")
+		ckpt    = flag.String("checkpoint-dir", "", "checkpoint directory (real mode); elastic recovery resumes from it")
 	)
 	flag.Parse()
 	psMode = *ps
 	timelineOut = *tlOut
+	elastic = *elast
+	ckptDir = *ckpt
+	if *fault != "" {
+		plan, err := parseFault(*fault)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "candle-run:", err)
+			os.Exit(1)
+		}
+		injectFault = plan
+	}
 	if err := runMain(*bench, *mode, *machine, *ranks, *epochs, *batch, *loader, *weak, *scaleLR, *seed, *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "candle-run:", err)
 		os.Exit(1)
@@ -61,6 +87,24 @@ func runMain(bench, mode, machine string, ranks, epochs, batch int, loader strin
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// parseFault parses the -inject-fault syntax "rank@step" into a plan
+// that kills that rank at that collective step.
+func parseFault(s string) (*mpi.FaultPlan, error) {
+	at := strings.SplitN(s, "@", 2)
+	if len(at) != 2 {
+		return nil, fmt.Errorf("bad -inject-fault %q, want rank@step (e.g. 2@5)", s)
+	}
+	rank, err := strconv.Atoi(at[0])
+	if err != nil || rank < 0 {
+		return nil, fmt.Errorf("bad -inject-fault rank %q", at[0])
+	}
+	step, err := strconv.Atoi(at[1])
+	if err != nil || step < 0 {
+		return nil, fmt.Errorf("bad -inject-fault step %q", at[1])
+	}
+	return mpi.NewFaultPlan().KillAt(rank, step), nil
 }
 
 func parseLoader(name string) (sim.Loader, csvio.Reader, error) {
@@ -150,9 +194,15 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 		Ranks: ranks, TotalEpochs: epochs, WeakScaling: weak, Batch: batch,
 		Loader: reader, DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
 		ParameterServer: psMode, Timeline: tl,
+		Faults: injectFault, Elastic: elastic,
+		CheckpointDir: ckptDir, Resume: ckptDir != "" && elastic,
 	})
 	if err != nil {
 		return err
+	}
+	for _, f := range res.Failures {
+		fmt.Printf("  rank %d failed in %s on a %d-rank world; restarted on %d ranks\n",
+			f.Rank, f.Op, f.WorldSize, f.WorldSize-1)
 	}
 	if tl != nil {
 		f, err := os.Create(timelineOut)
@@ -170,7 +220,7 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 	}
 	r := res.Root
 	fmt.Printf("%s (real, scaled dataset %dx%d), %d ranks, %d epochs/rank, %s loader\n",
-		bench, b.Spec.TrainSamples, b.Spec.Features, ranks, r.Epochs, reader.Name())
+		bench, b.Spec.TrainSamples, b.Spec.Features, len(res.Ranks), r.Epochs, reader.Name())
 	fmt.Printf("  data loading   %8.4f s\n", r.LoadSeconds)
 	fmt.Printf("  training       %8.4f s\n", r.TrainSeconds)
 	fmt.Printf("  evaluation     %8.4f s\n", r.EvalSeconds)

@@ -1,0 +1,238 @@
+package candle
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"candle/internal/checkpoint"
+	"candle/internal/csvio"
+	"candle/internal/mpi"
+	"candle/internal/tensor"
+)
+
+// runWithDeadline runs fn and fails the test if it does not return in
+// time — the guard that turns a collective deadlock into a test
+// failure instead of a hung suite.
+func runWithDeadline(t *testing.T, d time.Duration, fn func() (*RunResult, error)) (*RunResult, error) {
+	t.Helper()
+	type out struct {
+		res *RunResult
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := fn()
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(d):
+		t.Fatalf("Run did not return within %v (deadlock)", d)
+		return nil, nil
+	}
+}
+
+// failFirstReader wraps a csvio.Reader and fails exactly one Read call
+// (the first across all ranks), modeling one rank whose data load
+// dies while its peers march into the broadcast barrier.
+type failFirstReader struct {
+	csvio.Reader
+	calls atomic.Int32
+	err   error
+}
+
+func (r *failFirstReader) Read(path string) (*tensor.Matrix, *csvio.ReadStats, error) {
+	if r.calls.Add(1) == 1 {
+		return nil, nil, r.err
+	}
+	return r.Reader.Read(path)
+}
+
+// TestLoadFailureDoesNotDeadlockBroadcast is the regression test for
+// the failure mode ISSUE.md opens with: one rank errors out of CSV
+// loading while the others enter the initial broadcast barrier. Before
+// abort propagation, the healthy ranks blocked forever; now Run must
+// return the load error promptly.
+func TestLoadFailureDoesNotDeadlockBroadcast(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("csv load exploded")
+	_, err = runWithDeadline(t, 30*time.Second, func() (*RunResult, error) {
+		return b.Run(RunConfig{
+			Ranks: 4, TotalEpochs: 4, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
+			Loader: &failFirstReader{Reader: csvio.NewNaiveReader(), err: sentinel},
+		})
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run error = %v, want the load failure", err)
+	}
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("Run error = %v, want *mpi.RankFailedError", err)
+	}
+}
+
+// TestKillWithoutElasticNamesFailedRank: a scripted kill on a
+// non-elastic run aborts with a RankFailedError naming the killed
+// rank and wrapping the injected cause.
+func TestKillWithoutElasticNamesFailedRank(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	const killed = 2
+	_, err = runWithDeadline(t, 30*time.Second, func() (*RunResult, error) {
+		return b.Run(RunConfig{
+			Ranks: 4, TotalEpochs: 8, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
+			// Step 2 is the first gradient allreduce (after the
+			// broadcast hook's barrier and broadcast).
+			Faults: mpi.NewFaultPlan().KillAt(killed, 2),
+		})
+	})
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != killed {
+		t.Fatalf("Run error = %v, want RankFailedError naming rank %d", err, killed)
+	}
+	if !errors.Is(err, mpi.ErrKilled) {
+		t.Fatalf("Run error %v does not wrap ErrKilled", err)
+	}
+}
+
+// TestElasticRecoveryCompletesOnShrunkenWorld is the ISSUE.md
+// acceptance scenario: 4 ranks with checkpointing, rank 3 killed
+// mid-training, Elastic on. The run must complete on the 3 surviving
+// ranks, resumed from the last good checkpoint, with identical weights
+// across survivors, and report the failure.
+func TestElasticRecoveryCompletesOnShrunkenWorld(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	const killed = 3
+	// 40 rows / batch 7 = 5 steps per epoch, so each rank's collective
+	// schedule is: barrier (0), broadcast (1), epoch-0 allreduces
+	// (2..6), epoch-1 allreduces (7..11). Killing at step 8 lands in
+	// epoch 1, after the epoch-0 checkpoint was written.
+	res, err := runWithDeadline(t, 60*time.Second, func() (*RunResult, error) {
+		return b.Run(RunConfig{
+			Ranks: 4, TotalEpochs: 8, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
+			CheckpointDir: t.TempDir(), CheckpointEvery: 1,
+			Faults:  mpi.NewFaultPlan().KillAt(killed, 8),
+			Elastic: true,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 1 || len(res.Failures) != 1 {
+		t.Fatalf("restarts = %d, failures = %d, want 1 and 1", res.Restarts, len(res.Failures))
+	}
+	f := res.Failures[0]
+	if f.Rank != killed || f.WorldSize != 4 {
+		t.Fatalf("failure record = %+v, want rank %d on a 4-rank world", f, killed)
+	}
+	if !errors.Is(f.Err, mpi.ErrKilled) {
+		t.Fatalf("failure record cause = %v, want ErrKilled", f.Err)
+	}
+	if len(res.Ranks) != 3 {
+		t.Fatalf("completed on %d ranks, want 3 survivors", len(res.Ranks))
+	}
+	// The restart resumed from the epoch-0 snapshot, not from scratch.
+	if res.Root.ResumedFromEpoch != 0 {
+		t.Fatalf("resumed from epoch %d, want 0", res.Root.ResumedFromEpoch)
+	}
+	// Survivors stay synchronized replicas.
+	for _, r := range res.Ranks[1:] {
+		if r.WeightsChecksum != res.Root.WeightsChecksum {
+			t.Fatalf("rank %d checksum %v != root %v (replicas diverged after recovery)",
+				r.Rank, r.WeightsChecksum, res.Root.WeightsChecksum)
+		}
+	}
+}
+
+// TestResumeSkipsCorruptCheckpoint: when the newest snapshot on disk
+// is damaged (bit flip), a resumed run falls back to the previous
+// good epoch instead of failing or silently starting fresh.
+func TestResumeSkipsCorruptCheckpoint(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := t.TempDir()
+	if _, err := b.Run(RunConfig{
+		Ranks: 1, TotalEpochs: 3, Batch: 7, LR: 0.05, DataDir: dir, Seed: 7,
+		CheckpointDir: ckptDir, CheckpointEvery: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the newest snapshot (epoch 2).
+	newest := checkpoint.FileFor(ckptDir, b.Spec.Name, 2)
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x10
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(RunConfig{
+		Ranks: 1, TotalEpochs: 2, Batch: 7, LR: 0.05, DataDir: dir, Seed: 8,
+		CheckpointDir: ckptDir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root.ResumedFromEpoch != 1 {
+		t.Fatalf("resumed from epoch %d, want 1 (previous good)", res.Root.ResumedFromEpoch)
+	}
+}
+
+// TestElasticWithoutFailureIsAClean run: Elastic set but nothing
+// fails — the result must not report restarts.
+func TestElasticWithoutFailureIsCleanRun(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := runWithDeadline(t, 30*time.Second, func() (*RunResult, error) {
+		return b.Run(RunConfig{
+			Ranks: 2, TotalEpochs: 4, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
+			Elastic: true,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 0 || len(res.Failures) != 0 {
+		t.Fatalf("clean run reports restarts=%d failures=%d", res.Restarts, len(res.Failures))
+	}
+	if len(res.Ranks) != 2 {
+		t.Fatalf("ranks = %d", len(res.Ranks))
+	}
+}

@@ -59,6 +59,24 @@ type RunConfig struct {
 	// for per-epoch cross-validation (Figure 2's "basic training and
 	// cross-validation" phase). 0 disables it.
 	ValidationFrac float64
+	// Faults scripts deterministic failures (kills, delays, link
+	// drops) into the MPI substrate. Consumed faults do not re-fire,
+	// so a plan is safe to share across elastic restarts.
+	Faults *mpi.FaultPlan
+	// Elastic turns rank failures into restarts: the run resumes on a
+	// world shrunk by the failed ranks, restoring from the latest
+	// checkpoint when CheckpointDir is set. Without it a rank failure
+	// aborts the run with a *mpi.RankFailedError.
+	Elastic bool
+}
+
+// FailureRecord documents one rank failure absorbed by the elastic
+// recovery loop.
+type FailureRecord struct {
+	Rank      int    // rank that failed
+	WorldSize int    // world size when it failed
+	Op        string // operation the failure originated in
+	Err       error  // the originating *mpi.RankFailedError
 }
 
 // RankResult is one worker's view of the run.
@@ -94,10 +112,22 @@ type RunResult struct {
 	Ranks  []RankResult
 	// Root is Ranks[0], the rank the paper's measurements observe.
 	Root RankResult
+	// Failures lists the rank failures elastic recovery absorbed, in
+	// order; empty on a clean run.
+	Failures []FailureRecord
+	// Restarts counts elastic restarts (len(Failures)).
+	Restarts int
 }
 
 // Run executes the benchmark's three phases on cfg.Ranks in-process
 // workers with real Horovod-style data-parallel training.
+//
+// With cfg.Elastic, a rank failure does not abort the run: the world
+// is restarted without the failed rank, the model is restored from the
+// latest checkpoint (when CheckpointDir is set), the learning rate is
+// re-scaled to the surviving size (when ScaleLR is set), and training
+// continues. The result reports the shrunken world plus the absorbed
+// failures.
 func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("candle: ranks must be positive, got %d", cfg.Ranks)
@@ -105,6 +135,37 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.TotalEpochs <= 0 {
 		return nil, fmt.Errorf("candle: total epochs must be positive, got %d", cfg.TotalEpochs)
 	}
+	size := cfg.Ranks
+	var failures []FailureRecord
+	for {
+		results, err := b.runAttempt(cfg, size, len(failures) > 0)
+		if err == nil {
+			return &RunResult{
+				Config:   cfg,
+				Ranks:    results,
+				Root:     results[0],
+				Failures: failures,
+				Restarts: len(failures),
+			}, nil
+		}
+		var rf *mpi.RankFailedError
+		if !cfg.Elastic || !errors.As(err, &rf) {
+			return nil, err
+		}
+		failures = append(failures, FailureRecord{
+			Rank: rf.Rank, WorldSize: size, Op: rf.Op, Err: rf,
+		})
+		size--
+		if size < 1 {
+			return nil, fmt.Errorf("candle: elastic recovery exhausted all ranks: %w", err)
+		}
+	}
+}
+
+// runAttempt is one world's worth of Run: all three benchmark phases
+// on `ranks` in-process workers. forceResume restores from the latest
+// checkpoint regardless of cfg.Resume — the elastic restart path.
+func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]RankResult, error) {
 	loader := cfg.Loader
 	if loader == nil {
 		loader = csvio.NewNaiveReader()
@@ -115,7 +176,7 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	}
 	epochsPerRank := cfg.TotalEpochs
 	if !cfg.WeakScaling {
-		epochsPerRank = horovod.CompEpochsBalanced(cfg.TotalEpochs, cfg.Ranks)
+		epochsPerRank = horovod.CompEpochsBalanced(cfg.TotalEpochs, ranks)
 	}
 	trainPath, testPath := b.Files(cfg.DataDir)
 
@@ -124,11 +185,14 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	// GOMAXPROCS kernel goroutines — the oversubscription the paper
 	// flags on shared nodes. The budget is global and restored on
 	// return so nested or subsequent runs see the caller's setting.
-	prevWorkers := tensor.SetWorkers(max(1, runtime.GOMAXPROCS(0)/cfg.Ranks))
+	prevWorkers := tensor.SetWorkers(max(1, runtime.GOMAXPROCS(0)/ranks))
 	defer tensor.SetWorkers(prevWorkers)
 
-	world := mpi.NewWorld(cfg.Ranks)
-	results := make([]RankResult, cfg.Ranks)
+	world := mpi.NewWorld(ranks)
+	if cfg.Faults != nil {
+		world.InjectFaults(cfg.Faults)
+	}
+	results := make([]RankResult, ranks)
 	var mu sync.Mutex
 	runStart := time.Now()
 	clock := func() float64 { return time.Since(runStart).Seconds() }
@@ -209,7 +273,7 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 		callbacks := []nn.Callback{hvd.BroadcastHook(0)}
 		var ckptCB *checkpoint.Callback
 		if cfg.CheckpointDir != "" {
-			if cfg.Resume {
+			if cfg.Resume || forceResume {
 				snap, err := checkpoint.Latest(cfg.CheckpointDir, b.Spec.Name)
 				switch {
 				case err == nil:
@@ -287,7 +351,7 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RunResult{Config: cfg, Ranks: results, Root: results[0]}, nil
+	return results, nil
 }
 
 func lrOrDefault(lr float64) float64 {

@@ -1,18 +1,25 @@
 // Package checkpoint implements the checkpoint/restart feature the
 // paper lists as future work ("We will add checkpoint/restart features
 // to the Horovod benchmarks for fault tolerance"): periodic snapshots
-// of a model's weights and training position, written atomically, plus
-// a training callback that saves from rank 0 and a Resume helper that
-// restores a model to continue where it stopped.
+// of a model's weights and training position, written atomically and
+// sealed with a CRC32 footer, plus a training callback that saves from
+// rank 0 and a Resume helper that restores a model to continue where
+// it stopped. Restore paths verify integrity, skip damaged snapshots
+// (falling back to the previous epoch), and retry transient I/O.
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"candle/internal/nn"
 )
@@ -34,7 +41,31 @@ type Snapshot struct {
 // ErrNoCheckpoint is returned by Latest when the directory holds none.
 var ErrNoCheckpoint = errors.New("checkpoint: none found")
 
-// Save writes a snapshot atomically (temp file + rename) to path.
+// ErrCorrupt marks a snapshot whose integrity footer is missing data,
+// whose checksum does not match, or whose payload will not decode —
+// a bit flip, truncation, or partial write.
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+// Snapshot files end with an 8-byte footer: a big-endian IEEE CRC32 of
+// the gob payload followed by the magic. Files without the magic are
+// treated as legacy (pre-footer) snapshots and decoded without
+// verification.
+const (
+	footerLen = 8
+	magic     = "CKV1"
+)
+
+// readFile and the retry knobs are swappable so tests can script
+// transient I/O failures without a real flaky filesystem.
+var (
+	readFile    = os.ReadFile
+	readRetries = 3
+	readBackoff = 5 * time.Millisecond
+)
+
+// Save writes a snapshot atomically (temp file + rename) to path,
+// sealing the gob payload with a CRC32 footer so restore can detect
+// corruption.
 func Save(path string, s *Snapshot) error {
 	if s == nil {
 		return errors.New("checkpoint: nil snapshot")
@@ -43,16 +74,24 @@ func Save(path string, s *Snapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	var footer [footerLen]byte
+	binary.BigEndian.PutUint32(footer[:4], crc32.ChecksumIEEE(buf.Bytes()))
+	copy(footer[4:], magic)
+	buf.Write(footer[:])
+
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(s); err != nil {
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: encoding: %w", err)
+		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -65,15 +104,53 @@ func Save(path string, s *Snapshot) error {
 	return nil
 }
 
-// Load reads a snapshot from path.
+// readSnapshotBytes reads the file with bounded retry and backoff:
+// transient I/O hiccups (the parallel-filesystem flakiness large HPC
+// runs see) should not cost a restart its checkpoint. Missing files
+// are not retried — absence is a real answer.
+func readSnapshotBytes(path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < readRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(readBackoff << (attempt - 1))
+		}
+		raw, err := readFile(path)
+		if err == nil {
+			return raw, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Load reads a snapshot from path, verifying the CRC32 footer. Damage
+// — a short file, checksum mismatch, or undecodable payload — returns
+// an error wrapping ErrCorrupt.
 func Load(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	raw, err := readSnapshotBytes(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	defer f.Close()
+	payload := raw
+	verified := false
+	if len(raw) >= footerLen && string(raw[len(raw)-4:]) == magic {
+		payload = raw[: len(raw)-footerLen : len(raw)-footerLen]
+		want := binary.BigEndian.Uint32(raw[len(raw)-footerLen : len(raw)-4])
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, fmt.Errorf("%w: %s: crc %08x, footer says %08x", ErrCorrupt, path, got, want)
+		}
+		verified = true
+	}
 	var s Snapshot
-	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		if !verified {
+			// No intact footer and no decodable payload: the file is
+			// truncated or otherwise mangled.
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
 		return nil, fmt.Errorf("checkpoint: decoding %s: %w", path, err)
 	}
 	return &s, nil
@@ -84,8 +161,11 @@ func FileFor(dir, benchmark string, epoch int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-epoch%06d.ckpt", benchmark, epoch))
 }
 
-// Latest returns the snapshot with the highest epoch for the given
-// benchmark in dir, or ErrNoCheckpoint.
+// Latest returns the newest loadable snapshot for the given benchmark
+// in dir, skipping corrupt or truncated files so a damaged final
+// checkpoint falls back to the previous epoch. It returns
+// ErrNoCheckpoint when the directory holds none, or the newest file's
+// error when every candidate is damaged.
 func Latest(dir, benchmark string) (*Snapshot, error) {
 	pattern := filepath.Join(dir, benchmark+"-epoch*.ckpt")
 	matches, err := filepath.Glob(pattern)
@@ -96,7 +176,17 @@ func Latest(dir, benchmark string) (*Snapshot, error) {
 		return nil, ErrNoCheckpoint
 	}
 	sort.Strings(matches)
-	return Load(matches[len(matches)-1])
+	var firstErr error
+	for i := len(matches) - 1; i >= 0; i-- {
+		s, err := Load(matches[i])
+		if err == nil {
+			return s, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
 }
 
 // Restore copies a snapshot's weights into a compiled model after

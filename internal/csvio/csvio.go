@@ -48,6 +48,23 @@ type Reader interface {
 	Read(path string) (*tensor.Matrix, *ReadStats, error)
 }
 
+// ParseError locates a malformed cell or row: which file, which
+// 1-based line, and which engine rejected it. It wraps the underlying
+// cause for errors.Is/As. A week into a 384-rank run, "bad cell" with
+// no location is not an actionable error.
+type ParseError struct {
+	Path   string
+	Line   int // 1-based line number within the file
+	Engine string
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("csvio: %s:%d: %s: %v", e.Path, e.Line, e.Engine, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // frameBuilder accumulates parsed rows and enforces rectangularity.
 type frameBuilder struct {
 	cols int
@@ -59,7 +76,7 @@ func (f *frameBuilder) addRow(vals []float64) error {
 	if f.rows == 0 {
 		f.cols = len(vals)
 	} else if len(vals) != f.cols {
-		return fmt.Errorf("csvio: row %d has %d columns, want %d", f.rows, len(vals), f.cols)
+		return fmt.Errorf("ragged row: %d columns, want %d", len(vals), f.cols)
 	}
 	f.data = append(f.data, vals...)
 	f.rows++
@@ -109,6 +126,7 @@ func (r *NaiveReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 
 	stats := &ReadStats{}
 	fb := &frameBuilder{}
+	lineNo := 0
 	var prevKinds []colKind
 	var rowVals []float64
 	var kinds []colKind
@@ -151,6 +169,7 @@ func (r *NaiveReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 	}
 
 	processLine := func(line []byte) error {
+		lineNo++
 		if len(line) == 0 {
 			return nil
 		}
@@ -189,7 +208,8 @@ func (r *NaiveReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 			}
 			fv, err := strconv.ParseFloat(s, 64)
 			if err != nil {
-				return fmt.Errorf("csvio: row %d: bad cell %q: %w", fb.rows, s, err)
+				return &ParseError{Path: path, Line: lineNo, Engine: r.Name(),
+					Err: fmt.Errorf("bad cell %q: %w", s, err)}
 			}
 			rowVals = append(rowVals, fv)
 			if ci := len(rowVals) - 1; ci < len(kinds) {
@@ -199,7 +219,10 @@ func (r *NaiveReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 		if fb.rows == 0 {
 			kinds = make([]colKind, len(rowVals))
 		}
-		return fb.addRow(rowVals)
+		if err := fb.addRow(rowVals); err != nil {
+			return &ParseError{Path: path, Line: lineNo, Engine: r.Name(), Err: err}
+		}
+		return nil
 	}
 
 	buf := make([]byte, chunkBytes)
@@ -290,19 +313,24 @@ func (r *ChunkedReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 
 	stats := &ReadStats{}
 	fb := &frameBuilder{}
+	lineNo := 0
 	var rowVals []float64
 	buf := make([]byte, chunkBytes)
 	var carry []byte
 	processLine := func(line []byte) error {
+		lineNo++
 		if len(line) == 0 {
 			return nil
 		}
 		var err error
 		rowVals, err = parseRowFast(line, rowVals[:0])
-		if err != nil {
-			return fmt.Errorf("csvio: row %d: %w", fb.rows, err)
+		if err == nil {
+			err = fb.addRow(rowVals)
 		}
-		return fb.addRow(rowVals)
+		if err != nil {
+			return &ParseError{Path: path, Line: lineNo, Engine: r.Name(), Err: err}
+		}
+		return nil
 	}
 	for {
 		n, readErr := io.ReadFull(src, buf)
@@ -398,6 +426,9 @@ func (r *ParallelReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 		rows int
 		cols int
 		err  error
+		// errLine is the 1-based line within this partition err refers
+		// to; translated to a file line number after the join.
+		errLine int
 	}
 	parts := make([]part, nparts)
 	var wg sync.WaitGroup
@@ -408,6 +439,7 @@ func (r *ParallelReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 			seg := raw[bounds[p]:bounds[p+1]]
 			var vals []float64
 			fb := &frameBuilder{}
+			localLine := 0
 			for len(seg) > 0 {
 				idx := bytes.IndexByte(seg, '\n')
 				var line []byte
@@ -416,18 +448,19 @@ func (r *ParallelReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 				} else {
 					line, seg = seg[:idx], seg[idx+1:]
 				}
+				localLine++
 				line = bytes.TrimSuffix(line, []byte{'\r'})
 				if len(line) == 0 {
 					continue
 				}
 				var err error
 				vals, err = parseRowFast(line, vals[:0])
+				if err == nil {
+					err = fb.addRow(vals)
+				}
 				if err != nil {
 					parts[p].err = err
-					return
-				}
-				if err := fb.addRow(vals); err != nil {
-					parts[p].err = err
+					parts[p].errLine = localLine
 					return
 				}
 			}
@@ -435,11 +468,16 @@ func (r *ParallelReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 		}(p)
 	}
 	wg.Wait()
+	// lineAt translates a partition-local line to a 1-based file line.
+	lineAt := func(p, local int) int {
+		return bytes.Count(raw[:bounds[p]], []byte{'\n'}) + local
+	}
 	// Pass 2 (concatenate): like dd.concat + compute, a full copy.
 	totalRows, cols := 0, 0
 	for p := range parts {
 		if parts[p].err != nil {
-			return nil, nil, fmt.Errorf("csvio: partition %d: %w", p, parts[p].err)
+			return nil, nil, &ParseError{Path: path, Line: lineAt(p, parts[p].errLine),
+				Engine: r.Name(), Err: parts[p].err}
 		}
 		if parts[p].rows == 0 {
 			continue
@@ -447,7 +485,10 @@ func (r *ParallelReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 		if cols == 0 {
 			cols = parts[p].cols
 		} else if parts[p].cols != cols {
-			return nil, nil, fmt.Errorf("csvio: partition %d has %d columns, want %d", p, parts[p].cols, cols)
+			// The ragged row is the partition's first: its column count
+			// disagrees with the preceding partitions.
+			return nil, nil, &ParseError{Path: path, Line: lineAt(p, 1), Engine: r.Name(),
+				Err: fmt.Errorf("ragged row: %d columns, want %d", parts[p].cols, cols)}
 		}
 		totalRows += parts[p].rows
 	}

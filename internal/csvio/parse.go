@@ -167,7 +167,7 @@ func parseFloatBytes(b []byte) (float64, error) {
 func fallbackParse(b []byte) (float64, error) {
 	v, err := strconv.ParseFloat(string(b), 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad number %q", b)
+		return 0, fmt.Errorf("bad number %q: %w", b, err)
 	}
 	return v, nil
 }

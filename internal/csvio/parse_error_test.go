@@ -1,0 +1,151 @@
+package csvio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func allReaders() []Reader {
+	return []Reader{NewNaiveReader(), NewChunkedReader(), NewParallelReader(2)}
+}
+
+// TestBadCellReportsLocation: every engine rejects a non-numeric cell
+// with a ParseError naming the file, the 1-based line, and the engine,
+// and wrapping the strconv cause.
+func TestBadCellReportsLocation(t *testing.T) {
+	for _, r := range allReaders() {
+		t.Run(r.Name(), func(t *testing.T) {
+			path := writeCSV(t, "1,2,3\n4,oops,6\n7,8,9\n")
+			_, _, err := r.Read(path)
+			if err == nil {
+				t.Fatal("bad cell accepted")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Path != path {
+				t.Errorf("Path = %q, want %q", pe.Path, path)
+			}
+			if pe.Line != 2 {
+				t.Errorf("Line = %d, want 2", pe.Line)
+			}
+			if pe.Engine != r.Name() {
+				t.Errorf("Engine = %q, want %q", pe.Engine, r.Name())
+			}
+			var ne *strconv.NumError
+			if !errors.As(err, &ne) {
+				t.Errorf("cause %v does not unwrap to the strconv error", pe.Err)
+			}
+			for _, frag := range []string{path, ":2", r.Name(), "oops"} {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q missing %q", err.Error(), frag)
+				}
+			}
+		})
+	}
+}
+
+// TestRaggedRowReportsLocation: a row with the wrong column count is
+// rejected with the same located error by every engine.
+func TestRaggedRowReportsLocation(t *testing.T) {
+	for _, r := range allReaders() {
+		t.Run(r.Name(), func(t *testing.T) {
+			path := writeCSV(t, "1,2,3\n4,5,6\n7,8\n9,10,11\n")
+			_, _, err := r.Read(path)
+			if err == nil {
+				t.Fatal("ragged row accepted")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != 3 {
+				t.Errorf("Line = %d, want 3", pe.Line)
+			}
+			if !strings.Contains(err.Error(), "ragged") {
+				t.Errorf("error %q does not mention the ragged row", err.Error())
+			}
+		})
+	}
+}
+
+// TestTruncatedFinalRowRejected: a file whose last row was cut off
+// mid-cell (no trailing newline, half a float) is a parse error, not
+// silently-wrong data.
+func TestTruncatedFinalRowRejected(t *testing.T) {
+	for _, r := range allReaders() {
+		t.Run(r.Name(), func(t *testing.T) {
+			path := writeCSV(t, "1.5,2.5,3.5\n4.5,5.5,6.5\n7.5,8.5,9.5e")
+			_, _, err := r.Read(path)
+			if err == nil {
+				t.Fatal("truncated row accepted")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != 3 {
+				t.Errorf("Line = %d, want 3", pe.Line)
+			}
+		})
+	}
+}
+
+// TestTruncatedMidRowRejected: truncation that drops whole cells from
+// the final row trips the rectangularity check with a location.
+func TestTruncatedMidRowRejected(t *testing.T) {
+	for _, r := range allReaders() {
+		t.Run(r.Name(), func(t *testing.T) {
+			path := writeCSV(t, "1,2,3\n4,5,6\n7")
+			_, _, err := r.Read(path)
+			if err == nil {
+				t.Fatal("truncated row accepted")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != 3 {
+				t.Errorf("Line = %d, want 3", pe.Line)
+			}
+		})
+	}
+}
+
+// TestParallelErrorInLatePartition: the Dask-style reader translates a
+// partition-local failure back to the file's line numbering.
+func TestParallelErrorInLatePartition(t *testing.T) {
+	var sb strings.Builder
+	const rows = 100
+	bad := 83 // 1-based line of the malformed row
+	for i := 1; i <= rows; i++ {
+		if i == bad {
+			sb.WriteString("1,zap,3\n")
+		} else {
+			sb.WriteString("1,2,3\n")
+		}
+	}
+	path := writeCSV(t, sb.String())
+	_, _, err := NewParallelReader(4).Read(path)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != bad {
+		t.Errorf("Line = %d, want %d", pe.Line, bad)
+	}
+}

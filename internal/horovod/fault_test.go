@@ -1,0 +1,178 @@
+package horovod
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"candle/internal/mpi"
+	"candle/internal/nn"
+	"candle/internal/tensor"
+	"candle/internal/trace"
+)
+
+// boundedRun guards against regressions reintroducing collective
+// deadlocks: the world must unwind within the deadline.
+func boundedRun(t *testing.T, w *mpi.World, f func(c *mpi.Comm) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(f) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(15 * time.Second):
+		t.Fatal("world.Run did not return (deadlock)")
+		return nil
+	}
+}
+
+// TestDistributedOptimizerSurfacesRankFailure: a scripted kill during
+// the gradient allreduce must surface from StepE as a RankFailedError
+// naming the killed rank, freeze further steps, and land rank_failed /
+// abort events on the timeline.
+func TestDistributedOptimizerSurfacesRankFailure(t *testing.T) {
+	const size, killed = 4, 2
+	tl := trace.NewTimeline()
+	w := mpi.NewWorld(size)
+	// Step 0 is each rank's first collective: the allreduce.
+	w.InjectFaults(mpi.NewFaultPlan().KillAt(killed, 0))
+	stepErrs := make([]error, size)
+	err := boundedRun(t, w, func(c *mpi.Comm) error {
+		h := Init(c, Options{Timeline: tl})
+		d := h.DistributedOptimizer(nn.NewSGD(0.1))
+		params := []*nn.Param{{
+			Value: tensor.New(1, 4),
+			Grad:  tensor.FromSlice(1, 4, []float64{1, 2, 3, 4}),
+		}}
+		stepErrs[c.Rank()] = d.StepE(params)
+		if d.Err() == nil {
+			t.Errorf("rank %d: Err() nil after failed step", c.Rank())
+		}
+		// The optimizer is frozen: subsequent steps fail fast with the
+		// same sticky error, without touching the collective again.
+		if again := d.StepE(params); !errors.Is(again, stepErrs[c.Rank()]) {
+			t.Errorf("rank %d: second step error %v, want sticky %v", c.Rank(), again, stepErrs[c.Rank()])
+		}
+		return stepErrs[c.Rank()]
+	})
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != killed {
+		t.Fatalf("Run error = %v, want RankFailedError naming rank %d", err, killed)
+	}
+	if !errors.Is(err, mpi.ErrKilled) {
+		t.Fatalf("Run error %v does not wrap ErrKilled", err)
+	}
+	for r := 0; r < size; r++ {
+		if stepErrs[r] == nil {
+			t.Fatalf("rank %d step succeeded despite the kill", r)
+		}
+	}
+	// Timeline: the killed rank records rank_failed, observers record
+	// abort, all in the failure category.
+	if got := len(tl.Filter("rank_failed")); got != 1 {
+		t.Errorf("rank_failed events = %d, want 1", got)
+	}
+	if got := len(tl.Filter("abort")); got != size-1 {
+		t.Errorf("abort events = %d, want %d", got, size-1)
+	}
+	for _, e := range tl.FilterCat("failure") {
+		if e.Name == "rank_failed" && e.TID != killed {
+			t.Errorf("rank_failed recorded by rank %d, want %d", e.TID, killed)
+		}
+	}
+}
+
+// TestFitAbortsOnCollectiveFailure: nn.Fit polls the optimizer's
+// Failer interface and returns the collective failure instead of
+// training on a frozen optimizer.
+func TestFitAbortsOnCollectiveFailure(t *testing.T) {
+	const size, killed = 3, 1
+	w := mpi.NewWorld(size)
+	// Steps 0-1 are the broadcast hook's barrier + broadcast; the kill
+	// at step 2 lands in the first batch's allreduce.
+	w.InjectFaults(mpi.NewFaultPlan().KillAt(killed, 2))
+	err := boundedRun(t, w, func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		d := h.DistributedOptimizer(nn.NewSGD(0.05))
+		m := buildRankModel(t, int64(c.Rank()), d)
+		x := tensor.New(8, 3)
+		y := tensor.New(8, 2)
+		for i := 0; i < 8; i++ {
+			x.Set(i, i%3, 1)
+			y.Set(i, i%2, 1)
+		}
+		_, err := m.Fit(x, y, nn.FitConfig{
+			Epochs: 2, BatchSize: 4,
+			Callbacks: []nn.Callback{h.BroadcastHook(0)},
+		})
+		if err == nil {
+			t.Errorf("rank %d: Fit succeeded despite kill", c.Rank())
+		}
+		return err
+	})
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != killed {
+		t.Fatalf("Run error = %v, want RankFailedError naming rank %d", err, killed)
+	}
+}
+
+// TestFitAbortsOnBroadcastFailure: a kill during the initial weight
+// broadcast surfaces through the BroadcastHook's Failer before any
+// batch trains.
+func TestFitAbortsOnBroadcastFailure(t *testing.T) {
+	const size, killed = 3, 0
+	w := mpi.NewWorld(size)
+	w.InjectFaults(mpi.NewFaultPlan().KillAt(killed, 0))
+	err := boundedRun(t, w, func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		d := h.DistributedOptimizer(nn.NewSGD(0.05))
+		m := buildRankModel(t, int64(c.Rank()), d)
+		x := tensor.New(4, 3)
+		y := tensor.New(4, 2)
+		hist, err := m.Fit(x, y, nn.FitConfig{
+			Epochs: 1, BatchSize: 4,
+			Callbacks: []nn.Callback{h.BroadcastHook(0)},
+		})
+		if err == nil {
+			t.Errorf("rank %d: Fit succeeded despite broadcast kill", c.Rank())
+		}
+		if hist != nil && len(hist.Loss) != 0 {
+			t.Errorf("rank %d: trained %d epochs on unsynchronized weights", c.Rank(), len(hist.Loss))
+		}
+		return err
+	})
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != killed {
+		t.Fatalf("Run error = %v, want RankFailedError naming rank %d", err, killed)
+	}
+}
+
+// TestParameterServerSurfacesLinkFailure: an injected link failure in
+// the push/pull pattern surfaces from the parameter-server optimizer
+// instead of deadlocking the server's recv loop.
+func TestParameterServerSurfacesLinkFailure(t *testing.T) {
+	const size = 3
+	w := mpi.NewWorld(size)
+	// First gradient push from worker 1 to the server is dropped.
+	w.InjectFaults(mpi.NewFaultPlan().FailSend(1, 0, 1))
+	err := boundedRun(t, w, func(c *mpi.Comm) error {
+		h := Init(c, Options{})
+		p := h.ParameterServerOptimizer(nn.NewSGD(0.1))
+		params := []*nn.Param{{
+			Value: tensor.New(1, 2),
+			Grad:  tensor.FromSlice(1, 2, []float64{1, 2}),
+		}}
+		if err := p.StepE(params); err == nil {
+			t.Errorf("rank %d: step succeeded despite link failure", c.Rank())
+		} else if p.Err() == nil {
+			t.Errorf("rank %d: Err() nil after failure", c.Rank())
+		}
+		if p.Steps != 0 {
+			t.Errorf("rank %d: counted %d steps on a failed update", c.Rank(), p.Steps)
+		}
+		return p.Err()
+	})
+	if !errors.Is(err, mpi.ErrLinkFailed) {
+		t.Fatalf("Run error = %v, want ErrLinkFailed cause", err)
+	}
+}

@@ -17,6 +17,7 @@
 package horovod
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -92,6 +93,23 @@ func (h *Horovod) record(name, cat string, start, dur float64) {
 	h.opts.Timeline.Complete(name, cat, h.comm.Rank()/d, h.comm.Rank(), start, dur)
 }
 
+// recordFailure emits the failure-domain timeline events: the rank
+// that originated the failure records "rank_failed"; every rank that
+// merely observed the abort records "abort". Both land in the
+// "failure" category so trace analysis can separate the root cause
+// from the cascade.
+func (h *Horovod) recordFailure(err error) {
+	if h.opts.Timeline == nil || err == nil {
+		return
+	}
+	name := "abort"
+	var rf *mpi.RankFailedError
+	if errors.As(err, &rf) && rf.Rank == h.comm.Rank() {
+		name = "rank_failed"
+	}
+	h.record(name, "failure", h.clock(), 0)
+}
+
 // CompEpochs is the paper's comp_epochs(): partition n total epochs
 // over nprocs ranks, giving each rank n/nprocs and the remainder to
 // the last rank.
@@ -141,6 +159,11 @@ type DistributedOptimizer struct {
 	// ElementsReduced counts float64 elements pushed through
 	// allreduce.
 	ElementsReduced int
+
+	// err is the sticky first collective failure; once set, Step
+	// freezes the model (no local updates on stale gradients) and
+	// nn.Fit aborts via the Failer interface.
+	err error
 }
 
 // DistributedOptimizer wraps base, mirroring
@@ -159,30 +182,51 @@ func (d *DistributedOptimizer) LearningRate() float64 { return d.base.LearningRa
 func (d *DistributedOptimizer) SetLearningRate(lr float64) { d.base.SetLearningRate(lr) }
 
 // Step averages all parameter gradients across ranks, then delegates
-// the update to the base optimizer.
-func (d *DistributedOptimizer) Step(params []*nn.Param) {
+// the update to the base optimizer. It satisfies nn.Optimizer; a
+// collective failure is recorded (see Err) rather than panicking, and
+// once failed the optimizer stops applying updates so replicas never
+// diverge on half-reduced gradients. Use StepE when an explicit error
+// return is wanted.
+func (d *DistributedOptimizer) Step(params []*nn.Param) { _ = d.StepE(params) }
+
+// StepE is Step with the collective failure surfaced as an error.
+func (d *DistributedOptimizer) StepE(params []*nn.Param) error {
+	if d.err != nil {
+		return d.err
+	}
 	if d.h.Size() > 1 {
-		d.allreduceGrads(params)
+		if err := d.allreduceGrads(params); err != nil {
+			d.err = err
+			d.h.recordFailure(err)
+			return err
+		}
 	}
 	d.base.Step(params)
+	return nil
 }
+
+// Err returns the sticky first collective failure, implementing
+// nn.Failer so Fit aborts training as soon as a rank fails.
+func (d *DistributedOptimizer) Err() error { return d.err }
 
 // allreduceGrads fuses gradients into buffers of at most FusionBytes
 // and allreduce-averages each buffer.
-func (d *DistributedOptimizer) allreduceGrads(params []*nn.Param) {
+func (d *DistributedOptimizer) allreduceGrads(params []*nn.Param) error {
 	fusionElems := d.h.opts.FusionBytes / 8
 	if d.h.opts.FusionBytes < 0 {
 		fusionElems = 0 // fusion disabled: flush after every tensor
 	}
 	var fused []float64
 	var members []*nn.Param
-	flush := func() {
+	flush := func() error {
 		if len(members) == 0 {
-			return
+			return nil
 		}
 		t0 := d.h.clock()
 		d.h.record("negotiate_allreduce", "allreduce", t0, 0)
-		d.h.comm.AllreduceMean(fused)
+		if err := d.h.comm.AllreduceMean(fused); err != nil {
+			return err
+		}
 		d.h.record("NCCL_allreduce", "allreduce", t0, d.h.clock()-t0)
 		off := 0
 		for _, p := range members {
@@ -194,16 +238,19 @@ func (d *DistributedOptimizer) allreduceGrads(params []*nn.Param) {
 		d.ElementsReduced += len(fused)
 		fused = fused[:0]
 		members = members[:0]
+		return nil
 	}
 	for _, p := range params {
 		n := len(p.Grad.Data)
 		if len(members) > 0 && (fusionElems <= 0 || len(fused)+n > fusionElems) {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 		fused = append(fused, p.Grad.Data...)
 		members = append(members, p)
 	}
-	flush()
+	return flush()
 }
 
 // BroadcastHook returns the analogue of
@@ -217,6 +264,8 @@ type BroadcastHook struct {
 	root int
 	// Ran records that the broadcast executed (for tests).
 	Ran bool
+	// err is the broadcast failure, surfaced to Fit via Err.
+	err error
 }
 
 // BroadcastHook constructs the hook for the given root rank.
@@ -224,19 +273,37 @@ func (h *Horovod) BroadcastHook(root int) *BroadcastHook {
 	return &BroadcastHook{h: h, root: root}
 }
 
-// OnTrainBegin broadcasts the root's weights into every replica.
+// OnTrainBegin broadcasts the root's weights into every replica. A
+// collective failure is recorded (see Err) so Fit can abort instead
+// of training unsynchronized replicas.
 func (b *BroadcastHook) OnTrainBegin(m *nn.Sequential) {
+	b.err = b.Broadcast(m)
+}
+
+// Err returns the broadcast failure, implementing nn.Failer.
+func (b *BroadcastHook) Err() error { return b.err }
+
+// Broadcast performs the barrier-then-broadcast with an explicit
+// error return.
+func (b *BroadcastHook) Broadcast(m *nn.Sequential) error {
 	h := b.h
 	t0 := h.clock()
 	// Negotiation: all ranks must arrive before data moves.
-	h.comm.Barrier()
+	if err := h.comm.Barrier(); err != nil {
+		h.recordFailure(err)
+		return err
+	}
 	t1 := h.clock()
 	h.record("negotiate_broadcast", "broadcast", t0, t1-t0)
 	w := m.WeightsVector()
-	h.comm.Broadcast(b.root, w)
+	if err := h.comm.Broadcast(b.root, w); err != nil {
+		h.recordFailure(err)
+		return err
+	}
 	if err := m.SetWeightsVector(w); err != nil {
-		panic("horovod: broadcast weight restore: " + err.Error())
+		return fmt.Errorf("horovod: broadcast weight restore: %w", err)
 	}
 	h.record("mpi_broadcast", "broadcast", t1, h.clock()-t1)
 	b.Ran = true
+	return nil
 }

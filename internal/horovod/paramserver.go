@@ -18,6 +18,8 @@ type ParameterServerOptimizer struct {
 	base nn.Optimizer
 	// Steps counts optimization steps applied.
 	Steps int
+	// err is the sticky first communication failure (see Err).
+	err error
 }
 
 // psTag separates parameter-server traffic from collective traffic.
@@ -40,14 +42,34 @@ func (p *ParameterServerOptimizer) LearningRate() float64 { return p.base.Learni
 func (p *ParameterServerOptimizer) SetLearningRate(lr float64) { p.base.SetLearningRate(lr) }
 
 // Step implements nn.Optimizer with push-gradients / pull-weights
-// semantics.
-func (p *ParameterServerOptimizer) Step(params []*nn.Param) {
+// semantics. Communication failures are recorded (see Err) and freeze
+// the optimizer, mirroring DistributedOptimizer's failure behavior.
+func (p *ParameterServerOptimizer) Step(params []*nn.Param) { _ = p.StepE(params) }
+
+// Err returns the sticky first communication failure, implementing
+// nn.Failer.
+func (p *ParameterServerOptimizer) Err() error { return p.err }
+
+// StepE is Step with the communication failure surfaced as an error.
+func (p *ParameterServerOptimizer) StepE(params []*nn.Param) error {
+	if p.err != nil {
+		return p.err
+	}
+	if err := p.step(params); err != nil {
+		p.err = err
+		p.h.recordFailure(err)
+		return err
+	}
+	p.Steps++
+	return nil
+}
+
+func (p *ParameterServerOptimizer) step(params []*nn.Param) error {
 	c := p.h.comm
 	n := c.Size()
 	if n == 1 {
 		p.base.Step(params)
-		p.Steps++
-		return
+		return nil
 	}
 	total := 0
 	for _, pr := range params {
@@ -62,7 +84,10 @@ func (p *ParameterServerOptimizer) Step(params []*nn.Param) {
 			off += len(pr.Grad.Data)
 		}
 		for src := 1; src < n; src++ {
-			g := c.Recv(src, psTag)
+			g, err := c.Recv(src, psTag)
+			if err != nil {
+				return err
+			}
 			for i, v := range g {
 				sum[i] += v
 			}
@@ -86,23 +111,30 @@ func (p *ParameterServerOptimizer) Step(params []*nn.Param) {
 		for dst := 1; dst < n; dst++ {
 			buf := make([]float64, total)
 			copy(buf, weights)
-			c.Send(dst, psTag, buf)
+			if err := c.Send(dst, psTag, buf); err != nil {
+				return err
+			}
 		}
-	} else {
-		// Worker: push gradients, pull weights.
-		grads := make([]float64, total)
-		off := 0
-		for _, pr := range params {
-			copy(grads[off:], pr.Grad.Data)
-			off += len(pr.Grad.Data)
-		}
-		c.Send(0, psTag, grads)
-		weights := c.Recv(0, psTag)
-		off = 0
-		for _, pr := range params {
-			copy(pr.Value.Data, weights[off:off+len(pr.Value.Data)])
-			off += len(pr.Value.Data)
-		}
+		return nil
 	}
-	p.Steps++
+	// Worker: push gradients, pull weights.
+	grads := make([]float64, total)
+	off := 0
+	for _, pr := range params {
+		copy(grads[off:], pr.Grad.Data)
+		off += len(pr.Grad.Data)
+	}
+	if err := c.Send(0, psTag, grads); err != nil {
+		return err
+	}
+	weights, err := c.Recv(0, psTag)
+	if err != nil {
+		return err
+	}
+	off = 0
+	for _, pr := range params {
+		copy(pr.Value.Data, weights[off:off+len(pr.Value.Data)])
+		off += len(pr.Value.Data)
+	}
+	return nil
 }

@@ -15,10 +15,13 @@ const (
 // Reduce sums data element-wise onto the root using a binomial tree
 // (the mirror image of Broadcast). Non-root ranks' buffers are left
 // with their partial sums and must not be interpreted as results.
-func (c *Comm) Reduce(root int, data []float64) {
+func (c *Comm) Reduce(root int, data []float64) error {
+	if err := c.enterOp("reduce"); err != nil {
+		return err
+	}
 	n := c.world.size
 	if n == 1 {
-		return
+		return nil
 	}
 	rel := (c.rank - root + n) % n
 	mask := 1
@@ -28,13 +31,15 @@ func (c *Comm) Reduce(root int, data []float64) {
 			dst := (c.rank - mask + n) % n
 			buf := make([]float64, len(data))
 			copy(buf, data)
-			c.Send(dst, tagReduce, buf)
-			return
+			return c.Send(dst, tagReduce, buf)
 		}
 		peer := rel | mask
 		if peer < n {
 			src := (peer + root) % n
-			got := c.Recv(src, tagReduce)
+			got, err := c.Recv(src, tagReduce)
+			if err != nil {
+				return err
+			}
 			if len(got) != len(data) {
 				panic(fmt.Sprintf("mpi: reduce length mismatch %d != %d", len(got), len(data)))
 			}
@@ -44,18 +49,24 @@ func (c *Comm) Reduce(root int, data []float64) {
 		}
 		mask <<= 1
 	}
+	return nil
 }
 
 // Gather collects each rank's (equal-length) contribution at the
 // root; the returned slice is indexed by rank at the root and nil
 // elsewhere.
-func (c *Comm) Gather(root int, mine []float64) [][]float64 {
+func (c *Comm) Gather(root int, mine []float64) ([][]float64, error) {
+	if err := c.enterOp("gather"); err != nil {
+		return nil, err
+	}
 	n := c.world.size
 	if c.rank != root {
 		buf := make([]float64, len(mine))
 		copy(buf, mine)
-		c.Send(root, tagGatherR, buf)
-		return nil
+		if err := c.Send(root, tagGatherR, buf); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	out := make([][]float64, n)
 	own := make([]float64, len(mine))
@@ -65,15 +76,22 @@ func (c *Comm) Gather(root int, mine []float64) [][]float64 {
 		if src == c.rank {
 			continue
 		}
-		out[src] = c.Recv(src, tagGatherR)
+		got, err := c.Recv(src, tagGatherR)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
 	}
-	return out
+	return out, nil
 }
 
 // Scatter distributes parts[r] from the root to each rank r and
 // returns this rank's part. Only the root's parts argument is used;
 // it must have exactly world-size entries.
-func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
+func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
+	if err := c.enterOp("scatter"); err != nil {
+		return nil, err
+	}
 	n := c.world.size
 	if c.rank == root {
 		if len(parts) != n {
@@ -85,11 +103,13 @@ func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
 			}
 			buf := make([]float64, len(parts[dst]))
 			copy(buf, parts[dst])
-			c.Send(dst, tagScatter, buf)
+			if err := c.Send(dst, tagScatter, buf); err != nil {
+				return nil, err
+			}
 		}
 		own := make([]float64, len(parts[c.rank]))
 		copy(own, parts[c.rank])
-		return own
+		return own, nil
 	}
 	return c.Recv(root, tagScatter)
 }

@@ -14,7 +14,9 @@ func TestReduceSumsAtRoot(t *testing.T) {
 			got := make([][]float64, size)
 			err := w.Run(func(c *Comm) error {
 				data := []float64{float64(c.Rank() + 1), float64((c.Rank() + 1) * 10)}
-				c.Reduce(root, data)
+				if err := c.Reduce(root, data); err != nil {
+					return err
+				}
 				got[c.Rank()] = data
 				return nil
 			})
@@ -36,7 +38,10 @@ func TestGatherAtRoot(t *testing.T) {
 		w := NewWorld(size)
 		var collected [][]float64
 		err := w.Run(func(c *Comm) error {
-			res := c.Gather(root, []float64{float64(c.Rank() * 2)})
+			res, err := c.Gather(root, []float64{float64(c.Rank() * 2)})
+			if err != nil {
+				return err
+			}
 			if c.Rank() == root {
 				collected = res
 			} else if res != nil {
@@ -63,7 +68,10 @@ func TestScatterDistributesParts(t *testing.T) {
 		if c.Rank() == 1 {
 			parts = [][]float64{{0, 0}, {1, 10}, {2, 20}, {3, 30}}
 		}
-		got := c.Scatter(1, parts)
+		got, err := c.Scatter(1, parts)
+		if err != nil {
+			return err
+		}
 		if got[0] != float64(c.Rank()) || got[1] != float64(c.Rank()*10) {
 			t.Errorf("rank %d got %v", c.Rank(), got)
 		}
@@ -83,13 +91,13 @@ func TestScatterValidatesParts(t *testing.T) {
 					t.Error("short parts accepted")
 				}
 				// Unblock rank 1 so the world can drain.
-				c.Send(1, tagScatter, []float64{1})
+				_ = c.Send(1, tagScatter, []float64{1})
 			}()
-			c.Scatter(0, [][]float64{{1}})
+			_, _ = c.Scatter(0, [][]float64{{1}})
 			return nil
 		}
-		c.Scatter(0, nil)
-		return nil
+		_, err := c.Scatter(0, nil)
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +122,9 @@ func TestQuickReduceMatchesAllreduce(t *testing.T) {
 		w1 := NewWorld(size)
 		if err := w1.Run(func(c *Comm) error {
 			data := append([]float64(nil), inputs[c.Rank()]...)
-			c.Reduce(root, data)
+			if err := c.Reduce(root, data); err != nil {
+				return err
+			}
 			if c.Rank() == root {
 				copy(reduceOut, data)
 			}
@@ -126,7 +136,9 @@ func TestQuickReduceMatchesAllreduce(t *testing.T) {
 		w2 := NewWorld(size)
 		if err := w2.Run(func(c *Comm) error {
 			data := append([]float64(nil), inputs[c.Rank()]...)
-			c.AllreduceSum(data)
+			if err := c.AllreduceSum(data); err != nil {
+				return err
+			}
 			if c.Rank() == root {
 				copy(allOut, data)
 			}
@@ -167,8 +179,14 @@ func TestQuickScatterGatherInverse(t *testing.T) {
 			if c.Rank() == root {
 				in = parts
 			}
-			mine := c.Scatter(root, in)
-			res := c.Gather(root, mine)
+			mine, err := c.Scatter(root, in)
+			if err != nil {
+				return err
+			}
+			res, err := c.Gather(root, mine)
+			if err != nil {
+				return err
+			}
 			if c.Rank() == root {
 				back = res
 			}

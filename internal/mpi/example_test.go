@@ -16,7 +16,9 @@ func ExampleWorld() {
 	var results []float64
 	err := w.Run(func(c *mpi.Comm) error {
 		data := []float64{float64(c.Rank() + 1)} // 1, 2, 3, 4
-		c.AllreduceMean(data)
+		if err := c.AllreduceMean(data); err != nil {
+			return err
+		}
 		mu.Lock()
 		results = append(results, data[0])
 		mu.Unlock()

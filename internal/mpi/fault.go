@@ -1,0 +1,228 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the substrate's failure domain. The paper's scaling
+// story hinges on the fact that synchronous data parallelism couples
+// every rank at each collective; the flip side is that one failed rank
+// stalls all the others forever unless the communicator has an abort
+// path. World carries that path: a per-world done channel plus a
+// sticky record of the first failure, which every Send/Recv and
+// collective selects on, so peers unwind within one collective step
+// with a typed *RankFailedError instead of deadlocking.
+//
+// FaultPlan is the deterministic injection API that scripts failures
+// at the link layer — kills and delays keyed by a rank's collective
+// step count, and per-link send failures — so tests and the sim can
+// reproduce the paper's straggler signature or a mid-training crash
+// without touching product code paths.
+
+// RankFailedError reports that a rank failed and where the failure was
+// observed. Every rank unwinding from an aborted collective receives
+// one naming the *originating* rank, so callers can distinguish the
+// root cause from the cascade.
+type RankFailedError struct {
+	// Rank is the rank that originally failed (not necessarily the
+	// rank that observed the error).
+	Rank int
+	// Op is the operation during which this error surfaced: "run",
+	// "send", "recv", or a collective name.
+	Op string
+	// Cause is the originating rank's underlying error.
+	Cause error
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed (observed in %s): %v", e.Rank, e.Op, e.Cause)
+}
+
+func (e *RankFailedError) Unwrap() error { return e.Cause }
+
+// Injected fault causes, distinguishable with errors.Is.
+var (
+	// ErrKilled is the cause of a FaultPlan.KillAt failure.
+	ErrKilled = errors.New("mpi: injected rank kill")
+	// ErrLinkFailed is the cause of a FaultPlan.FailSend failure.
+	ErrLinkFailed = errors.New("mpi: injected link failure")
+)
+
+// Abort marks the world failed on behalf of the given rank and wakes
+// every blocked Send/Recv/collective. Only the first call wins; later
+// calls (the cascade) are no-ops, so Failure always names the
+// originating rank.
+func (w *World) Abort(rank int, op string, cause error) {
+	w.abortOnce.Do(func() {
+		w.failure.Store(&RankFailedError{Rank: rank, Op: op, Cause: cause})
+		close(w.done)
+	})
+}
+
+// Failure returns the sticky record of the first failure, or nil while
+// the world is healthy.
+func (w *World) Failure() *RankFailedError {
+	return w.failure.Load()
+}
+
+// Aborted reports whether the world has been aborted.
+func (w *World) Aborted() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// abortError builds the error a peer observes when it finds the world
+// aborted inside op: the originating failure re-stamped with the local
+// operation.
+func (w *World) abortError(op string) *RankFailedError {
+	f := w.failure.Load()
+	if f == nil {
+		// close(done) strictly follows the failure store, so this is
+		// unreachable; keep a sane error anyway.
+		return &RankFailedError{Rank: -1, Op: op, Cause: errors.New("mpi: world aborted")}
+	}
+	return &RankFailedError{Rank: f.Rank, Op: op, Cause: f.Cause}
+}
+
+// rankStep keys a fault to one rank's nth collective entry.
+type rankStep struct{ rank, step int }
+
+// link keys a fault to one ordered (src, dst) channel.
+type link struct{ src, dst int }
+
+// FaultPlan scripts deterministic failures. A "step" is the 0-based
+// count of collective operations a rank has entered (Barrier,
+// Broadcast, AllreduceSum/Mean, Allgather, Reduce, Gather, Scatter
+// each count once). Each scripted fault fires at most once, ever —
+// a plan carried across an elastic restart does not re-kill the
+// shrunken world. The zero value is unusable; use NewFaultPlan.
+// Plans are safe for concurrent use by all ranks.
+type FaultPlan struct {
+	mu        sync.Mutex
+	kills     map[rankStep]bool
+	delays    map[rankStep]time.Duration
+	failSends map[link]int // remaining sends on the link before failing
+}
+
+// NewFaultPlan returns an empty plan. Methods chain:
+//
+//	mpi.NewFaultPlan().KillAt(2, 5).DelayAt(3, 0, 50*time.Millisecond)
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		kills:     make(map[rankStep]bool),
+		delays:    make(map[rankStep]time.Duration),
+		failSends: make(map[link]int),
+	}
+}
+
+// KillAt scripts rank to fail with ErrKilled when it enters its step-th
+// collective operation.
+func (p *FaultPlan) KillAt(rank, step int) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.kills[rankStep{rank, step}] = true
+	return p
+}
+
+// DelayAt scripts rank to sleep d before its step-th collective
+// operation — a deterministic straggler.
+func (p *FaultPlan) DelayAt(rank, step int, d time.Duration) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.delays[rankStep{rank, step}] = d
+	return p
+}
+
+// FailSend scripts the nth (1-based) point-to-point send from src to
+// dst to fail with ErrLinkFailed.
+func (p *FaultPlan) FailSend(src, dst, nth int) *FaultPlan {
+	if nth < 1 {
+		nth = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failSends[link{src, dst}] = nth
+	return p
+}
+
+// takeKill consumes a scripted kill for (rank, step).
+func (p *FaultPlan) takeKill(rank, step int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := rankStep{rank, step}
+	if !p.kills[k] {
+		return false
+	}
+	delete(p.kills, k)
+	return true
+}
+
+// takeDelay consumes a scripted delay for (rank, step).
+func (p *FaultPlan) takeDelay(rank, step int) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := rankStep{rank, step}
+	d, ok := p.delays[k]
+	if ok {
+		delete(p.delays, k)
+	}
+	return d, ok
+}
+
+// takeFailSend counts one send on (src, dst) and consumes the scripted
+// failure when the count reaches it.
+func (p *FaultPlan) takeFailSend(src, dst int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := link{src, dst}
+	n, ok := p.failSends[l]
+	if !ok {
+		return false
+	}
+	n--
+	if n > 0 {
+		p.failSends[l] = n
+		return false
+	}
+	delete(p.failSends, l)
+	return true
+}
+
+// InjectFaults attaches a fault plan to the world. Call before Run;
+// pass nil to clear. The same plan may be shared by successive worlds
+// (elastic restarts): fired faults stay consumed.
+func (w *World) InjectFaults(p *FaultPlan) { w.faults = p }
+
+// enterOp is called at the top of every collective. It advances the
+// rank's step counter, applies scripted delays and kills, and fails
+// fast when the world is already aborted.
+func (c *Comm) enterOp(op string) error {
+	step := c.ops
+	c.ops++
+	w := c.world
+	if p := w.faults; p != nil {
+		if d, ok := p.takeDelay(c.rank, step); ok {
+			time.Sleep(d)
+		}
+		if p.takeKill(c.rank, step) {
+			// The kill models the process dying mid-collective: the
+			// world aborts immediately so peers unwind without waiting
+			// for this rank's worker function to return.
+			w.Abort(c.rank, op, ErrKilled)
+			return &RankFailedError{Rank: c.rank, Op: op, Cause: ErrKilled}
+		}
+	}
+	select {
+	case <-w.done:
+		return w.abortError(op)
+	default:
+	}
+	return nil
+}

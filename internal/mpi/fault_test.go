@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// runBounded runs f on the world and fails the test if it does not
+// finish within the deadline — the guard that turns a deadlock into a
+// test failure instead of a hung suite.
+func runBounded(t *testing.T, w *World, d time.Duration, f func(c *Comm) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(f) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("world.Run did not return within %v (deadlock)", d)
+		return nil
+	}
+}
+
+// TestAbortUnblocksBarrier is the core abort property: one rank fails
+// before the collective and every peer blocked inside Barrier unwinds
+// with the originating failure instead of hanging forever.
+func TestAbortUnblocksBarrier(t *testing.T) {
+	sentinel := errors.New("csv exploded")
+	w := NewWorld(4)
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		if err := c.Barrier(); err == nil {
+			t.Errorf("rank %d: barrier succeeded despite peer failure", c.Rank())
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run did not surface the originating error: %v", err)
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 2 {
+		t.Fatalf("want RankFailedError naming rank 2, got %v", err)
+	}
+}
+
+// TestCascadeNamesOriginatingRank: peers observing the abort receive a
+// RankFailedError naming the rank that failed, not themselves.
+func TestCascadeNamesOriginatingRank(t *testing.T) {
+	sentinel := errors.New("origin")
+	w := NewWorld(3)
+	observed := make([]error, 3)
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		observed[c.Rank()] = c.AllreduceSum(make([]float64, 8))
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run error = %v", err)
+	}
+	for _, r := range []int{0, 2} {
+		var rf *RankFailedError
+		if !errors.As(observed[r], &rf) {
+			t.Fatalf("rank %d observed %v, want RankFailedError", r, observed[r])
+		}
+		if rf.Rank != 1 {
+			t.Fatalf("rank %d blamed rank %d, want 1", r, rf.Rank)
+		}
+		if !errors.Is(observed[r], sentinel) {
+			t.Fatalf("rank %d lost the cause: %v", r, observed[r])
+		}
+	}
+}
+
+// TestPanicAbortsWorld: a panicking rank must also unblock its peers.
+func TestPanicAbortsWorld(t *testing.T) {
+	w := NewWorld(3)
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		_ = c.Barrier()
+		return nil
+	})
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 0 {
+		t.Fatalf("want RankFailedError naming rank 0, got %v", err)
+	}
+}
+
+// TestOpsAfterAbortFailFast: once the world aborts, Send, Recv, and
+// collectives return immediately instead of blocking.
+func TestOpsAfterAbortFailFast(t *testing.T) {
+	w := NewWorld(2)
+	w.Abort(1, "test", errors.New("already dead"))
+	c := w.Comm(0)
+	if err := c.Send(1, tagP2P, []float64{1}); err == nil {
+		t.Fatal("Send succeeded on aborted world")
+	}
+	if _, err := c.Recv(1, tagP2P); err == nil {
+		t.Fatal("Recv succeeded on aborted world")
+	}
+	if err := c.Barrier(); err == nil {
+		t.Fatal("Barrier succeeded on aborted world")
+	}
+	if !w.Aborted() {
+		t.Fatal("Aborted() = false after Abort")
+	}
+	if f := w.Failure(); f == nil || f.Rank != 1 {
+		t.Fatalf("Failure() = %v", f)
+	}
+}
+
+// TestKillAtUnblocksCollective: a scripted kill at a collective step
+// fails the killed rank with ErrKilled and unwinds all peers.
+func TestKillAtUnblocksCollective(t *testing.T) {
+	const size, killed = 4, 3
+	w := NewWorld(size)
+	w.InjectFaults(NewFaultPlan().KillAt(killed, 1))
+	errsByRank := make([]error, size)
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		errsByRank[c.Rank()] = func() error {
+			if err := c.Barrier(); err != nil { // step 0
+				return err
+			}
+			return c.AllreduceSum(make([]float64, 16)) // step 1: rank 3 dies
+		}()
+		return errsByRank[c.Rank()]
+	})
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("Run error = %v, want ErrKilled cause", err)
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != killed {
+		t.Fatalf("want RankFailedError naming rank %d, got %v", killed, err)
+	}
+	for r := 0; r < size; r++ {
+		if errsByRank[r] == nil {
+			t.Fatalf("rank %d finished cleanly despite the kill", r)
+		}
+	}
+}
+
+// TestKillFiresOnlyOnce: a consumed kill does not re-fire on a new
+// world sharing the plan (the elastic-restart contract).
+func TestKillFiresOnlyOnce(t *testing.T) {
+	plan := NewFaultPlan().KillAt(1, 0)
+	w1 := NewWorld(3)
+	w1.InjectFaults(plan)
+	if err := runBounded(t, w1, 10*time.Second, func(c *Comm) error {
+		return c.Barrier()
+	}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("first world: %v", err)
+	}
+	w2 := NewWorld(2)
+	w2.InjectFaults(plan)
+	if err := runBounded(t, w2, 10*time.Second, func(c *Comm) error {
+		return c.Barrier()
+	}); err != nil {
+		t.Fatalf("second world should survive: %v", err)
+	}
+}
+
+// TestDelayAtStallsPeers: a scripted delay holds every other rank at
+// the barrier for at least the injected duration — the deterministic
+// straggler the paper's broadcast observation is built on.
+func TestDelayAtStallsPeers(t *testing.T) {
+	const size = 3
+	const delay = 50 * time.Millisecond
+	w := NewWorld(size)
+	w.InjectFaults(NewFaultPlan().DelayAt(size-1, 0, delay))
+	waits := make([]time.Duration, size)
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		start := time.Now()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		waits[c.Rank()] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < size-1; r++ {
+		if waits[r] < delay*8/10 {
+			t.Fatalf("rank %d barrier wait %v, want ≈%v (straggler delay)", r, waits[r], delay)
+		}
+	}
+}
+
+// TestFailSendAbortsWorld: an injected link failure surfaces as the
+// sending rank's failure and unwinds the world.
+func TestFailSendAbortsWorld(t *testing.T) {
+	w := NewWorld(3)
+	w.InjectFaults(NewFaultPlan().FailSend(0, 1, 1))
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		return c.AllreduceSum(make([]float64, 6))
+	})
+	if !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("Run error = %v, want ErrLinkFailed cause", err)
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 0 {
+		t.Fatalf("want RankFailedError naming rank 0, got %v", err)
+	}
+}
+
+// TestFailSendNth: the failure counts sends on the scripted link only,
+// firing on exactly the nth.
+func TestFailSendNth(t *testing.T) {
+	w := NewWorld(2)
+	w.InjectFaults(NewFaultPlan().FailSend(0, 1, 2))
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, tagP2P, []float64{1}); err != nil {
+				t.Errorf("first send failed early: %v", err)
+				return err
+			}
+			return c.Send(1, tagP2P, []float64{2})
+		}
+		if _, err := c.Recv(0, tagP2P); err != nil {
+			return err
+		}
+		_, err := c.Recv(0, tagP2P)
+		return err
+	})
+	if !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("Run error = %v", err)
+	}
+}
+
+// TestHealthyWorldUnaffectedByEmptyPlan: injection with no scripted
+// faults must be a no-op.
+func TestHealthyWorldUnaffectedByEmptyPlan(t *testing.T) {
+	w := NewWorld(4)
+	w.InjectFaults(NewFaultPlan())
+	err := runBounded(t, w, 10*time.Second, func(c *Comm) error {
+		data := []float64{float64(c.Rank())}
+		if err := c.AllreduceMean(data); err != nil {
+			return err
+		}
+		if data[0] != 1.5 {
+			t.Errorf("mean = %v", data[0])
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,11 @@
 // reduce-scatter/allgather scheme NCCL and Baidu's
 // tensorflow-allreduce use — so contention, pipelining, and straggler
 // effects genuinely occur rather than being merely modelled.
+//
+// The substrate has a real failure domain (fault.go): a rank that
+// errors or panics aborts the world, every blocked operation unwinds
+// with a *RankFailedError naming the originating rank, and a FaultPlan
+// can script deterministic kills, delays, and link failures.
 package mpi
 
 import (
@@ -36,6 +41,14 @@ type World struct {
 	// parameter server (root handles O(N·M)) from a ring allreduce
 	// (every rank handles O(M)).
 	endpoint []atomic.Int64
+
+	// done closes when the world aborts; failure records the first
+	// rank to fail (see fault.go).
+	done      chan struct{}
+	abortOnce sync.Once
+	failure   atomic.Pointer[RankFailedError]
+	// faults, when non-nil, scripts deterministic failures.
+	faults *FaultPlan
 }
 
 // linkBuffer is the per-link channel capacity. Collective schedules
@@ -49,7 +62,12 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
 	}
-	w := &World{size: size, links: make([][]chan packet, size), endpoint: make([]atomic.Int64, size)}
+	w := &World{
+		size:     size,
+		links:    make([][]chan packet, size),
+		endpoint: make([]atomic.Int64, size),
+		done:     make(chan struct{}),
+	}
 	for s := 0; s < size; s++ {
 		w.links[s] = make([]chan packet, size)
 		for d := 0; d < size; d++ {
@@ -96,8 +114,11 @@ func (w *World) Comm(rank int) *Comm {
 }
 
 // Run executes f once per rank, each in its own goroutine, and waits
-// for all of them. A panic in any rank is recovered and reported as an
-// error; the first non-nil error (by rank order) is returned.
+// for all of them. A rank that returns an error or panics aborts the
+// world, so peers blocked in Send/Recv or a collective unwind within
+// one collective step instead of deadlocking. Run returns the
+// originating failure (as a *RankFailedError wrapping the rank's
+// error), never the cascade errors the other ranks observed.
 func (w *World) Run(f func(c *Comm) error) error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
@@ -108,12 +129,22 @@ func (w *World) Run(f func(c *Comm) error) error {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					w.Abort(rank, "run", errs[rank])
 				}
 			}()
 			errs[rank] = f(w.Comm(rank))
+			if errs[rank] != nil {
+				// If the rank is merely reporting the cascade of an
+				// earlier abort, the sticky record already names the
+				// origin and this call is a no-op.
+				w.Abort(rank, "run", errs[rank])
+			}
 		}(r)
 	}
 	wg.Wait()
+	if fail := w.failure.Load(); fail != nil {
+		return fail
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -127,6 +158,9 @@ func (w *World) Run(f func(c *Comm) error) error {
 type Comm struct {
 	world *World
 	rank  int
+	// ops counts collective operations entered, the "step" unit
+	// FaultPlan kills and delays are keyed by.
+	ops int
 }
 
 // Rank returns this endpoint's rank (hvd.rank()).
@@ -139,30 +173,60 @@ func (c *Comm) Size() int { return c.world.size }
 // reference; collective implementations copy where aliasing would be
 // unsafe, and callers doing raw point-to-point sends must not mutate
 // the slice until the receiver is done with it (as with MPI buffers).
-func (c *Comm) Send(dst, tag int, data []float64) {
+// Send fails with a *RankFailedError when the world has aborted or a
+// scripted link fault fires, instead of blocking forever.
+func (c *Comm) Send(dst, tag int, data []float64) error {
 	if dst == c.rank {
 		panic("mpi: send to self")
 	}
-	c.world.msgsSent.Add(1)
+	w := c.world
+	if p := w.faults; p != nil && p.takeFailSend(c.rank, dst) {
+		w.Abort(c.rank, "send", ErrLinkFailed)
+		return &RankFailedError{Rank: c.rank, Op: "send", Cause: ErrLinkFailed}
+	}
+	select {
+	case <-w.done:
+		return w.abortError("send")
+	default:
+	}
+	select {
+	case w.links[c.rank][dst] <- packet{tag: tag, data: data}:
+	case <-w.done:
+		return w.abortError("send")
+	}
+	w.msgsSent.Add(1)
 	payload := int64(8 * len(data))
-	c.world.bytesSent.Add(payload)
-	c.world.endpoint[c.rank].Add(payload)
-	c.world.endpoint[dst].Add(payload)
-	c.world.links[c.rank][dst] <- packet{tag: tag, data: data}
+	w.bytesSent.Add(payload)
+	w.endpoint[c.rank].Add(payload)
+	w.endpoint[dst].Add(payload)
+	return nil
 }
 
-// Recv blocks for the next message from src and returns its payload.
-// It panics if the tag does not match, which in a correct collective
-// schedule can only mean a protocol bug.
-func (c *Comm) Recv(src, tag int) []float64 {
+// Recv blocks for the next message from src and returns its payload,
+// or a *RankFailedError if the world aborts first. It panics if the
+// tag does not match, which in a correct collective schedule can only
+// mean a protocol bug.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
 	if src == c.rank {
 		panic("mpi: recv from self")
 	}
-	p := <-c.world.links[src][c.rank]
+	w := c.world
+	var p packet
+	select {
+	case p = <-w.links[src][c.rank]:
+	case <-w.done:
+		// Drain preference: a packet already delivered should win over
+		// a concurrent abort so in-flight protocol steps complete.
+		select {
+		case p = <-w.links[src][c.rank]:
+		default:
+			return nil, w.abortError("recv")
+		}
+	}
 	if p.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, p.tag))
 	}
-	return p.data
+	return p.data, nil
 }
 
 // Collective message tags. Every collective uses its own tag space so
@@ -176,29 +240,43 @@ const (
 )
 
 // Barrier blocks until every rank has entered it (dissemination
-// algorithm, ⌈log2 n⌉ rounds).
-func (c *Comm) Barrier() {
+// algorithm, ⌈log2 n⌉ rounds) or the world aborts.
+func (c *Comm) Barrier() error {
+	if err := c.enterOp("barrier"); err != nil {
+		return err
+	}
 	n := c.world.size
 	for dist := 1; dist < n; dist <<= 1 {
-		c.Send((c.rank+dist)%n, tagBarrier, nil)
-		c.Recv((c.rank-dist+n)%n, tagBarrier)
+		if err := c.Send((c.rank+dist)%n, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv((c.rank-dist+n)%n, tagBarrier); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Broadcast distributes root's data to every rank in place using a
 // binomial tree (the MPI_Bcast algorithm). Every rank must pass a
 // slice of the same length; non-root contents are overwritten.
-func (c *Comm) Broadcast(root int, data []float64) {
+func (c *Comm) Broadcast(root int, data []float64) error {
+	if err := c.enterOp("broadcast"); err != nil {
+		return err
+	}
 	n := c.world.size
 	if n == 1 {
-		return
+		return nil
 	}
 	rel := (c.rank - root + n) % n
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
 			src := (c.rank - mask + n) % n
-			got := c.Recv(src, tagBcast)
+			got, err := c.Recv(src, tagBcast)
+			if err != nil {
+				return err
+			}
 			if len(got) != len(data) {
 				panic(fmt.Sprintf("mpi: broadcast length mismatch %d != %d", len(got), len(data)))
 			}
@@ -214,10 +292,13 @@ func (c *Comm) Broadcast(root int, data []float64) {
 			// Copy so later local mutation cannot race the receiver.
 			buf := make([]float64, len(data))
 			copy(buf, data)
-			c.Send(dst, tagBcast, buf)
+			if err := c.Send(dst, tagBcast, buf); err != nil {
+				return err
+			}
 		}
 		mask >>= 1
 	}
+	return nil
 }
 
 // chunkBounds splits length l into n contiguous chunks as evenly as
@@ -239,10 +320,13 @@ func chunkBounds(l, n int) []int {
 // the ring algorithm: a reduce-scatter phase followed by an allgather
 // phase, each of n−1 steps moving 1/n of the buffer — the same
 // bandwidth-optimal schedule NCCL uses.
-func (c *Comm) AllreduceSum(data []float64) {
+func (c *Comm) AllreduceSum(data []float64) error {
+	if err := c.enterOp("allreduce"); err != nil {
+		return err
+	}
 	n := c.world.size
 	if n == 1 {
-		return
+		return nil
 	}
 	off := chunkBounds(len(data), n)
 	next := (c.rank + 1) % n
@@ -256,8 +340,13 @@ func (c *Comm) AllreduceSum(data []float64) {
 		seg := data[off[sendChunk]:off[sendChunk+1]]
 		buf := make([]float64, len(seg))
 		copy(buf, seg)
-		c.Send(next, tagRing, buf)
-		got := c.Recv(prev, tagRing)
+		if err := c.Send(next, tagRing, buf); err != nil {
+			return err
+		}
+		got, err := c.Recv(prev, tagRing)
+		if err != nil {
+			return err
+		}
 		dst := data[off[recvChunk]:off[recvChunk+1]]
 		for i, v := range got {
 			dst[i] += v
@@ -270,32 +359,44 @@ func (c *Comm) AllreduceSum(data []float64) {
 		seg := data[off[sendChunk]:off[sendChunk+1]]
 		buf := make([]float64, len(seg))
 		copy(buf, seg)
-		c.Send(next, tagRing, buf)
-		got := c.Recv(prev, tagRing)
+		if err := c.Send(next, tagRing, buf); err != nil {
+			return err
+		}
+		got, err := c.Recv(prev, tagRing)
+		if err != nil {
+			return err
+		}
 		copy(data[off[recvChunk]:off[recvChunk+1]], got)
 	}
+	return nil
 }
 
 // AllreduceMean averages data element-wise across all ranks in place —
 // the operation Horovod's DistributedOptimizer applies to gradients.
-func (c *Comm) AllreduceMean(data []float64) {
-	c.AllreduceSum(data)
+func (c *Comm) AllreduceMean(data []float64) error {
+	if err := c.AllreduceSum(data); err != nil {
+		return err
+	}
 	inv := 1 / float64(c.world.size)
 	for i := range data {
 		data[i] *= inv
 	}
+	return nil
 }
 
 // Allgather collects each rank's (equal-length) contribution and
 // returns them indexed by rank, using a ring schedule.
-func (c *Comm) Allgather(mine []float64) [][]float64 {
+func (c *Comm) Allgather(mine []float64) ([][]float64, error) {
+	if err := c.enterOp("allgather"); err != nil {
+		return nil, err
+	}
 	n := c.world.size
 	out := make([][]float64, n)
 	own := make([]float64, len(mine))
 	copy(own, mine)
 	out[c.rank] = own
 	if n == 1 {
-		return out
+		return out, nil
 	}
 	next := (c.rank + 1) % n
 	prev := (c.rank - 1 + n) % n
@@ -304,11 +405,16 @@ func (c *Comm) Allgather(mine []float64) [][]float64 {
 	for s := 0; s < n-1; s++ {
 		buf := make([]float64, len(cur))
 		copy(buf, cur)
-		c.Send(next, tagGather, buf)
-		got := c.Recv(prev, tagGather)
+		if err := c.Send(next, tagGather, buf); err != nil {
+			return nil, err
+		}
+		got, err := c.Recv(prev, tagGather)
+		if err != nil {
+			return nil, err
+		}
 		curRank = (curRank - 1 + n) % n
 		out[curRank] = got
 		cur = got
 	}
-	return out
+	return out, nil
 }

@@ -32,13 +32,18 @@ func TestSendRecvFIFO(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, tagP2P, []float64{1})
-			c.Send(1, tagP2P, []float64{2})
-			c.Send(1, tagP2P, []float64{3})
+			for v := 1.0; v <= 3; v++ {
+				if err := c.Send(1, tagP2P, []float64{v}); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
 		for want := 1.0; want <= 3; want++ {
-			got := c.Recv(0, tagP2P)
+			got, err := c.Recv(0, tagP2P)
+			if err != nil {
+				return err
+			}
 			if got[0] != want {
 				t.Errorf("FIFO violated: got %v want %v", got[0], want)
 			}
@@ -87,7 +92,9 @@ func TestBroadcastAllSizes(t *testing.T) {
 				if c.Rank() == root {
 					copy(data, payload)
 				}
-				c.Broadcast(root, data)
+				if err := c.Broadcast(root, data); err != nil {
+					return err
+				}
 				for i, v := range payload {
 					if data[i] != v {
 						t.Errorf("size %d root %d rank %d: got %v", size, root, c.Rank(), data)
@@ -120,7 +127,9 @@ func TestAllreduceSumMatchesSerial(t *testing.T) {
 			err := w.Run(func(c *Comm) error {
 				data := make([]float64, length)
 				copy(data, inputs[c.Rank()])
-				c.AllreduceSum(data)
+				if err := c.AllreduceSum(data); err != nil {
+					return err
+				}
 				for i := range data {
 					if math.Abs(data[i]-want[i]) > 1e-9 {
 						t.Errorf("size %d len %d rank %d elem %d: got %v want %v",
@@ -141,7 +150,9 @@ func TestAllreduceMeanDividesBySize(t *testing.T) {
 	w := NewWorld(4)
 	err := w.Run(func(c *Comm) error {
 		data := []float64{float64(c.Rank() + 1)} // 1+2+3+4 = 10 → mean 2.5
-		c.AllreduceMean(data)
+		if err := c.AllreduceMean(data); err != nil {
+			return err
+		}
 		if math.Abs(data[0]-2.5) > 1e-12 {
 			t.Errorf("rank %d mean = %v", c.Rank(), data[0])
 		}
@@ -157,7 +168,10 @@ func TestAllgather(t *testing.T) {
 		w := NewWorld(size)
 		err := w.Run(func(c *Comm) error {
 			mine := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
-			all := c.Allgather(mine)
+			all, err := c.Allgather(mine)
+			if err != nil {
+				return err
+			}
 			if len(all) != size {
 				t.Errorf("allgather returned %d slots", len(all))
 				return nil
@@ -179,7 +193,10 @@ func TestAllgatherResultIsCopy(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		mine := []float64{1}
-		all := c.Allgather(mine)
+		all, err := c.Allgather(mine)
+		if err != nil {
+			return err
+		}
 		mine[0] = 99
 		if all[c.Rank()][0] != 1 {
 			t.Error("allgather aliased caller's buffer")
@@ -197,7 +214,9 @@ func TestBarrierSynchronizes(t *testing.T) {
 	var before, after atomic.Int32
 	err := w.Run(func(c *Comm) error {
 		before.Add(1)
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		// Every rank must have passed "before" by now.
 		if got := before.Load(); got != size {
 			t.Errorf("rank %d saw before=%d after barrier", c.Rank(), got)
@@ -217,11 +236,10 @@ func TestStatsCounting(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, tagP2P, []float64{1, 2, 3})
-		} else {
-			c.Recv(0, tagP2P)
+			return c.Send(1, tagP2P, []float64{1, 2, 3})
 		}
-		return nil
+		_, err := c.Recv(0, tagP2P)
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -276,7 +294,9 @@ func TestQuickAllreduceSum(t *testing.T) {
 		if err := w.Run(func(c *Comm) error {
 			data := make([]float64, length)
 			copy(data, inputs[c.Rank()])
-			c.AllreduceSum(data)
+			if err := c.AllreduceSum(data); err != nil {
+				return err
+			}
 			for i := range data {
 				if math.Abs(data[i]-want[i]) > 1e-9 {
 					ok.Store(false)
@@ -313,8 +333,12 @@ func TestQuickBroadcastIdempotent(t *testing.T) {
 			if c.Rank() == root {
 				copy(data, payload)
 			}
-			c.Broadcast(root, data)
-			c.Broadcast(root, data)
+			if err := c.Broadcast(root, data); err != nil {
+				return err
+			}
+			if err := c.Broadcast(root, data); err != nil {
+				return err
+			}
 			for i := range data {
 				if data[i] != payload[i] {
 					ok.Store(false)
@@ -337,8 +361,7 @@ func BenchmarkAllreduceRing8x4096(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = w.Run(func(c *Comm) error {
 			data := make([]float64, 4096)
-			c.AllreduceSum(data)
-			return nil
+			return c.AllreduceSum(data)
 		})
 	}
 }

@@ -223,6 +223,11 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 	for _, cb := range cfg.Callbacks {
 		cb.OnTrainBegin(s)
 	}
+	// A failed initial broadcast means the replicas never synchronized;
+	// training on diverged weights would be garbage, so stop here.
+	if err := trainingFailure(s.opt, cfg.Callbacks); err != nil {
+		return hist, fmt.Errorf("nn: training aborted before start: %w", err)
+	}
 	bx := tensor.New(bs, x.Cols)
 	by := tensor.New(bs, y.Cols)
 	for e := 0; e < cfg.Epochs; e++ {
@@ -243,6 +248,11 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 			epochLoss += l
 			for _, cb := range cfg.Callbacks {
 				cb.OnBatchEnd(s, e, step, l)
+			}
+			// A distributed optimizer whose collective aborted cannot
+			// make progress; surface the failure immediately.
+			if err := trainingFailure(s.opt, cfg.Callbacks); err != nil {
+				return hist, fmt.Errorf("nn: training aborted at epoch %d step %d: %w", e, step, err)
 			}
 		}
 		epochLoss /= float64(steps)
@@ -271,6 +281,34 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 		cb.OnTrainEnd(s)
 	}
 	return hist, nil
+}
+
+// Failer is implemented by optimizers and callbacks whose work can
+// fail mid-training — e.g. a distributed optimizer or broadcast hook
+// whose collective aborted because a peer rank died. Fit polls it and
+// returns the failure instead of training on, so a rank failure
+// surfaces as an error from Fit rather than a hang or divergence.
+type Failer interface {
+	// Err returns the sticky first failure, or nil while healthy.
+	Err() error
+}
+
+// trainingFailure returns the first failure reported by the optimizer
+// or any callback implementing Failer.
+func trainingFailure(opt Optimizer, cbs []Callback) error {
+	if f, ok := opt.(Failer); ok {
+		if err := f.Err(); err != nil {
+			return err
+		}
+	}
+	for _, cb := range cbs {
+		if f, ok := cb.(Failer); ok {
+			if err := f.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Callback observes Fit. All methods have empty defaults via
