@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-tensor ci
+.PHONY: build test race vet bench bench-tensor bench-overlap ci
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,10 @@ bench:
 
 bench-tensor:
 	$(GO) test -bench 'BenchmarkMatMul|BenchmarkDenseStep' -benchmem -run '^$$' ./internal/tensor ./internal/nn
+
+# Sync-vs-overlap per-step wall time under an injected collective
+# stall; regenerates BENCH_overlap.json.
+bench-overlap:
+	BENCH_OVERLAP_OUT=$(CURDIR)/BENCH_overlap.json $(GO) test -run TestWriteOverlapBench -v ./internal/horovod
 
 ci: build test race vet

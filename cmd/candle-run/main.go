@@ -40,6 +40,10 @@ var elastic bool
 // restores from it after a kill).
 var ckptDir string
 
+// overlapMode enables the async gradient pipeline in real mode:
+// allreduce overlaps with backward compute, bit-identical results.
+var overlapMode bool
+
 func main() {
 	var (
 		bench   = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
@@ -58,12 +62,14 @@ func main() {
 		fault   = flag.String("inject-fault", "", "kill a rank at a collective step, as rank@step, e.g. 2@5 (real mode)")
 		elast   = flag.Bool("elastic", false, "recover from rank failures by restarting on a shrunken world (real mode)")
 		ckpt    = flag.String("checkpoint-dir", "", "checkpoint directory (real mode); elastic recovery resumes from it")
+		overlap = flag.Bool("overlap", false, "overlap gradient allreduce with backward compute (real mode)")
 	)
 	flag.Parse()
 	psMode = *ps
 	timelineOut = *tlOut
 	elastic = *elast
 	ckptDir = *ckpt
+	overlapMode = *overlap
 	if *fault != "" {
 		plan, err := parseFault(*fault)
 		if err != nil {
@@ -193,7 +199,7 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 	res, err := b.Run(candle.RunConfig{
 		Ranks: ranks, TotalEpochs: epochs, WeakScaling: weak, Batch: batch,
 		Loader: reader, DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
-		ParameterServer: psMode, Timeline: tl,
+		ParameterServer: psMode, Timeline: tl, Overlap: overlapMode,
 		Faults: injectFault, Elastic: elastic,
 		CheckpointDir: ckptDir, Resume: ckptDir != "" && elastic,
 	})

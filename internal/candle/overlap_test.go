@@ -1,0 +1,80 @@
+package candle
+
+import (
+	"errors"
+	"testing"
+
+	"candle/internal/mpi"
+	"candle/internal/trace"
+)
+
+// TestRunOverlapBitIdenticalWeights: a full multi-rank benchmark run
+// with the async gradient pipeline must land on exactly the weights
+// the synchronous run produces — same data, same seeds, same fusion
+// groups, same ring addition order.
+func TestRunOverlapBitIdenticalWeights(t *testing.T) {
+	sync := runSmall(t, 3, RunConfig{TotalEpochs: 6})
+	async := runSmall(t, 3, RunConfig{TotalEpochs: 6, Overlap: true})
+	if sync.Root.WeightsChecksum != async.Root.WeightsChecksum {
+		t.Fatalf("overlap changed the result: checksum %v vs %v",
+			async.Root.WeightsChecksum, sync.Root.WeightsChecksum)
+	}
+	if sync.Root.AllreduceCalls != async.Root.AllreduceCalls {
+		t.Fatalf("overlap changed fusion grouping: %d allreduces vs %d",
+			async.Root.AllreduceCalls, sync.Root.AllreduceCalls)
+	}
+	// And the overlap run's replicas agree with each other.
+	for _, r := range async.Ranks[1:] {
+		if r.WeightsChecksum != async.Ranks[0].WeightsChecksum {
+			t.Fatalf("overlap replicas diverged: rank %d %v vs %v",
+				r.Rank, r.WeightsChecksum, async.Ranks[0].WeightsChecksum)
+		}
+	}
+}
+
+// TestRunOverlapRecordsTimeline: the overlap run's timeline must carry
+// the async pipeline's events alongside the usual allreduce spans.
+func TestRunOverlapRecordsTimeline(t *testing.T) {
+	tl := trace.NewTimeline()
+	runSmall(t, 2, RunConfig{TotalEpochs: 4, Overlap: true, Timeline: tl})
+	if len(tl.Filter("allreduce_overlap")) == 0 {
+		t.Fatal("no allreduce_overlap events in an overlap run")
+	}
+	if len(tl.Filter("queue_wait")) == 0 {
+		t.Fatal("no queue_wait events in an overlap run")
+	}
+	for _, ev := range tl.Filter("negotiate_allreduce") {
+		if ev.Dur < 0 {
+			t.Fatalf("negative negotiate_allreduce duration %v", ev.Dur)
+		}
+	}
+}
+
+// TestRunOverlapAbortsOnRankFailure: a scripted kill during an
+// overlap run must abort cleanly with the failed rank identified —
+// the failure originates inside the coordinator goroutine and has to
+// unwind through the drain handshake, Failer polling, and World.Run.
+func TestRunOverlapAbortsOnRankFailure(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Run(RunConfig{
+		Ranks: 3, TotalEpochs: 6, Batch: 7, LR: 0.05, DataDir: dir, Seed: 11,
+		Overlap: true,
+		// Steps 0-1 are the broadcast hook; the kill lands in a
+		// coordinator-issued allreduce.
+		Faults: mpi.NewFaultPlan().KillAt(1, 4),
+	})
+	if err == nil {
+		t.Fatal("run succeeded despite injected kill")
+	}
+	var rf *mpi.RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 {
+		t.Fatalf("error = %v, want RankFailedError naming rank 1", err)
+	}
+}

@@ -46,6 +46,14 @@ type RunConfig struct {
 	Timeline *trace.Timeline
 	// FusionBytes is passed to the Horovod layer (0 = default 64 MB).
 	FusionBytes int
+	// Overlap enables the asynchronous gradient pipeline: allreduce
+	// runs in a background coordinator while Backward is still
+	// computing earlier layers' gradients. Results are bit-identical
+	// to the synchronous path.
+	Overlap bool
+	// CycleTime is the overlap coordinator's wake cadence (Horovod's
+	// HOROVOD_CYCLE_TIME); 0 processes gradients as they arrive.
+	CycleTime time.Duration
 	// CheckpointDir enables checkpoint/restart: rank 0 snapshots the
 	// model every CheckpointEvery epochs (default 1), and Resume
 	// restores the latest snapshot before training.
@@ -244,6 +252,8 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 			Timeline:    cfg.Timeline,
 			FusionBytes: cfg.FusionBytes,
 			Clock:       clock,
+			Overlap:     cfg.Overlap,
+			CycleTime:   cfg.CycleTime,
 		})
 		lr := cfg.LR
 		if lr <= 0 {
@@ -260,10 +270,16 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 		} else {
 			dist = hvd.DistributedOptimizer(base)
 			opt = dist
+			defer dist.Close()
 		}
 		model := b.Build(b.Spec)
 		if err := model.Compile(b.Spec.Features, b.Loss, opt, cfg.Seed+int64(c.Rank())*7919); err != nil {
 			return fmt.Errorf("rank %d: compile: %w", c.Rank(), err)
+		}
+		if cfg.Overlap && dist != nil {
+			// Feed gradients to the overlap coordinator as Backward
+			// produces them.
+			model.SetGradSink(dist)
 		}
 
 		// Checkpoint/restart: restore the latest snapshot (all ranks

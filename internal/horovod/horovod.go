@@ -42,6 +42,21 @@ type Options struct {
 	Clock func() float64
 	// DevicesPerNode is used by LocalRank; 0 means 1.
 	DevicesPerNode int
+	// Overlap enables the asynchronous gradient pipeline: a background
+	// coordinator reduces gradients as the model's Backward announces
+	// them (via nn.GradSink), overlapping communication with the rest
+	// of the backward pass. StepE then drains the pipeline and applies
+	// the update. Flush order is deterministic, so overlap on and off
+	// produce bit-identical weights. Requires closing the optimizer
+	// (DistributedOptimizer.Close) when done.
+	Overlap bool
+	// CycleTime is the overlap coordinator's wake cadence, mirroring
+	// Horovod's HOROVOD_CYCLE_TIME: with a positive cycle the
+	// coordinator batches queued tensors and processes them once per
+	// tick instead of per submission. Zero processes submissions
+	// immediately. The cycle shifts only when collectives are issued,
+	// never how tensors are grouped, so results stay bit-identical.
+	CycleTime time.Duration
 }
 
 // Horovod is one rank's distributed-training context (what hvd.init()
@@ -160,6 +175,15 @@ type DistributedOptimizer struct {
 	// allreduce.
 	ElementsReduced int
 
+	// fb accumulates ready gradients into fused groups. In overlap
+	// mode it is owned by the coordinator goroutine; otherwise by
+	// whichever goroutine calls Step.
+	fb fusionBuffer
+
+	// coord is the background overlap coordinator, non-nil only with
+	// Options.Overlap on a multi-rank world.
+	coord *coordinator
+
 	// err is the sticky first collective failure; once set, Step
 	// freezes the model (no local updates on stale gradients) and
 	// nn.Fit aborts via the Failer interface.
@@ -167,9 +191,17 @@ type DistributedOptimizer struct {
 }
 
 // DistributedOptimizer wraps base, mirroring
-// hvd.DistributedOptimizer(optimizer).
+// hvd.DistributedOptimizer(optimizer). With Options.Overlap set the
+// optimizer also implements nn.GradSink: attach it to the model with
+// SetGradSink so Backward feeds gradients to the background
+// coordinator as they become ready, and call Close when done.
 func (h *Horovod) DistributedOptimizer(base nn.Optimizer) *DistributedOptimizer {
-	return &DistributedOptimizer{h: h, base: base}
+	d := &DistributedOptimizer{h: h, base: base}
+	d.fb.d = d
+	if h.opts.Overlap && h.Size() > 1 {
+		d.coord = newCoordinator(d, h.opts.CycleTime)
+	}
+	return d
 }
 
 // Name implements nn.Optimizer.
@@ -189,13 +221,21 @@ func (d *DistributedOptimizer) SetLearningRate(lr float64) { d.base.SetLearningR
 // return is wanted.
 func (d *DistributedOptimizer) Step(params []*nn.Param) { _ = d.StepE(params) }
 
-// StepE is Step with the collective failure surfaced as an error.
+// StepE is Step with the collective failure surfaced as an error. In
+// overlap mode it drains the coordinator (waiting for the in-flight
+// reductions Backward already triggered, then reducing any remainder)
+// instead of reducing everything inline.
 func (d *DistributedOptimizer) StepE(params []*nn.Param) error {
 	if d.err != nil {
 		return d.err
 	}
 	if d.h.Size() > 1 {
-		if err := d.allreduceGrads(params); err != nil {
+		if d.coord != nil {
+			if err := d.coord.drain(params); err != nil {
+				d.err = err
+				return err
+			}
+		} else if err := d.allreduceGrads(params); err != nil {
 			d.err = err
 			d.h.recordFailure(err)
 			return err
@@ -209,48 +249,132 @@ func (d *DistributedOptimizer) StepE(params []*nn.Param) error {
 // nn.Failer so Fit aborts training as soon as a rank fails.
 func (d *DistributedOptimizer) Err() error { return d.err }
 
-// allreduceGrads fuses gradients into buffers of at most FusionBytes
-// and allreduce-averages each buffer.
-func (d *DistributedOptimizer) allreduceGrads(params []*nn.Param) error {
-	fusionElems := d.h.opts.FusionBytes / 8
-	if d.h.opts.FusionBytes < 0 {
-		fusionElems = 0 // fusion disabled: flush after every tensor
+// GradReady implements nn.GradSink: Backward hands each layer's
+// parameters here the moment their gradients are final, and the
+// overlap coordinator starts averaging them while the remaining
+// layers are still differentiating. Without overlap it is a no-op, so
+// attaching the optimizer as a sink is always safe.
+func (d *DistributedOptimizer) GradReady(params []*nn.Param) {
+	if d.coord != nil {
+		d.coord.submit(params)
 	}
-	var fused []float64
-	var members []*nn.Param
-	flush := func() error {
-		if len(members) == 0 {
-			return nil
-		}
-		t0 := d.h.clock()
-		d.h.record("negotiate_allreduce", "allreduce", t0, 0)
-		if err := d.h.comm.AllreduceMean(fused); err != nil {
+}
+
+// Close shuts down the overlap coordinator goroutine, if any. It must
+// be called when an overlap-mode optimizer is no longer needed; it is
+// a no-op otherwise and is idempotent.
+func (d *DistributedOptimizer) Close() {
+	if d.coord != nil {
+		d.coord.close()
+		d.coord = nil
+	}
+}
+
+// allreduceGrads is the synchronous path: fuse gradients into buffers
+// of at most FusionBytes and allreduce-average each buffer. Tensors
+// are fed in reverse parameter order — the order Backward produces
+// them — so the fusion groups are identical to the ones the overlap
+// coordinator builds, which is what makes overlap on/off bit-identical
+// (ring-allreduce addition order depends on group composition).
+func (d *DistributedOptimizer) allreduceGrads(params []*nn.Param) error {
+	for i := len(params) - 1; i >= 0; i-- {
+		if err := d.fb.add(params[i], -1); err != nil {
 			return err
 		}
-		d.h.record("NCCL_allreduce", "allreduce", t0, d.h.clock()-t0)
-		off := 0
-		for _, p := range members {
-			n := len(p.Grad.Data)
-			copy(p.Grad.Data, fused[off:off+n])
-			off += n
+	}
+	return d.fb.flush()
+}
+
+// fusionElems is the fusion cap in float64 elements; 0 disables
+// fusion (one allreduce per tensor).
+func (d *DistributedOptimizer) fusionElems() int {
+	if d.h.opts.FusionBytes < 0 {
+		return 0
+	}
+	return d.h.opts.FusionBytes / 8
+}
+
+// fusionBuffer accumulates ready gradients in arrival order and
+// reduces them in fused groups of at most FusionBytes. Both the sync
+// path (which feeds the whole parameter list at Step time) and the
+// overlap coordinator (which feeds tensors as Backward announces
+// them) share this code, so the grouping — and therefore the
+// floating-point addition order inside the ring allreduce — cannot
+// differ between the two modes. Buffers are reused across flushes:
+// steady-state operation does not allocate.
+type fusionBuffer struct {
+	d       *DistributedOptimizer
+	fused   []float64
+	members []*nn.Param
+	// enqueue timestamp of the oldest tensor in the pending group;
+	// negative when the group was not fed through the overlap queue.
+	firstEnq float64
+	haveEnq  bool
+}
+
+// add appends one tensor's gradient, flushing the pending group first
+// if it would overflow the fusion cap. enq is the overlap-queue
+// enqueue time (clock seconds) or negative for the sync path.
+func (f *fusionBuffer) add(p *nn.Param, enq float64) error {
+	n := len(p.Grad.Data)
+	limit := f.d.fusionElems()
+	if len(f.members) > 0 && (limit <= 0 || len(f.fused)+n > limit) {
+		if err := f.flush(); err != nil {
+			return err
 		}
-		d.AllreduceCalls++
-		d.ElementsReduced += len(fused)
-		fused = fused[:0]
-		members = members[:0]
+	}
+	if enq >= 0 && !f.haveEnq {
+		f.firstEnq = enq
+		f.haveEnq = true
+	}
+	f.fused = append(f.fused, p.Grad.Data...)
+	f.members = append(f.members, p)
+	return nil
+}
+
+// flush reduces the pending group and copies the averages back into
+// the member gradients. With a timeline attached it measures the real
+// negotiation phase — the wait for all ranks to arrive at the
+// collective — with an explicit barrier, mirroring how
+// negotiate_broadcast is measured; without a timeline no barrier runs
+// so the hot path (and the collective step numbering fault plans key
+// on) is unchanged.
+func (f *fusionBuffer) flush() error {
+	if len(f.members) == 0 {
 		return nil
 	}
-	for _, p := range params {
-		n := len(p.Grad.Data)
-		if len(members) > 0 && (fusionElems <= 0 || len(fused)+n > fusionElems) {
-			if err := flush(); err != nil {
-				return err
-			}
+	d := f.d
+	h := d.h
+	t0 := h.clock()
+	if h.opts.Timeline != nil {
+		if err := h.comm.Barrier(); err != nil {
+			return err
 		}
-		fused = append(fused, p.Grad.Data...)
-		members = append(members, p)
+		t1 := h.clock()
+		h.record("negotiate_allreduce", "allreduce", t0, t1-t0)
+		if f.haveEnq {
+			// Time from the first tensor becoming ready to the
+			// collective starting: the overlap queue's wait.
+			h.record("queue_wait", "allreduce", f.firstEnq, t1-f.firstEnq)
+		}
+		t0 = t1
 	}
-	return flush()
+	if err := h.comm.AllreduceMean(f.fused); err != nil {
+		return err
+	}
+	h.record("NCCL_allreduce", "allreduce", t0, h.clock()-t0)
+	off := 0
+	for _, p := range f.members {
+		n := len(p.Grad.Data)
+		copy(p.Grad.Data, f.fused[off:off+n])
+		off += n
+	}
+	d.AllreduceCalls++
+	d.ElementsReduced += len(f.fused)
+	f.fused = f.fused[:0]
+	f.members = f.members[:0]
+	f.haveEnq = false
+	return nil
 }
 
 // BroadcastHook returns the analogue of

@@ -1,0 +1,235 @@
+package horovod
+
+import (
+	"runtime"
+	"time"
+
+	"candle/internal/nn"
+)
+
+// This file implements the asynchronous gradient pipeline behind
+// Options.Overlap: Horovod's background coordinator thread, reduced
+// to its essentials. Backward announces each layer's gradients the
+// moment they are final (nn.GradSink → DistributedOptimizer.GradReady
+// → submit); a per-rank coordinator goroutine pulls tensors off the
+// submission queue and feeds them into the shared fusionBuffer, so
+// fused allreduces run while the main goroutine is still
+// differentiating earlier layers. StepE drains the pipeline: any
+// tensors still pending are reduced, and the handshake's
+// happens-before edge publishes the averaged gradients back to the
+// training goroutine.
+//
+// Determinism: tensors arrive in reverse parameter order (submit
+// walks each layer's params backwards, and Backward visits layers
+// backwards), which is exactly the order the sync path feeds
+// fusionBuffer. Group composition — and therefore ring-allreduce
+// addition order — is a pure function of that sequence and
+// FusionBytes, so overlap on/off produce bit-identical weights.
+// CycleTime only defers when queued tensors are processed, never how
+// they are grouped.
+
+// submission is one tensor handed to the coordinator, stamped with
+// its enqueue time for queue_wait accounting.
+type submission struct {
+	p   *nn.Param
+	enq float64
+}
+
+// coordinator is the per-rank background goroutine that owns the
+// optimizer's fusionBuffer (and with it the Comm) between drains.
+type coordinator struct {
+	d     *DistributedOptimizer
+	cycle time.Duration
+
+	subs     chan submission
+	drainReq chan []*nn.Param
+	drainRes chan error
+	stop     chan struct{}
+	done     chan struct{}
+
+	// Everything below is touched only by the coordinator goroutine.
+
+	// pend holds submissions deferred to the next cycle tick
+	// (CycleTime > 0 only).
+	pend []submission
+	// submitted marks tensors already fed to the fusion buffer this
+	// batch, so drain can detect parameters that never went through
+	// the sink and fall back to reducing them in canonical order.
+	submitted map[*nn.Param]bool
+	// batchFirst is when this batch's first gradient became ready.
+	batchFirst float64
+	haveBatch  bool
+	// overlapComm accumulates seconds spent inside collectives issued
+	// before the drain request — communication genuinely overlapped
+	// with backward compute.
+	overlapComm float64
+	// err is the coordinator-side sticky failure; once set, further
+	// submissions are discarded and every drain returns it.
+	err error
+}
+
+func newCoordinator(d *DistributedOptimizer, cycle time.Duration) *coordinator {
+	c := &coordinator{
+		d:         d,
+		cycle:     cycle,
+		subs:      make(chan submission, 256),
+		drainReq:  make(chan []*nn.Param),
+		drainRes:  make(chan error),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		submitted: make(map[*nn.Param]bool),
+	}
+	go c.loop()
+	return c
+}
+
+// submit enqueues one layer's parameters, in reverse order so the
+// arrival stream equals the reversed flat parameter list — the
+// canonical order the sync path uses. The trailing yield matters on
+// oversubscribed CPUs (GOMAXPROCS < ranks): without it the trainer's
+// compute loop keeps the processor until it blocks in drain, and the
+// coordinator would start every collective at step end — exactly the
+// sync schedule. Yielding lets the coordinator issue the collective
+// now and the trainer resume backward while communication waits.
+func (c *coordinator) submit(params []*nn.Param) {
+	for i := len(params) - 1; i >= 0; i-- {
+		c.subs <- submission{p: params[i], enq: c.d.h.clock()}
+	}
+	runtime.Gosched()
+}
+
+// drain blocks until every gradient of the current batch has been
+// averaged, then returns the coordinator's error state. The
+// request/response handshake orders all coordinator-side writes
+// (averaged gradients, counters) before the training goroutine's
+// subsequent reads.
+func (c *coordinator) drain(params []*nn.Param) error {
+	c.drainReq <- params
+	return <-c.drainRes
+}
+
+// close stops the coordinator goroutine and waits for it to exit.
+func (c *coordinator) close() {
+	close(c.stop)
+	<-c.done
+}
+
+func (c *coordinator) loop() {
+	defer close(c.done)
+	var tick <-chan time.Time
+	if c.cycle > 0 {
+		t := time.NewTicker(c.cycle)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case s := <-c.subs:
+			if c.cycle > 0 {
+				// Horovod-style cycle: batch submissions until the
+				// next tick instead of reacting per tensor.
+				c.pend = append(c.pend, s)
+			} else {
+				c.handle(s)
+			}
+		case <-tick:
+			c.processPending()
+		case params := <-c.drainReq:
+			c.drainRes <- c.finishBatch(params)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// processPending feeds deferred submissions to the fusion buffer.
+func (c *coordinator) processPending() {
+	for _, s := range c.pend {
+		c.handle(s)
+	}
+	c.pend = c.pend[:0]
+}
+
+// handle feeds one tensor into the fusion buffer, tracking how much
+// collective time the resulting flushes (if any) consumed.
+func (c *coordinator) handle(s submission) {
+	if c.err != nil || c.submitted[s.p] {
+		return
+	}
+	c.submitted[s.p] = true
+	if !c.haveBatch {
+		c.batchFirst = s.enq
+		c.haveBatch = true
+	}
+	preCalls := c.d.AllreduceCalls
+	t0 := c.d.h.clock()
+	if err := c.d.fb.add(s.p, s.enq); err != nil {
+		c.fail(err)
+		return
+	}
+	if c.d.AllreduceCalls != preCalls {
+		c.overlapComm += c.d.h.clock() - t0
+	}
+}
+
+// finishBatch completes one training step: absorb everything already
+// queued, fall back to canonical order for tensors that never reached
+// the sink, flush the remainder, and reset per-batch state.
+func (c *coordinator) finishBatch(params []*nn.Param) error {
+	// Collectives issued from here on happen while the trainer is
+	// blocked in drain, so they no longer overlap anything.
+	overlapped := c.overlapComm
+	for {
+		select {
+		case s := <-c.subs:
+			if c.cycle > 0 {
+				c.pend = append(c.pend, s)
+			} else {
+				c.handle(s)
+			}
+			continue
+		default:
+		}
+		break
+	}
+	c.processPending()
+	if c.err == nil {
+		// Tensors that never went through the sink (a caller that
+		// skipped SetGradSink, or frozen layers) join now, in the
+		// same reverse order the sync path uses.
+		now := c.d.h.clock()
+		for i := len(params) - 1; i >= 0; i-- {
+			if !c.submitted[params[i]] {
+				c.handle(submission{p: params[i], enq: now})
+			}
+		}
+	}
+	if c.err == nil {
+		if err := c.d.fb.flush(); err != nil {
+			c.fail(err)
+		} else if c.haveBatch {
+			// Metric event: start = first gradient ready, duration =
+			// collective seconds completed before drain, i.e. hidden
+			// behind backward compute.
+			c.d.h.record("allreduce_overlap", "allreduce", c.batchFirst, overlapped)
+		}
+	}
+	for p := range c.submitted {
+		delete(c.submitted, p)
+	}
+	c.haveBatch = false
+	c.overlapComm = 0
+	return c.err
+}
+
+// fail records the first coordinator-side collective failure. The
+// coordinator keeps running — discarding submissions and answering
+// drains with the error — so the training goroutine can never block
+// on a dead pipeline.
+func (c *coordinator) fail(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.d.h.recordFailure(err)
+}

@@ -33,6 +33,13 @@ type packet struct {
 type World struct {
 	size  int
 	links [][]chan packet // links[src][dst]
+	// scratch[src][dst] is the reusable send-buffer ring for the
+	// (src,dst) link; collectives copy outgoing payloads into it
+	// instead of allocating per message (see scratchRing).
+	scratch [][]scratchRing
+	// segElems is the pipelined-ring segment size for AllreduceSum (in
+	// float64 elements); see SetSegmentElems.
+	segElems int
 
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
@@ -57,6 +64,37 @@ type World struct {
 // hiding backpressure entirely.
 const linkBuffer = 8
 
+// scratchSlabs is the length of each link's send-buffer ring. A slab
+// is reused after scratchSlabs more sends on the same link. For send
+// m+scratchSlabs to be accepted, the link channel (capacity
+// linkBuffer) must have delivered message m+2, and a receiver fully
+// consumes message m before pulling m+1 (every collective copies or
+// reduces a payload before its next Recv on that link), so
+// linkBuffer+2 slabs guarantee no slab is overwritten while a receiver
+// can still read it.
+const scratchSlabs = linkBuffer + 2
+
+// scratchRing rotates reusable payload buffers for one ordered link,
+// making collective sends allocation-free in steady state. Only the
+// source rank's goroutine touches its rings.
+type scratchRing struct {
+	bufs [scratchSlabs][]float64
+	next int
+}
+
+// defaultSegmentElems is the pipelined-ring segment size: allreduces
+// larger than this are split into up to maxSegments independently
+// ring-reduced segments whose messages interleave on the links, so a
+// rank can be receiving one segment while its later segments are
+// still in flight.
+const defaultSegmentElems = 32 << 10 // 32Ki float64 = 256 KB
+
+// maxSegments caps how many segments are in flight. It must stay at or
+// below linkBuffer/2 so a rank's whole send phase fits in the link
+// channel even when its neighbor is a full phase behind, keeping the
+// schedule deadlock-free.
+const maxSegments = 4
+
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int) *World {
 	if size <= 0 {
@@ -65,11 +103,14 @@ func NewWorld(size int) *World {
 	w := &World{
 		size:     size,
 		links:    make([][]chan packet, size),
+		scratch:  make([][]scratchRing, size),
+		segElems: defaultSegmentElems,
 		endpoint: make([]atomic.Int64, size),
 		done:     make(chan struct{}),
 	}
 	for s := 0; s < size; s++ {
 		w.links[s] = make([]chan packet, size)
+		w.scratch[s] = make([]scratchRing, size)
 		for d := 0; d < size; d++ {
 			if s != d {
 				w.links[s][d] = make(chan packet, linkBuffer)
@@ -77,6 +118,17 @@ func NewWorld(size int) *World {
 		}
 	}
 	return w
+}
+
+// SetSegmentElems overrides the pipelined-ring segment size for
+// AllreduceSum (in float64 elements). Zero or negative restores the
+// default. Call before Run; the setting applies world-wide so every
+// rank computes the same schedule.
+func (w *World) SetSegmentElems(n int) {
+	if n <= 0 {
+		n = defaultSegmentElems
+	}
+	w.segElems = n
 }
 
 // Size returns the number of ranks.
@@ -154,7 +206,10 @@ func (w *World) Run(f func(c *Comm) error) error {
 }
 
 // Comm is one rank's endpoint into a World. A Comm must only be used
-// from the goroutine that owns the rank.
+// by one goroutine at a time: either a single owning goroutine, or
+// several goroutines whose operations are totally ordered by explicit
+// synchronization (as the Horovod overlap coordinator does with its
+// submit/drain handshake).
 type Comm struct {
 	world *World
 	rank  int
@@ -289,10 +344,9 @@ func (c *Comm) Broadcast(root int, data []float64) error {
 	for mask > 0 {
 		if rel+mask < n {
 			dst := (c.rank + mask) % n
-			// Copy so later local mutation cannot race the receiver.
-			buf := make([]float64, len(data))
-			copy(buf, data)
-			if err := c.Send(dst, tagBcast, buf); err != nil {
+			// Send through link scratch so later local mutation cannot
+			// race the receiver and no per-message buffer is allocated.
+			if err := c.sendCopy(dst, tagBcast, data); err != nil {
 				return err
 			}
 		}
@@ -305,21 +359,77 @@ func (c *Comm) Broadcast(root int, data []float64) error {
 // possible and returns the n+1 offsets.
 func chunkBounds(l, n int) []int {
 	off := make([]int, n+1)
-	base, rem := l/n, l%n
-	for i := 0; i < n; i++ {
-		sz := base
-		if i < rem {
-			sz++
-		}
-		off[i+1] = off[i] + sz
+	for i := 0; i <= n; i++ {
+		off[i] = chunkOff(l, n, i)
 	}
 	return off
+}
+
+// chunkOff is the start offset of chunk i when length l is split into
+// n contiguous chunks as evenly as possible (the first l%n chunks get
+// one extra element). chunkOff(l, n, n) == l.
+func chunkOff(l, n, i int) int {
+	base, rem := l/n, l%n
+	if i <= rem {
+		return i * (base + 1)
+	}
+	return rem*(base+1) + (i-rem)*base
+}
+
+// scratchFor returns the next reusable slab of length n for sends to
+// dst, growing it when needed. Steady-state collectives therefore
+// allocate nothing: each link cycles through scratchSlabs buffers that
+// reach their high-water size after the first few operations.
+func (c *Comm) scratchFor(dst, n int) []float64 {
+	r := &c.world.scratch[c.rank][dst]
+	buf := r.bufs[r.next]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	r.bufs[r.next] = buf
+	r.next++
+	if r.next == scratchSlabs {
+		r.next = 0
+	}
+	return buf
+}
+
+// sendCopy copies data into a link scratch slab and sends the slab, so
+// the caller may mutate data immediately and no per-message buffer is
+// allocated. Receivers must fully consume the payload before their
+// next Recv on the same link (every collective does).
+func (c *Comm) sendCopy(dst, tag int, data []float64) error {
+	buf := c.scratchFor(dst, len(data))
+	copy(buf, data)
+	return c.Send(dst, tag, buf)
+}
+
+// segments returns how many pipelined segments an allreduce of l
+// elements uses: 1 below the segment size, up to maxSegments above it.
+func (w *World) segments(l int) int {
+	s := l / w.segElems
+	if s < 1 {
+		return 1
+	}
+	if s > maxSegments {
+		return maxSegments
+	}
+	return s
 }
 
 // AllreduceSum sums data element-wise across all ranks in place using
 // the ring algorithm: a reduce-scatter phase followed by an allgather
 // phase, each of n−1 steps moving 1/n of the buffer — the same
 // bandwidth-optimal schedule NCCL uses.
+//
+// Large buffers are split into up to maxSegments segments that are
+// ring-reduced concurrently (each ring step sends every segment's
+// chunk before receiving any), so multiple messages are in flight per
+// link and a receiver can reduce one segment while later ones are
+// still queued — the pipelined ring. The segmentation is a pure
+// function of the length and world size, so every rank computes the
+// same schedule and results stay deterministic for a given world size.
 func (c *Comm) AllreduceSum(data []float64) error {
 	if err := c.enterOp("allreduce"); err != nil {
 		return err
@@ -328,45 +438,51 @@ func (c *Comm) AllreduceSum(data []float64) error {
 	if n == 1 {
 		return nil
 	}
-	off := chunkBounds(len(data), n)
+	segs := c.world.segments(len(data))
 	next := (c.rank + 1) % n
 	prev := (c.rank - 1 + n) % n
 
-	// Reduce-scatter: after step s, rank r holds the partial sum of
-	// chunk (r-s+n)%n from s+1 ranks.
+	// Reduce-scatter: within each segment, after step s rank r holds
+	// the partial sum of chunk (r-s+n)%n from s+1 ranks.
 	for s := 0; s < n-1; s++ {
 		sendChunk := (c.rank - s + n) % n
 		recvChunk := (c.rank - s - 1 + n) % n
-		seg := data[off[sendChunk]:off[sendChunk+1]]
-		buf := make([]float64, len(seg))
-		copy(buf, seg)
-		if err := c.Send(next, tagRing, buf); err != nil {
-			return err
+		for g := 0; g < segs; g++ {
+			seg := data[chunkOff(len(data), segs, g):chunkOff(len(data), segs, g+1)]
+			if err := c.sendCopy(next, tagRing, seg[chunkOff(len(seg), n, sendChunk):chunkOff(len(seg), n, sendChunk+1)]); err != nil {
+				return err
+			}
 		}
-		got, err := c.Recv(prev, tagRing)
-		if err != nil {
-			return err
-		}
-		dst := data[off[recvChunk]:off[recvChunk+1]]
-		for i, v := range got {
-			dst[i] += v
+		for g := 0; g < segs; g++ {
+			got, err := c.Recv(prev, tagRing)
+			if err != nil {
+				return err
+			}
+			seg := data[chunkOff(len(data), segs, g):chunkOff(len(data), segs, g+1)]
+			dst := seg[chunkOff(len(seg), n, recvChunk):chunkOff(len(seg), n, recvChunk+1)]
+			for i, v := range got {
+				dst[i] += v
+			}
 		}
 	}
 	// Allgather: circulate the fully reduced chunks.
 	for s := 0; s < n-1; s++ {
 		sendChunk := (c.rank + 1 - s + n) % n
 		recvChunk := (c.rank - s + n) % n
-		seg := data[off[sendChunk]:off[sendChunk+1]]
-		buf := make([]float64, len(seg))
-		copy(buf, seg)
-		if err := c.Send(next, tagRing, buf); err != nil {
-			return err
+		for g := 0; g < segs; g++ {
+			seg := data[chunkOff(len(data), segs, g):chunkOff(len(data), segs, g+1)]
+			if err := c.sendCopy(next, tagRing, seg[chunkOff(len(seg), n, sendChunk):chunkOff(len(seg), n, sendChunk+1)]); err != nil {
+				return err
+			}
 		}
-		got, err := c.Recv(prev, tagRing)
-		if err != nil {
-			return err
+		for g := 0; g < segs; g++ {
+			got, err := c.Recv(prev, tagRing)
+			if err != nil {
+				return err
+			}
+			seg := data[chunkOff(len(data), segs, g):chunkOff(len(data), segs, g+1)]
+			copy(seg[chunkOff(len(seg), n, recvChunk):chunkOff(len(seg), n, recvChunk+1)], got)
 		}
-		copy(data[off[recvChunk]:off[recvChunk+1]], got)
 	}
 	return nil
 }
@@ -385,36 +501,53 @@ func (c *Comm) AllreduceMean(data []float64) error {
 }
 
 // Allgather collects each rank's (equal-length) contribution and
-// returns them indexed by rank, using a ring schedule.
+// returns them indexed by rank, using a ring schedule. The result is
+// freshly allocated; use AllgatherInto for the allocation-free flat
+// variant.
 func (c *Comm) Allgather(mine []float64) ([][]float64, error) {
-	if err := c.enterOp("allgather"); err != nil {
+	n := c.world.size
+	flat := make([]float64, n*len(mine))
+	if err := c.AllgatherInto(mine, flat); err != nil {
 		return nil, err
 	}
-	n := c.world.size
 	out := make([][]float64, n)
-	own := make([]float64, len(mine))
-	copy(own, mine)
-	out[c.rank] = own
+	for r := 0; r < n; r++ {
+		out[r] = flat[r*len(mine) : (r+1)*len(mine)]
+	}
+	return out, nil
+}
+
+// AllgatherInto is the allocation-free Allgather: it gathers every
+// rank's (equal-length) contribution into out, which must have
+// world-size × len(mine) elements and is laid out by rank. Sends go
+// through the link scratch rings, so a warmed steady state performs
+// zero allocations.
+func (c *Comm) AllgatherInto(mine, out []float64) error {
+	if err := c.enterOp("allgather"); err != nil {
+		return err
+	}
+	n := c.world.size
+	if len(out) != n*len(mine) {
+		panic(fmt.Sprintf("mpi: allgather out length %d != %d ranks × %d", len(out), n, len(mine)))
+	}
+	block := func(r int) []float64 { return out[r*len(mine) : (r+1)*len(mine)] }
+	copy(block(c.rank), mine)
 	if n == 1 {
-		return out, nil
+		return nil
 	}
 	next := (c.rank + 1) % n
 	prev := (c.rank - 1 + n) % n
-	cur := own
 	curRank := c.rank
 	for s := 0; s < n-1; s++ {
-		buf := make([]float64, len(cur))
-		copy(buf, cur)
-		if err := c.Send(next, tagGather, buf); err != nil {
-			return nil, err
+		if err := c.sendCopy(next, tagGather, block(curRank)); err != nil {
+			return err
 		}
 		got, err := c.Recv(prev, tagGather)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		curRank = (curRank - 1 + n) % n
-		out[curRank] = got
-		cur = got
+		copy(block(curRank), got)
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+// recordingSink collects GradReady notifications in arrival order.
+type recordingSink struct {
+	batches [][]*Param
+}
+
+func (r *recordingSink) GradReady(ps []*Param) { r.batches = append(r.batches, ps) }
+
+// TestGradSinkNotifiesReverseLayerOrder: Backward must announce each
+// parameterized layer exactly once per batch, in reverse layer order,
+// and only after that layer's gradients are final.
+func TestGradSinkNotifiesReverseLayerOrder(t *testing.T) {
+	m := NewSequential("sink",
+		NewDense(8), NewActivation("relu"), NewDense(4), NewDropout(0.2), NewDense(2))
+	if err := m.Compile(6, MeanSquaredError{}, NewSGD(0.01), 3); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	m.SetGradSink(sink)
+	x := tensor.RandNormal(m.rng, 5, 6, 1)
+	y := tensor.New(5, 2)
+	m.GradientsOnly(x, y)
+
+	// Three Dense layers → three notifications, last layer first.
+	if len(sink.batches) != 3 {
+		t.Fatalf("got %d notifications, want 3 (stateless layers must not notify)", len(sink.batches))
+	}
+	wantFirst := []string{"dense_2.w", "dense_2.b"}
+	for i, n := range wantFirst {
+		if sink.batches[0][i].Name != n {
+			t.Fatalf("first notification param %d = %q, want %q", i, sink.batches[0][i].Name, n)
+		}
+	}
+	if sink.batches[2][0].Name != "dense_8.w" {
+		t.Fatalf("last notification = %q, want the first layer's kernel", sink.batches[2][0].Name)
+	}
+	// Every trainable param is announced exactly once.
+	seen := map[*Param]int{}
+	for _, b := range sink.batches {
+		for _, p := range b {
+			seen[p]++
+		}
+	}
+	for _, p := range m.Params() {
+		if seen[p] != 1 {
+			t.Fatalf("param %s announced %d times, want 1", p.Name, seen[p])
+		}
+	}
+}
+
+// TestGradSinkIsPureObserver: training with a sink attached must
+// produce bit-identical weights to training without one.
+func TestGradSinkIsPureObserver(t *testing.T) {
+	build := func(withSink bool) []float64 {
+		m := NewSequential("obs", NewDense(6), NewActivation("tanh"), NewDense(2), NewSoftmax())
+		if err := m.Compile(4, CategoricalCrossEntropy{}, NewAdam(0.01), 11); err != nil {
+			t.Fatal(err)
+		}
+		if withSink {
+			m.SetGradSink(&recordingSink{})
+		}
+		x := tensor.RandNormal(m.rng, 8, 4, 1)
+		y := tensor.New(8, 2)
+		for i := 0; i < 8; i++ {
+			y.Set(i, i%2, 1)
+		}
+		for step := 0; step < 5; step++ {
+			m.TrainBatch(x, y)
+		}
+		return m.WeightsVector()
+	}
+	plain := build(false)
+	observed := build(true)
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("weights diverge at %d: %v vs %v", i, plain[i], observed[i])
+		}
+	}
+}

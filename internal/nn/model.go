@@ -23,7 +23,30 @@ type Sequential struct {
 	params   []*Param
 	stepCnt  int
 	layerOut map[Layer]int // per-layer output width, for Summary
+	// layerParams caches each layer's Params() so Backward can notify
+	// the GradSink without per-step slice allocations.
+	layerParams [][]*Param
+	sink        GradSink
 }
+
+// GradSink receives gradient-ready notifications during Backward: as
+// each layer finishes back-propagating (reverse layer order), its
+// parameters' gradients are final for the batch and are handed to the
+// sink. A distributed optimizer uses this to start reducing early
+// notifications (the model's last layers) while earlier layers are
+// still computing — the communication/computation overlap that defines
+// Horovod's performance. GradReady is called from the goroutine
+// running Backward; implementations that hand the params to another
+// goroutine must synchronize before the optimizer's Step reads the
+// gradients.
+type GradSink interface {
+	GradReady(params []*Param)
+}
+
+// SetGradSink installs (or, with nil, removes) the per-layer
+// gradient-ready hook. The sink is an observer: attaching one never
+// changes the numerical result of training.
+func (s *Sequential) SetGradSink(sink GradSink) { s.sink = sink }
 
 // NewSequential assembles (but does not build) a model from layers.
 func NewSequential(name string, layers ...Layer) *Sequential {
@@ -53,7 +76,9 @@ func (s *Sequential) Compile(inDim int, loss Loss, opt Optimizer, seed int64) er
 		}
 		dim = out
 		s.layerOut[l] = out
-		s.params = append(s.params, l.Params()...)
+		ps := l.Params()
+		s.layerParams = append(s.layerParams, ps)
+		s.params = append(s.params, ps...)
 	}
 	s.inDim, s.outDim = inDim, dim
 	s.loss, s.opt = loss, opt
@@ -116,11 +141,19 @@ func (s *Sequential) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 }
 
 // Backward propagates dL/d(output) down the stack, accumulating
-// parameter gradients.
+// parameter gradients. After each layer's backward completes, its
+// parameters are announced to the GradSink (if one is attached): a
+// layer's gradients receive contributions only from its own Backward
+// (including regularization terms), so they are final the moment the
+// layer returns, and consumers may begin reducing them while earlier
+// layers are still back-propagating.
 func (s *Sequential) Backward(grad *tensor.Matrix) {
 	s.mustBuilt()
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		grad = s.Layers[i].Backward(grad)
+		if s.sink != nil && len(s.layerParams[i]) > 0 {
+			s.sink.GradReady(s.layerParams[i])
+		}
 	}
 }
 

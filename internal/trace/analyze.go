@@ -46,6 +46,47 @@ func (t *Timeline) BusyFraction(tid int, cat string) float64 {
 	return in / total
 }
 
+// NameTime sums the durations of all events with the given name for
+// one rank (tid). With the overlap pipeline this answers "how long
+// did gradients sit in the queue?" (queue_wait) and "how much
+// communication hid behind backward compute?" (allreduce_overlap).
+func (t *Timeline) NameTime(tid int, name string) float64 {
+	var sum float64
+	for _, e := range t.Events() {
+		if e.TID == tid && e.Name == name {
+			sum += e.Dur
+		}
+	}
+	return sum
+}
+
+// OverlapFraction returns the share of rank tid's allreduce-category
+// communication time that ran concurrently with backward compute,
+// from the allreduce_overlap events the async pipeline records. 0
+// without overlap events (sync runs hide nothing).
+func (t *Timeline) OverlapFraction(tid int) float64 {
+	var comm, hidden float64
+	for _, e := range t.Events() {
+		if e.TID != tid {
+			continue
+		}
+		switch e.Name {
+		case "NCCL_allreduce":
+			comm += e.Dur
+		case "allreduce_overlap":
+			hidden += e.Dur
+		}
+	}
+	if comm <= 0 {
+		return 0
+	}
+	f := hidden / comm
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
 // Ranks returns the distinct TIDs present, ascending.
 func (t *Timeline) Ranks() []int {
 	seen := map[int]bool{}

@@ -73,3 +73,45 @@ func TestBusyFractionOnSimTimelineShape(t *testing.T) {
 		t.Fatal("io should dominate")
 	}
 }
+
+func TestNameTime(t *testing.T) {
+	tl := NewTimeline()
+	tl.Complete("queue_wait", "allreduce", 0, 0, 1, 2)
+	tl.Complete("queue_wait", "allreduce", 0, 0, 5, 3)
+	tl.Complete("queue_wait", "allreduce", 0, 1, 5, 7)
+	tl.Complete("NCCL_allreduce", "allreduce", 0, 0, 8, 1)
+	if got := tl.NameTime(0, "queue_wait"); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("NameTime(0, queue_wait) = %v, want 5", got)
+	}
+	if got := tl.NameTime(1, "queue_wait"); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("NameTime(1, queue_wait) = %v, want 7", got)
+	}
+	if got := tl.NameTime(2, "queue_wait"); got != 0 {
+		t.Fatalf("absent rank NameTime = %v, want 0", got)
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	tl := NewTimeline()
+	// Rank 0: 4s of allreduce, 3s of it hidden behind backward.
+	tl.Complete("NCCL_allreduce", "allreduce", 0, 0, 0, 4)
+	tl.Complete("allreduce_overlap", "allreduce", 0, 0, 0, 3)
+	if f := tl.OverlapFraction(0); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("OverlapFraction = %v, want 0.75", f)
+	}
+	// Rank 1: sync run, no overlap events.
+	tl.Complete("NCCL_allreduce", "allreduce", 0, 1, 0, 4)
+	if f := tl.OverlapFraction(1); f != 0 {
+		t.Fatalf("sync OverlapFraction = %v, want 0", f)
+	}
+	// Clamp: accounting jitter cannot report more than 100% hidden.
+	tl.Complete("NCCL_allreduce", "allreduce", 0, 2, 0, 1)
+	tl.Complete("allreduce_overlap", "allreduce", 0, 2, 0, 2)
+	if f := tl.OverlapFraction(2); f != 1 {
+		t.Fatalf("clamped OverlapFraction = %v, want 1", f)
+	}
+	// No communication at all.
+	if f := tl.OverlapFraction(9); f != 0 {
+		t.Fatalf("empty OverlapFraction = %v, want 0", f)
+	}
+}
