@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-tensor bench-overlap ci
+.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve ci
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # substrate's abort/fault machinery, the Horovod layer, and the
 # multi-rank runner that drives them all concurrently.
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -30,5 +30,10 @@ bench-tensor:
 # stall; regenerates BENCH_overlap.json.
 bench-overlap:
 	BENCH_OVERLAP_OUT=$(CURDIR)/BENCH_overlap.json $(GO) test -run TestWriteOverlapBench -v ./internal/horovod
+
+# Batched vs unbatched inference serving throughput/latency;
+# regenerates BENCH_serve.json.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -count=1 -run TestWriteServeBench -v ./internal/serve
 
 ci: build test race vet

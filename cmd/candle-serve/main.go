@@ -1,0 +1,165 @@
+// candle-serve answers /predict over HTTP for a trained CANDLE
+// benchmark: it loads the newest valid checkpoint from -dir, coalesces
+// concurrent requests into micro-batches (the serving analogue of
+// Horovod's fusion buffer), and hot-reloads newer checkpoints as a
+// training run writes them. SIGINT/SIGTERM drains gracefully: admitted
+// requests are answered, new ones get 503.
+//
+// Examples:
+//
+//	candle-serve -bench NT3 -dir ./ckpt -addr :8080
+//	candle-serve -bench NT3 -dir ./ckpt -bootstrap -sample-div 20 -feature-div 1200
+//	candle-serve -bench NT3 -dir ./ckpt -max-batch 1   # unbatched baseline
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"candle/internal/candle"
+	"candle/internal/checkpoint"
+	"candle/internal/csvio"
+	"candle/internal/nn"
+	"candle/internal/serve"
+)
+
+// options carries the parsed flags; a struct (rather than globals)
+// keeps run testable.
+type options struct {
+	bench, dir, addr      string
+	sampleDiv, featureDiv int
+	maxBatch              int
+	maxWait               time.Duration
+	replicas, queue       int
+	reloadEvery           time.Duration
+	workers               int
+	bootstrap             bool
+	bootstrapEpochs       int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.bench, "bench", "NT3", "benchmark the checkpoints were trained on: NT3, P1B1, P1B2, P1B3")
+	flag.StringVar(&o.dir, "dir", "", "checkpoint directory to load from and watch (required)")
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.IntVar(&o.sampleDiv, "sample-div", 20, "dataset sample divisor the model was trained at (1 = paper scale)")
+	flag.IntVar(&o.featureDiv, "feature-div", 1200, "feature divisor the model was trained at (1 = paper scale)")
+	flag.IntVar(&o.maxBatch, "max-batch", 32, "max requests coalesced into one forward (1 = unbatched)")
+	flag.DurationVar(&o.maxWait, "max-wait", 2*time.Millisecond, "max wait for stragglers after a batch's first request")
+	flag.IntVar(&o.replicas, "replicas", 2, "model replicas serving batches concurrently")
+	flag.IntVar(&o.queue, "queue", 256, "admission queue depth; beyond it requests get 429")
+	flag.DurationVar(&o.reloadEvery, "reload-every", 2*time.Second, "checkpoint poll cadence (negative disables hot reload)")
+	flag.IntVar(&o.workers, "workers", 0, "tensor kernel pool size shared by all replicas (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.bootstrap, "bootstrap", false, "if -dir has no checkpoint, train briefly and write one first")
+	flag.IntVar(&o.bootstrapEpochs, "bootstrap-epochs", 4, "epochs for -bootstrap training")
+	flag.Parse()
+	if err := run(o, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server, listens on o.addr, and serves until
+// SIGINT/SIGTERM, then drains. If ready is non-nil it receives the
+// bound address once the listener is up (tests use it to find the
+// port and to know when to signal).
+func run(o options, ready chan<- net.Addr) error {
+	if o.dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	b, err := candle.Scaled(o.bench, o.sampleDiv, o.featureDiv)
+	if err != nil {
+		return err
+	}
+	if o.bootstrap {
+		if err := bootstrap(b, o); err != nil {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+	}
+	s, err := serve.New(serve.Config{
+		Benchmark:   b.Spec.Name,
+		Dir:         o.dir,
+		Factory:     func() *nn.Sequential { return b.Build(b.Spec) },
+		Loss:        b.Loss,
+		InputDim:    b.Spec.Features,
+		MaxBatch:    o.maxBatch,
+		MaxWait:     o.maxWait,
+		Replicas:    o.replicas,
+		QueueDepth:  o.queue,
+		ReloadEvery: o.reloadEvery,
+		Workers:     o.workers,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	epoch, step := s.Generation()
+	log.Printf("serving %s (features=%d) from %s epoch %d step %d on %s (max-batch %d, replicas %d)",
+		b.Spec.Name, b.Spec.Features, o.dir, epoch, step, ln.Addr(), o.maxBatch, o.replicas)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining (admitted requests finish, new ones get 503)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return err
+		}
+		log.Printf("drained, exiting")
+		return <-errc
+	}
+}
+
+// bootstrap trains the benchmark briefly and writes checkpoints into
+// o.dir, so a fresh directory becomes servable without a separate
+// training run. A directory that already has a loadable checkpoint is
+// left alone.
+func bootstrap(b *candle.Benchmark, o options) error {
+	if _, err := checkpoint.Latest(o.dir, b.Spec.Name); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		return err
+	}
+	dataDir, err := os.MkdirTemp("", "candle-serve-data-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	if _, _, err := b.PrepareData(dataDir, 7); err != nil {
+		return err
+	}
+	log.Printf("bootstrap: training %s for %d epochs -> %s", b.Spec.Name, o.bootstrapEpochs, o.dir)
+	_, err = b.Run(candle.RunConfig{
+		Ranks:           1,
+		TotalEpochs:     o.bootstrapEpochs,
+		Batch:           7,
+		LR:              0.05, // scaled datasets want a larger step than Table 1's
+		Loader:          csvio.NewChunkedReader(),
+		DataDir:         dataDir,
+		Seed:            7,
+		CheckpointDir:   o.dir,
+		CheckpointEvery: 1,
+	})
+	return err
+}

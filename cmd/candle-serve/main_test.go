@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// testOptions returns a tiny, fast configuration: bootstrap trains a
+// scaled NT3 for one epoch into a fresh checkpoint dir.
+func testOptions(t *testing.T) options {
+	return options{
+		bench:           "NT3",
+		dir:             t.TempDir(),
+		addr:            "127.0.0.1:0",
+		sampleDiv:       40,
+		featureDiv:      4000,
+		maxBatch:        8,
+		maxWait:         time.Millisecond,
+		replicas:        2,
+		queue:           64,
+		reloadEvery:     -1,
+		bootstrap:       true,
+		bootstrapEpochs: 1,
+	}
+}
+
+// TestServeLifecycle runs the binary's whole arc in-process: bootstrap
+// training, HTTP serving, and SIGTERM-triggered graceful drain.
+func TestServeLifecycle(t *testing.T) {
+	o := testOptions(t)
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(o, ready) }()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	// A /predict round trip through the real HTTP stack.
+	features := make([]float64, 15) // NT3 features / 4000
+	body, _ := json.Marshal(map[string]any{"features": features})
+	resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred struct {
+		Prediction []float64 `json:"prediction"`
+		Epoch      int       `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/predict status %d", resp.StatusCode)
+	}
+	if len(pred.Prediction) == 0 {
+		t.Fatalf("bad prediction response: %+v", pred)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q, want ok", health.Status)
+	}
+
+	// SIGTERM to our own process: run's signal handler must drain and
+	// return cleanly (the notify channel intercepts it, so the test
+	// process survives).
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	// The drained server is gone: a new request must fail to connect.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after drain")
+	}
+}
+
+// TestBootstrapReusesCheckpoint makes sure a second run against the
+// same directory serves the existing checkpoint instead of retraining.
+func TestBootstrapReusesCheckpoint(t *testing.T) {
+	o := testOptions(t)
+	for i := 0; i < 2; i++ {
+		ready := make(chan net.Addr, 1)
+		errc := make(chan error, 1)
+		start := time.Now()
+		go func() { errc <- run(o, ready) }()
+		select {
+		case <-ready:
+		case err := <-errc:
+			t.Fatalf("run %d exited before listening: %v", i, err)
+		case <-time.After(60 * time.Second):
+			t.Fatalf("run %d never became ready", i)
+		}
+		elapsed := time.Since(start)
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		// The second start skips training entirely; allow generous
+		// slack, it only has to load one small snapshot.
+		if i == 1 && elapsed > 30*time.Second {
+			t.Fatalf("second start took %v, expected checkpoint reuse", elapsed)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(options{bench: "NT3"}, nil); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	if err := run(options{bench: "NT99", dir: t.TempDir(), sampleDiv: 1, featureDiv: 1}, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// No checkpoint and no -bootstrap: the server must refuse to start
+	// rather than serve garbage.
+	o := testOptions(t)
+	o.bootstrap = false
+	if err := run(o, nil); err == nil {
+		t.Fatal("empty checkpoint dir accepted without -bootstrap")
+	}
+}

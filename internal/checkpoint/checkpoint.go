@@ -19,6 +19,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"candle/internal/nn"
@@ -167,26 +169,62 @@ func FileFor(dir, benchmark string, epoch int) string {
 // ErrNoCheckpoint when the directory holds none, or the newest file's
 // error when every candidate is damaged.
 func Latest(dir, benchmark string) (*Snapshot, error) {
+	s, _, err := LatestWithSkips(dir, benchmark)
+	return s, err
+}
+
+// LatestWithSkips is Latest plus a report of the damage it routed
+// around: the load errors of every file newer than the snapshot it
+// returned. A serving reload loop uses the skips to distinguish "the
+// newest checkpoint is fine" from "the newest checkpoint is corrupt
+// and I silently fell back an epoch" — the latter must surface on a
+// health endpoint even though serving continues.
+func LatestWithSkips(dir, benchmark string) (*Snapshot, []error, error) {
 	pattern := filepath.Join(dir, benchmark+"-epoch*.ckpt")
 	matches, err := filepath.Glob(pattern)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	if len(matches) == 0 {
-		return nil, ErrNoCheckpoint
+		return nil, nil, ErrNoCheckpoint
 	}
-	sort.Strings(matches)
-	var firstErr error
+	// Order candidates by the epoch number parsed from the filename,
+	// not by the raw string: zero-padding makes the two agree only up
+	// to epoch 999999, after which "epoch1000000" sorts lexically
+	// *before* "epoch999999" and string order would resurrect an old
+	// snapshot forever. Name order breaks epoch ties (differently
+	// padded names for the same epoch), newest-name-first, so the scan
+	// stays deterministic; a damaged tie-winner still falls back to
+	// its twin.
+	sort.SliceStable(matches, func(i, j int) bool {
+		ei, ej := epochOf(matches[i], benchmark), epochOf(matches[j], benchmark)
+		if ei != ej {
+			return ei < ej
+		}
+		return matches[i] < matches[j]
+	})
+	var skips []error
 	for i := len(matches) - 1; i >= 0; i-- {
 		s, err := Load(matches[i])
 		if err == nil {
-			return s, nil
+			return s, skips, nil
 		}
-		if firstErr == nil {
-			firstErr = err
-		}
+		skips = append(skips, err)
 	}
-	return nil, firstErr
+	return nil, skips, skips[0]
+}
+
+// epochOf parses the epoch number out of a checkpoint filename
+// (bench-epochNNN.ckpt). Unparsable names sort oldest (-1) so they
+// are only ever used as a last resort.
+func epochOf(path, benchmark string) int {
+	base := filepath.Base(path)
+	num := strings.TrimSuffix(strings.TrimPrefix(base, benchmark+"-epoch"), ".ckpt")
+	e, err := strconv.Atoi(num)
+	if err != nil || e < 0 {
+		return -1
+	}
+	return e
 }
 
 // Restore copies a snapshot's weights into a compiled model after

@@ -1,0 +1,174 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Edge cases of Latest that the serving hot-reload loop leans on: an
+// empty or missing directory, a newest file damaged mid-write, equal
+// epochs under different zero-padding, and epoch numbers past the
+// six-digit padding width (where lexical order silently inverts).
+
+func snap(epoch int, mark float64) *Snapshot {
+	return &Snapshot{Benchmark: "NT3", Epoch: epoch, Step: epoch * 10, Weights: []float64{mark, 2, 3}}
+}
+
+func mustSave(t *testing.T, path string, s *Snapshot) {
+	t.Helper()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir, "NT3"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLatestMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "never-created")
+	if _, err := Latest(dir, "NT3"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLatestOtherBenchmarkIgnored(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, FileFor(dir, "P1B1", 9), &Snapshot{Benchmark: "P1B1", Epoch: 9, Weights: []float64{1}})
+	if _, err := Latest(dir, "NT3"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("foreign benchmark files should not count: got %v", err)
+	}
+}
+
+// TestLatestNewestCorruptMidWrite simulates the reload loop's worst
+// moment: the trainer's newest checkpoint is truncated (a partial
+// write that never got its footer). Latest must fall back to the
+// previous epoch and LatestWithSkips must say why.
+func TestLatestNewestCorruptMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, FileFor(dir, "NT3", 3), snap(3, 30))
+	mustSave(t, FileFor(dir, "NT3", 4), snap(4, 40))
+	raw, err := os.ReadFile(FileFor(dir, "NT3", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(FileFor(dir, "NT3", 4), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, skips, err := LatestWithSkips(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 3 {
+		t.Fatalf("got epoch %d, want fallback to 3", s.Epoch)
+	}
+	if len(skips) != 1 || !errors.Is(skips[0], ErrCorrupt) {
+		t.Fatalf("skips = %v, want one ErrCorrupt", skips)
+	}
+}
+
+func TestLatestAllCorruptReturnsNewestError(t *testing.T) {
+	dir := t.TempDir()
+	for e := 1; e <= 2; e++ {
+		mustSave(t, FileFor(dir, "NT3", e), snap(e, float64(e)))
+		if err := os.WriteFile(FileFor(dir, "NT3", e), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, skips, err := LatestWithSkips(dir, "NT3")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	if len(skips) != 2 {
+		t.Fatalf("got %d skips, want 2", len(skips))
+	}
+	if err.Error() != skips[0].Error() {
+		t.Fatal("the returned error should be the newest file's")
+	}
+}
+
+// TestLatestEpochPastPaddingWidth is the surprise this test suite was
+// sent to find: FileFor pads epochs to six digits, so at epoch 10⁶
+// the filename grows a digit and *lexical* order says
+// "epoch1000000" < "epoch999999". The old string sort would pin
+// Latest to epoch 999999 forever; the numeric sort must not.
+func TestLatestEpochPastPaddingWidth(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, FileFor(dir, "NT3", 999999), snap(999999, 1))
+	mustSave(t, FileFor(dir, "NT3", 1000000), snap(1000000, 2))
+	s, err := Latest(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 1000000 {
+		t.Fatalf("got epoch %d, want 1000000 (lexical-order regression)", s.Epoch)
+	}
+}
+
+// TestLatestEqualEpochTie: the same epoch saved under different
+// zero-padding (e.g. a hand-rolled restore tool) must resolve
+// deterministically — newest name first — and still fall back to the
+// twin when the tie-winner is damaged.
+func TestLatestEqualEpochTie(t *testing.T) {
+	dir := t.TempDir()
+	padded := FileFor(dir, "NT3", 7) // NT3-epoch000007.ckpt
+	short := filepath.Join(dir, "NT3-epoch0007.ckpt")
+	mustSave(t, padded, snap(7, 100))
+	mustSave(t, short, snap(7, 200))
+
+	// "NT3-epoch0007" sorts after "NT3-epoch000007", so it wins the tie.
+	s, err := Latest(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights[0] != 200 {
+		t.Fatalf("tie resolved to weights[0]=%v, want 200 (lexically-newest name)", s.Weights[0])
+	}
+
+	// Damage the tie-winner: its equal-epoch twin must serve.
+	if err := os.WriteFile(short, []byte("zap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, skips, err := LatestWithSkips(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights[0] != 100 || len(skips) != 1 {
+		t.Fatalf("damaged tie-winner: weights[0]=%v skips=%d, want 100 and 1 skip", s.Weights[0], len(skips))
+	}
+}
+
+// TestLatestUnparsableNameIsLastResort: a glob-matching file whose
+// epoch field is not a number sorts oldest and is only loaded when
+// nothing else works.
+func TestLatestUnparsableNameIsLastResort(t *testing.T) {
+	dir := t.TempDir()
+	weird := filepath.Join(dir, "NT3-epochfinal.ckpt")
+	mustSave(t, weird, snap(99, 300))
+	mustSave(t, FileFor(dir, "NT3", 1), snap(1, 10))
+
+	s, err := Latest(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights[0] != 10 {
+		t.Fatalf("numbered epoch should beat unparsable name: weights[0]=%v", s.Weights[0])
+	}
+
+	if err := os.Remove(FileFor(dir, "NT3", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Latest(dir, "NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights[0] != 300 {
+		t.Fatalf("unparsable name should still load as last resort: weights[0]=%v", s.Weights[0])
+	}
+}

@@ -32,10 +32,21 @@ type Conv1D struct {
 	padLeft  int
 	w, b     *Param
 	patches  *tensor.Matrix // cached im2col matrix for backward (reused)
-	batch    int
+	// src is whichever matrix held this step's patches: c.patches in
+	// general, or a reshaped view of the input for 1×1 kernels, where
+	// im2col is the identity and the staging copy is skipped.
+	src       *tensor.Matrix
+	patchView *tensor.Matrix
+	batch     int
 	// Reusable step buffers: the flat matmul result, its B-major view,
 	// the backward view of dout, the patch gradient, and dx.
 	flat, out, dflat, dpatch, dx *tensor.Matrix
+}
+
+// pointwise reports whether the convolution is 1×1 at stride 1 with no
+// padding, in which case every patch row is exactly one input step.
+func (c *Conv1D) pointwise() bool {
+	return c.Kernel == 1 && c.stride() == 1 && c.padLeft == 0
 }
 
 // NewConv1D returns a valid-padding, stride-1 Conv1D layer with the
@@ -108,26 +119,37 @@ func (c *Conv1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	c.batch = x.Rows
 	k := c.Kernel * c.InCh
 	s := c.stride()
-	c.patches = ensure(c.patches, x.Rows*c.outSteps, k)
-	if c.padLeft > 0 || (c.outSteps-1)*s+c.Kernel > c.steps {
-		c.patches.Zero() // padded windows keep implicit zeros
-	}
-	for r := 0; r < x.Rows; r++ {
-		row := x.Row(r)
-		for t := 0; t < c.outSteps; t++ {
-			prow := c.patches.Row(r*c.outSteps + t)
-			srcStep := t*s - c.padLeft
-			for kk := 0; kk < c.Kernel; kk++ {
-				step := srcStep + kk
-				if step < 0 || step >= c.steps {
-					continue // zero padding
+	if c.pointwise() {
+		// 1×1 kernel: the patch matrix is the input reshaped to one
+		// step per row, so stage a view instead of copying.
+		if c.patchView == nil {
+			c.patchView = &tensor.Matrix{}
+		}
+		c.patchView.Rows, c.patchView.Cols, c.patchView.Data = x.Rows*c.outSteps, k, x.Data
+		c.src = c.patchView
+	} else {
+		c.patches = ensure(c.patches, x.Rows*c.outSteps, k)
+		if c.padLeft > 0 || (c.outSteps-1)*s+c.Kernel > c.steps {
+			c.patches.Zero() // padded windows keep implicit zeros
+		}
+		for r := 0; r < x.Rows; r++ {
+			row := x.Row(r)
+			for t := 0; t < c.outSteps; t++ {
+				prow := c.patches.Row(r*c.outSteps + t)
+				srcStep := t*s - c.padLeft
+				for kk := 0; kk < c.Kernel; kk++ {
+					step := srcStep + kk
+					if step < 0 || step >= c.steps {
+						continue // zero padding
+					}
+					copy(prow[kk*c.InCh:(kk+1)*c.InCh], row[step*c.InCh:(step+1)*c.InCh])
 				}
-				copy(prow[kk*c.InCh:(kk+1)*c.InCh], row[step*c.InCh:(step+1)*c.InCh])
 			}
 		}
+		c.src = c.patches
 	}
 	c.flat = ensure(c.flat, x.Rows*c.outSteps, c.Filters)
-	tensor.MatMulInto(c.flat, c.patches, c.w.Value) // (B·outSteps)×filters
+	tensor.MatMulInto(c.flat, c.src, c.w.Value) // (B·outSteps)×filters
 	c.flat.AddRowVector(c.b.Value.Data)
 	// Reshape (B·outSteps)×filters into B×(outSteps·filters); the
 	// row-major layouts coincide, so the view is just a header sharing
@@ -147,11 +169,19 @@ func (c *Conv1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	}
 	c.dflat.Rows, c.dflat.Cols, c.dflat.Data = c.batch*c.outSteps, c.Filters, dout.Data
 	dflat := c.dflat
-	addGrad(c.w.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, c.patches, dflat) })
+	addGrad(c.w.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, c.src, dflat) })
 	dflat.AccumColSums(c.b.Grad.Data)
 	c.dpatch = ensure(c.dpatch, c.batch*c.outSteps, c.Kernel*c.InCh)
 	tensor.MatMulTInto(c.dpatch, dflat, c.w.Value) // (B·outSteps)×(kernel·inCh)
 	dpatch := c.dpatch
+	if c.pointwise() {
+		// The patch gradient IS dx, one step per row: reshape in place.
+		if c.dx == nil {
+			c.dx = &tensor.Matrix{}
+		}
+		c.dx.Rows, c.dx.Cols, c.dx.Data = c.batch, c.steps*c.InCh, dpatch.Data
+		return c.dx
+	}
 	c.dx = ensure(c.dx, c.batch, c.steps*c.InCh)
 	c.dx.Zero()
 	dx := c.dx
@@ -304,6 +334,11 @@ func (p *MaxPooling1D) Build(_ *rand.Rand, inDim int) (int, error) {
 // Forward implements Layer.
 func (p *MaxPooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 	p.batch = x.Rows
+	if p.Pool == 1 && p.outSteps == p.steps {
+		// Windows of one step: pooling is the identity, so pass the
+		// input through instead of copying it.
+		return x
+	}
 	p.out = ensure(p.out, x.Rows, p.outSteps*p.Ch)
 	out := p.out
 	if n := x.Rows * p.outSteps * p.Ch; cap(p.argmax) >= n {
@@ -335,6 +370,9 @@ func (p *MaxPooling1D) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 
 // Backward implements Layer.
 func (p *MaxPooling1D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if p.Pool == 1 && p.outSteps == p.steps {
+		return dout // identity forward, identity gradient
+	}
 	p.dx = ensure(p.dx, p.batch, p.steps*p.Ch)
 	p.dx.Zero()
 	dx := p.dx

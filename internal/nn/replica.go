@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file provides model replication for concurrent inference.
+//
+// A compiled Sequential is NOT safe for concurrent Forward/Predict:
+// every layer reuses its forward (and backward) buffers across calls,
+// so two goroutines forwarding through the same instance write the
+// same storage, and even sequential callers see an earlier result
+// invalidated by the next call (the returned matrix aliases the
+// layer's buffer). That buffer reuse is what makes a warmed training
+// step allocation-free (alloc_test.go), so the fix for serving is not
+// per-call allocation but replication: one instance per concurrent
+// worker, each with private layer buffers.
+
+// Replica builds an independent inference instance of s: factory must
+// return a fresh, uncompiled model with the same architecture (layer
+// sequence and shapes). The clone is compiled against s's input width
+// and loss, then receives a deep copy of s's weights, so its outputs
+// are bit-identical to s's while its layer buffers — and therefore its
+// Forward calls — are fully private. Replicas are meant for inference;
+// they get a throwaway zero-rate SGD optimizer, not s's.
+func (s *Sequential) Replica(factory func() *Sequential) (*Sequential, error) {
+	s.mustBuilt()
+	if factory == nil {
+		return nil, errors.New("nn: Replica needs a factory")
+	}
+	m := factory()
+	if m == nil {
+		return nil, errors.New("nn: replica factory returned nil")
+	}
+	if m.Built() {
+		return nil, errors.New("nn: replica factory must return an uncompiled model")
+	}
+	// The replica's init seed is irrelevant: Compile's random weights
+	// are overwritten wholesale just below, and inference never touches
+	// the dropout RNG.
+	if err := m.Compile(s.inDim, s.loss, NewSGD(0), 1); err != nil {
+		return nil, fmt.Errorf("nn: compiling replica: %w", err)
+	}
+	if err := m.SetWeightsVector(s.WeightsVector()); err != nil {
+		return nil, fmt.Errorf("nn: replica architecture mismatch: %w", err)
+	}
+	return m, nil
+}
+
+// Replicate builds n independent inference replicas of src (see
+// Replica). The returned models share nothing mutable with src or
+// each other, so each may run Predict concurrently with the others.
+func Replicate(factory func() *Sequential, src *Sequential, n int) ([]*Sequential, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nn: Replicate needs n >= 1, got %d", n)
+	}
+	out := make([]*Sequential, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := src.Replica(factory)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

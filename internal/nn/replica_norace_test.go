@@ -1,0 +1,77 @@
+//go:build !race
+
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"candle/internal/tensor"
+)
+
+// TestConcurrentPredictOneInstanceCorrupts demonstrates the actual
+// data race serving must design around: two goroutines calling
+// Predict on ONE compiled instance write the same layer buffers, and
+// at least one observes a result computed from the other's input.
+// The file is excluded from -race builds on purpose — under the race
+// detector this is a *detected race* (which is the point; the
+// replica-pool test in replica_test.go is the -race-clean
+// counterpart), and a detected race fails the build rather than the
+// assertion.
+func TestConcurrentPredictOneInstanceCorrupts(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	// A wide dense stack: each Forward takes long enough that the
+	// runtime's asynchronous preemption interleaves the two goroutines
+	// mid-matmul even on GOMAXPROCS=1.
+	factory := func() *Sequential {
+		return NewSequential("wide",
+			NewDense(256), NewReLU(),
+			NewDense(256), NewReLU(),
+			NewDense(4), NewSoftmax(),
+		)
+	}
+	m := compiled(t, factory, 256, 5)
+
+	const rows = 64
+	xs := [2]*tensor.Matrix{randInput(rng, rows, 256), randInput(rng, rows, 256)}
+	ref := compiled(t, factory, 256, 5)
+	if err := ref.SetWeightsVector(m.WeightsVector()); err != nil {
+		t.Fatal(err)
+	}
+	var wants [2][]float64
+	for i, x := range xs {
+		wants[i] = append([]float64(nil), ref.Predict(x).Data...)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		var mismatches [2]int
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for iter := 0; iter < 8; iter++ {
+					out := m.Predict(xs[g])
+					for j, w := range wants[g] {
+						if out.Data[j] != w {
+							mismatches[g]++
+							break
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if mismatches[0]+mismatches[1] > 0 {
+			t.Logf("observed %d corrupted results from concurrent Predict on one instance",
+				mismatches[0]+mismatches[1])
+			return // corruption demonstrated
+		}
+	}
+	// The scheduler never interleaved the forwards; that proves
+	// nothing either way, so don't fail a correct implementation.
+	t.Skip("no interleaving within 3s; corruption not observed (scheduler-dependent)")
+}

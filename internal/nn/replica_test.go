@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+// nt3ish builds a small conv+dense stack shaped like the NT3
+// benchmark, the model the serving layer replicates.
+func nt3ish() *Sequential {
+	return NewSequential("nt3ish",
+		NewConv1D(4, 3, 1), NewReLU(), NewMaxPooling1D(2, 4),
+		NewFlatten(),
+		NewDense(8), NewReLU(), NewDropout(0.1),
+		NewDense(2), NewSoftmax(),
+	)
+}
+
+func compiled(t *testing.T, factory func() *Sequential, inDim int, seed int64) *Sequential {
+	t.Helper()
+	m := factory()
+	if err := m.Compile(inDim, CategoricalCrossEntropy{}, NewSGD(0.01), seed); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randInput(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	x := tensor.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestPredictBuffersAliasAcrossCalls pins down WHY a single Sequential
+// cannot serve concurrent requests: the matrix Predict returns is the
+// output layer's reusable buffer, so the next Predict on the same
+// instance overwrites an earlier caller's result. This is the
+// deterministic, scheduler-independent face of the data race the
+// !race-gated test exhibits concurrently.
+func TestPredictBuffersAliasAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := compiled(t, nt3ish, 16, 1)
+	x1 := randInput(rng, 3, 16)
+	x2 := randInput(rng, 3, 16)
+
+	p1 := m.Predict(x1)
+	first := append([]float64(nil), p1.Data...)
+	p2 := m.Predict(x2)
+	if &p1.Data[0] != &p2.Data[0] {
+		t.Fatal("expected Predict to return the same reused buffer across calls")
+	}
+	changed := false
+	for i, v := range p1.Data {
+		if v != first[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("second Predict should have overwritten the first result's storage")
+	}
+}
+
+// TestReplicaMatchesSource checks that a replica is bit-identical in
+// output yet fully independent in storage: private output buffers and
+// deep-copied weights.
+func TestReplicaMatchesSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	src := compiled(t, nt3ish, 16, 7)
+	rep, err := src.Replica(nt3ish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 5, 16)
+
+	want := append([]float64(nil), src.Predict(x).Data...)
+	got := rep.Predict(x)
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("replica output differs at %d: %v != %v", i, got.Data[i], want[i])
+		}
+	}
+	if &got.Data[0] == &src.Predict(x).Data[0] {
+		t.Fatal("replica shares an output buffer with its source")
+	}
+
+	// Deep copy: poisoning the replica's weights must not leak into
+	// the source.
+	rep.Params()[0].Value.Data[0] += 1000
+	again := src.Predict(x)
+	for i := range want {
+		if again.Data[i] != want[i] {
+			t.Fatal("mutating replica weights changed the source model: weights are shared")
+		}
+	}
+}
+
+func TestReplicaErrors(t *testing.T) {
+	src := compiled(t, nt3ish, 16, 7)
+	if _, err := src.Replica(nil); err == nil {
+		t.Error("nil factory should error")
+	}
+	if _, err := src.Replica(func() *Sequential { return nil }); err == nil {
+		t.Error("nil model from factory should error")
+	}
+	if _, err := src.Replica(func() *Sequential { return src }); err == nil {
+		t.Error("already-compiled factory result should error")
+	}
+	// Architecture mismatch: different parameter count.
+	other := func() *Sequential { return NewSequential("tiny", NewDense(3)) }
+	if _, err := src.Replica(other); err == nil {
+		t.Error("mismatched architecture should error")
+	}
+	if _, err := Replicate(nt3ish, src, 0); err == nil {
+		t.Error("Replicate n=0 should error")
+	}
+}
+
+// TestReplicasConcurrentPredictRaceFree is the race-detector half of
+// the serving safety argument: one goroutine per replica, all
+// predicting at once (and sharing the global tensor worker pool),
+// must be free of data races and must each produce the exact serial
+// reference output. Run with -race (the Makefile race target does).
+func TestReplicasConcurrentPredictRaceFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	src := compiled(t, nt3ish, 16, 7)
+	const n = 4
+	reps, err := Replicate(nt3ish, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*tensor.Matrix, n)
+	wants := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = randInput(rng, 4, 16)
+		wants[i] = append([]float64(nil), src.Predict(inputs[i]).Data...)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				out := reps[i].Predict(inputs[i])
+				for j, w := range wants[i] {
+					if out.Data[j] != w {
+						errs <- &mismatchErr{replica: i, iter: iter}
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type mismatchErr struct{ replica, iter int }
+
+func (e *mismatchErr) Error() string {
+	return "replica output mismatch (corruption) on concurrent Predict"
+}

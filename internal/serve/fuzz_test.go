@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodePredict holds the /predict decoder to its contract: for
+// ANY byte string it either returns a validated feature row of the
+// right width with only finite values, or a typed 4xx apiError — and
+// it never panics. Run longer with:
+//
+//	go test -fuzz FuzzDecodePredict ./internal/serve
+func FuzzDecodePredict(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"features":[1,2,3,4]}`,
+		`{"features":[1,2]}`,
+		`{"features":[]}`,
+		`{"features":null}`,
+		`{"features":[1e999,0,0,0]}`,
+		`{"features":["NaN",1,2,3]}`,
+		`{"features":[1,2,3,4],"extra":true}`,
+		`{"features":[1,2,3,4]}{"features":[5,6,7,8]}`,
+		`[1,2,3,4]`,
+		`"features"`,
+		`{"features":{"0":1}}`,
+		`{"features`,
+		"\x00\xff\xfe",
+		`{"features":[-0.5,1e-300,2.25,3]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const want = 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		features, aerr := decodePredict(data, want) // must not panic
+		if aerr != nil {
+			if aerr.Status < 400 || aerr.Status > 499 {
+				t.Fatalf("decoder error status %d outside 4xx: %v", aerr.Status, aerr)
+			}
+			if aerr.Code == "" || aerr.Msg == "" {
+				t.Fatalf("decoder error missing code/message: %+v", aerr)
+			}
+			return
+		}
+		if len(features) != want {
+			t.Fatalf("accepted %d features, want exactly %d", len(features), want)
+		}
+		for i, v := range features {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite feature %d: %v", i, v)
+			}
+		}
+	})
+}

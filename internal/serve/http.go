@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+)
+
+// The HTTP skin over the serving engine: thin codecs around
+// Server.Predict plus the two observability endpoints. All state
+// lives in the engine; handlers hold none.
+
+// maxBodyBytes bounds a /predict body; a full-scale NT3 row (60,483
+// float64 features as JSON text) fits comfortably.
+const maxBodyBytes = 4 << 20
+
+// Handler returns the server's HTTP handler:
+//
+//	POST /predict  {"features": [...]} -> {"prediction": [...], ...}
+//	GET  /healthz  serving generation + reload health
+//	GET  /metrics  counters, histograms, phase totals
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// predictResponse is the wire shape of a successful /predict.
+type predictResponse struct {
+	Prediction []float64 `json:"prediction"`
+	// BatchSize is how many requests shared this forward pass.
+	BatchSize int `json:"batch_size"`
+	// QueueSeconds is the time the request waited for its batch.
+	QueueSeconds float64 `json:"queue_seconds"`
+	// Epoch is the checkpoint generation that served the request.
+	Epoch int `json:"epoch"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &apiError{Status: http.StatusMethodNotAllowed,
+			Code: "method_not_allowed", Msg: "use POST"})
+		return
+	}
+	body, err := readBody(r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, &apiError{Status: http.StatusRequestEntityTooLarge,
+				Code: "body_too_large", Msg: "request body exceeds limit"})
+			return
+		}
+		writeErr(w, badRequest("bad_body", "reading request body: %v", err))
+		return
+	}
+	features, aerr := decodePredict(body, s.cfg.InputDim)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	pred, info, err := s.Predict(features)
+	if err != nil {
+		writeErr(w, mapPredictErr(err))
+		return
+	}
+	epoch, _ := s.Generation()
+	writeJSON(w, http.StatusOK, predictResponse{
+		Prediction:   pred,
+		BatchSize:    info.BatchSize,
+		QueueSeconds: info.QueueWait.Seconds(),
+		Epoch:        epoch,
+	})
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+}
+
+// mapPredictErr turns engine errors into HTTP-coded apiErrors.
+func mapPredictErr(err error) *apiError {
+	var aerr *apiError
+	switch {
+	case errors.As(err, &aerr):
+		return aerr
+	case errors.Is(err, ErrOverloaded):
+		return &apiError{Status: http.StatusTooManyRequests,
+			Code: "overloaded", Msg: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return &apiError{Status: http.StatusServiceUnavailable,
+			Code: "draining", Msg: err.Error()}
+	case errors.Is(err, ErrBadWidth):
+		return &apiError{Status: http.StatusUnprocessableEntity,
+			Code: "feature_count", Msg: err.Error()}
+	default:
+		return &apiError{Status: http.StatusInternalServerError,
+			Code: "internal", Msg: err.Error()}
+	}
+}
+
+// healthzResponse is the wire shape of /healthz.
+type healthzResponse struct {
+	// Status is "ok", or "degraded" when the last reload attempt hit
+	// trouble (the server still serves its previous good weights).
+	Status          string  `json:"status"`
+	Benchmark       string  `json:"benchmark"`
+	Epoch           int     `json:"epoch"`
+	Step            int     `json:"step"`
+	Replicas        int     `json:"replicas"`
+	MaxBatch        int     `json:"max_batch"`
+	MaxWaitSeconds  float64 `json:"max_wait_seconds"`
+	QueueDepth      int     `json:"queue_depth"`
+	Reloads         int     `json:"reloads"`
+	ReloadFailures  int     `json:"reload_failures"`
+	LastReloadError string  `json:"last_reload_error,omitempty"`
+	Draining        bool    `json:"draining,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.health.mu.Lock()
+	resp := healthzResponse{
+		Status:          "ok",
+		Benchmark:       s.cfg.Benchmark,
+		Epoch:           s.health.epoch,
+		Step:            s.health.step,
+		Replicas:        s.cfg.Replicas,
+		MaxBatch:        s.cfg.MaxBatch,
+		MaxWaitSeconds:  s.cfg.MaxWait.Seconds(),
+		QueueDepth:      len(s.queue),
+		Reloads:         s.health.reloads,
+		ReloadFailures:  s.health.reloadFailures,
+		LastReloadError: s.health.lastReloadErr,
+	}
+	s.health.mu.Unlock()
+	if resp.LastReloadError != "" {
+		resp.Status = "degraded"
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		resp.Draining = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, e *apiError) {
+	if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, e.Status, e)
+}
+
+// Serve answers HTTP on the listener until Shutdown (or a listener
+// error). It is the blocking entry point cmd/candle-serve uses.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"candle/internal/checkpoint"
+)
+
+// Hot checkpoint reload. The trainer keeps writing snapshots while
+// the server runs; this loop picks them up without a restart. Safety
+// comes from three layers: checkpoint.Latest's CRC-verified
+// corrupt-skip (a half-written newest file falls back to the previous
+// epoch), a full model rebuild off the serving path (a snapshot whose
+// weights do not fit the architecture is rejected before any request
+// sees it), and an atomic replica-set swap (in-flight batches finish
+// on the generation they started with).
+
+// reloadLoop polls the checkpoint directory every cfg.ReloadEvery.
+func (s *Server) reloadLoop() {
+	defer s.loopWG.Done()
+	tick := time.NewTicker(s.cfg.ReloadEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+			s.TryReload()
+		}
+	}
+}
+
+// TryReload checks for a newer valid checkpoint and swaps it in,
+// returning whether a swap happened. Any trouble — no loadable
+// snapshot, a damaged newest file silently skipped, a rebuild failure
+// — is recorded for /healthz while the previous weights keep serving.
+// It is safe to call concurrently with requests; the reload loop is
+// its only periodic caller.
+func (s *Server) TryReload() (reloaded bool, err error) {
+	snap, skips, err := checkpoint.LatestWithSkips(s.cfg.Dir, s.cfg.Benchmark)
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrNoCheckpoint) {
+			err = fmt.Errorf("serve: checkpoint directory emptied: %w", err)
+		}
+		s.noteReloadFailure(err)
+		return false, err
+	}
+	// A newer file existed but was damaged: Latest routed around it.
+	// The fallback snapshot is typically the generation already
+	// serving, so this surfaces only on health, not as a swap.
+	if len(skips) > 0 {
+		s.noteReloadFailure(fmt.Errorf("serve: skipped damaged newer checkpoint: %w", skips[0]))
+	}
+	cur := s.rs.Load()
+	if snap.Epoch < cur.epoch || (snap.Epoch == cur.epoch && snap.Step <= cur.step) {
+		return false, nil // nothing newer
+	}
+	rs, err := s.buildReplicaSet(snap)
+	if err != nil {
+		err = fmt.Errorf("serve: rebuilding from epoch %d: %w", snap.Epoch, err)
+		s.noteReloadFailure(err)
+		return false, err
+	}
+	s.rs.Store(rs)
+	s.health.mu.Lock()
+	s.health.epoch, s.health.step = snap.Epoch, snap.Step
+	s.health.reloads++
+	if len(skips) == 0 {
+		s.health.lastReloadErr = ""
+	}
+	s.health.mu.Unlock()
+	s.metrics.reloads.Add(1)
+	return true, nil
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"candle/internal/checkpoint"
+	"candle/internal/tensor"
+)
+
+func predictOnce(t *testing.T, s *Server, features []float64) []float64 {
+	t.Helper()
+	pred, _, err := s.Predict(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+func healthz(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHotReload: a newer valid checkpoint swaps in atomically and
+// changes the predictions to the new weights' exact outputs.
+func TestHotReload(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	s := newTestServer(t, testConfig(dir))
+
+	rng := rand.New(rand.NewSource(17))
+	features := row(rng)
+	before := predictOnce(t, s, features)
+
+	ref2 := writeCkpt(t, dir, 2, 777) // different seed -> different weights
+	reloaded, err := s.TryReload()
+	if err != nil || !reloaded {
+		t.Fatalf("TryReload = %v, %v; want true, nil", reloaded, err)
+	}
+	if epoch, step := s.Generation(); epoch != 2 || step != 200 {
+		t.Fatalf("generation = %d/%d, want 2/200", epoch, step)
+	}
+	after := predictOnce(t, s, features)
+	want := ref2.Predict(tensor.FromSlice(1, testDim, features))
+	same := true
+	for i := range after {
+		if after[i] != want.Data[i] {
+			t.Fatalf("post-reload output %d = %v, want new weights' %v", i, after[i], want.Data[i])
+		}
+		if after[i] != before[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("reload did not change predictions despite new weights")
+	}
+
+	// An older epoch appearing later must not roll the server back.
+	writeCkpt(t, dir, 0, 5)
+	if reloaded, _ := s.TryReload(); reloaded {
+		t.Fatal("reload picked up an older epoch")
+	}
+}
+
+// TestCorruptNewestKeepsServing is the acceptance scenario: the
+// trainer dies mid-write leaving a damaged newest checkpoint. The
+// server must keep answering with the previous weights and say so on
+// /healthz — and recover cleanly once a newer valid snapshot lands.
+func TestCorruptNewestKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	ref1 := writeCkpt(t, dir, 1, 42)
+	s := newTestServer(t, testConfig(dir))
+	url := startHTTP(t, s)
+
+	// Damage: a half-written epoch-2 file (no CRC footer).
+	if err := os.WriteFile(filepath.Join(dir, testBench+"-epoch000002.ckpt"),
+		[]byte("partial write, no footer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := s.TryReload()
+	if reloaded || err != nil {
+		// The skip is a health note, not a reload error: the fallback
+		// snapshot is the one already serving.
+		t.Fatalf("TryReload = %v, %v; want false, nil", reloaded, err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	features := row(rng)
+	got := predictOnce(t, s, features)
+	want := ref1.Predict(tensor.FromSlice(1, testDim, features))
+	for i := range got {
+		if got[i] != want.Data[i] {
+			t.Fatalf("output %d = %v, want old weights' %v (corrupt file reached serving!)",
+				i, got[i], want.Data[i])
+		}
+	}
+
+	h := healthz(t, url)
+	if h["status"] != "degraded" {
+		t.Fatalf("healthz status = %v, want degraded", h["status"])
+	}
+	if h["reload_failures"].(float64) < 1 || h["last_reload_error"] == "" {
+		t.Fatalf("healthz must report the reload failure: %v", h)
+	}
+	if h["epoch"].(float64) != 1 {
+		t.Fatalf("healthz epoch = %v, want 1 (previous good)", h["epoch"])
+	}
+
+	// Recovery: epoch 3 lands intact; the corrupt epoch 2 is moot.
+	writeCkpt(t, dir, 3, 99)
+	reloaded, err = s.TryReload()
+	if err != nil || !reloaded {
+		t.Fatalf("recovery TryReload = %v, %v", reloaded, err)
+	}
+	h = healthz(t, url)
+	if h["status"] != "ok" || h["epoch"].(float64) != 3 {
+		t.Fatalf("after recovery healthz = %v, want ok/epoch 3", h)
+	}
+	if h["reloads"].(float64) != 1 {
+		t.Fatalf("reloads = %v, want 1", h["reloads"])
+	}
+}
+
+// TestReloadRejectsMismatchedSnapshot: a structurally valid snapshot
+// whose weights do not fit the architecture (wrong length) must be
+// rejected at rebuild, keeping the old weights and degrading health.
+func TestReloadRejectsMismatchedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ref1 := writeCkpt(t, dir, 1, 42)
+	s := newTestServer(t, testConfig(dir))
+
+	bad := &checkpoint.Snapshot{
+		Benchmark: testBench,
+		Epoch:     2,
+		Step:      200,
+		Weights:   []float64{1, 2, 3}, // nowhere near ParamCount
+	}
+	if err := checkpoint.Save(checkpoint.FileFor(dir, testBench, 2), bad); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := s.TryReload()
+	if reloaded || err == nil {
+		t.Fatalf("TryReload = %v, %v; want false with an error", reloaded, err)
+	}
+	if epoch, _ := s.Generation(); epoch != 1 {
+		t.Fatalf("generation = %d, want 1 (kept old weights)", epoch)
+	}
+	rng := rand.New(rand.NewSource(31))
+	features := row(rng)
+	got := predictOnce(t, s, features)
+	want := ref1.Predict(tensor.FromSlice(1, testDim, features))
+	for i := range got {
+		if got[i] != want.Data[i] {
+			t.Fatal("mismatched snapshot leaked into serving")
+		}
+	}
+	s.health.mu.Lock()
+	failures := s.health.reloadFailures
+	s.health.mu.Unlock()
+	if failures < 1 {
+		t.Fatal("reload failure not recorded")
+	}
+}
+
+// TestReloadLoopPicksUpCheckpoint: the background loop (not a manual
+// TryReload) notices a new snapshot.
+func TestReloadLoopPicksUpCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	cfg := testConfig(dir)
+	cfg.ReloadEvery = 5 * time.Millisecond
+	s := newTestServer(t, cfg)
+
+	writeCkpt(t, dir, 2, 777)
+	waitFor(t, func() bool { epoch, _ := s.Generation(); return epoch == 2 })
+}

@@ -20,9 +20,9 @@ type Profiler struct {
 
 // PhaseStat is the accumulated time of one named phase.
 type PhaseStat struct {
-	Name  string
-	Total float64 // seconds
-	Count int
+	Name  string  `json:"name"`
+	Total float64 `json:"total_seconds"`
+	Count int     `json:"count"`
 }
 
 // NewProfiler returns a profiler using the wall clock.
