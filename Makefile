@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve ci
+.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load ci
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,11 @@ test:
 
 # Race-check the packages where goroutines share state: the kernel
 # worker pool, the layers that reuse forward/backward buffers, the MPI
-# substrate's abort/fault machinery, the Horovod layer, and the
-# multi-rank runner that drives them all concurrently.
+# substrate's abort/fault machinery, the Horovod layer, the multi-rank
+# runner that drives them all concurrently, and the streaming sharded
+# loader's producer/consumer handoff.
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve ./internal/dataload
 
 vet:
 	$(GO) vet ./...
@@ -35,5 +36,10 @@ bench-overlap:
 # regenerates BENCH_serve.json.
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -count=1 -run TestWriteServeBench -v ./internal/serve
+
+# Phase-1 load at 4 ranks: parallel reader vs cold sharded vs warm
+# binary cache; regenerates BENCH_load.json.
+bench-load:
+	BENCH_LOAD_OUT=$(CURDIR)/BENCH_load.json $(GO) test -count=1 -run TestWriteLoadBench -v ./internal/dataload
 
 ci: build test race vet

@@ -46,16 +46,9 @@ func run(bench, machine string, ranks int, loader string, weak bool, epochs, eve
 	if err != nil {
 		return err
 	}
-	var ld sim.Loader
-	switch loader {
-	case "naive":
-		ld = sim.LoaderNaive
-	case "chunked":
-		ld = sim.LoaderChunked
-	case "parallel":
-		ld = sim.LoaderParallel
-	default:
-		return fmt.Errorf("unknown loader %q", loader)
+	ld, err := sim.LoaderByName(loader)
+	if err != nil {
+		return err
 	}
 	scaling := sim.Strong
 	if weak {

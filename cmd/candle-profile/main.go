@@ -13,22 +13,76 @@ import (
 	"os"
 
 	"candle/internal/candle"
+	"candle/internal/csvio"
 	"candle/internal/data"
 	"candle/internal/nn"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
-		batch = flag.Int("batch", 0, "batch size (0 = benchmark default)")
-		reps  = flag.Int("reps", 10, "forward+backward repetitions")
-		seed  = flag.Int64("seed", 1, "data/init seed")
+		bench  = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+		batch  = flag.Int("batch", 0, "batch size (0 = benchmark default)")
+		reps   = flag.Int("reps", 10, "forward+backward repetitions")
+		seed   = flag.Int64("seed", 1, "data/init seed")
+		engine = flag.String("engine", "", "profile phase-1 loading with this CSV engine instead of the model layers (see -engine list)")
 	)
 	flag.Parse()
+	if *engine == "list" {
+		for _, name := range csvio.Engines() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *engine != "" {
+		if err := runLoad(*bench, *engine, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "candle-profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*bench, *batch, *reps, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "candle-profile:", err)
 		os.Exit(1)
 	}
+}
+
+// runLoad profiles phase 1 only: generate the benchmark's CSVs, read
+// the train file twice with the named engine, and print each pass's
+// stats — the second pass shows the sharded engine's warm cache.
+func runLoad(bench, engine string, seed int64) error {
+	b, err := candle.Default(bench)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "candle-profile-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, _, err := b.PrepareData(dir, seed); err != nil {
+		return err
+	}
+	trainPath, _ := b.Files(dir)
+	for pass := 1; pass <= 2; pass++ {
+		r, err := csvio.ByName(engine)
+		if err != nil {
+			return err
+		}
+		m, stats, err := r.Read(trainPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pass %d: %s: %dx%d, %d bytes read, %d chunks, %.4f s",
+			pass, r.Name(), m.Rows, m.Cols, stats.BytesRead, stats.Chunks, stats.Seconds)
+		if stats.CacheHit {
+			fmt.Print("  [cache hit]")
+		}
+		if stats.SerialFallback {
+			fmt.Print("  [serial fallback]")
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func run(bench string, batch, reps int, seed int64) error {

@@ -44,6 +44,9 @@ var ckptDir string
 // allreduce overlaps with backward compute, bit-identical results.
 var overlapMode bool
 
+// cacheDir overrides where the sharded engine's binary cache lives.
+var cacheDir string
+
 func main() {
 	var (
 		bench   = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
@@ -52,7 +55,8 @@ func main() {
 		ranks   = flag.Int("ranks", 6, "workers (GPUs on Summit, nodes on Theta)")
 		epochs  = flag.Int("epochs", 0, "total epochs (strong) or per-rank (weak); 0 = benchmark default")
 		batch   = flag.Int("batch", 0, "batch size; 0 = benchmark default")
-		loader  = flag.String("loader", "naive", "data loader: naive, chunked, parallel")
+		loader  = flag.String("loader", "naive", "data engine: naive, chunked, parallel (sim + real), or any registered engine such as sharded (real)")
+		cache   = flag.String("cache-dir", "", "binary cache directory for the sharded engine (real mode); empty = alongside the CSVs")
 		weak    = flag.Bool("weak", false, "weak scaling (epochs per rank constant)")
 		scaleLR = flag.Bool("scale-lr", false, "linear learning-rate scaling (real mode)")
 		seed    = flag.Int64("seed", 42, "data/init seed (real mode)")
@@ -66,6 +70,7 @@ func main() {
 	)
 	flag.Parse()
 	psMode = *ps
+	cacheDir = *cache
 	timelineOut = *tlOut
 	elastic = *elast
 	ckptDir = *ckpt
@@ -113,19 +118,6 @@ func parseFault(s string) (*mpi.FaultPlan, error) {
 	return mpi.NewFaultPlan().KillAt(rank, step), nil
 }
 
-func parseLoader(name string) (sim.Loader, csvio.Reader, error) {
-	switch name {
-	case "naive":
-		return sim.LoaderNaive, csvio.NewNaiveReader(), nil
-	case "chunked":
-		return sim.LoaderChunked, csvio.NewChunkedReader(), nil
-	case "parallel":
-		return sim.LoaderParallel, csvio.NewParallelReader(0), nil
-	default:
-		return 0, nil, fmt.Errorf("unknown loader %q", name)
-	}
-}
-
 func runSim(bench, machine string, ranks, epochs, batch int, loader string, weak bool) error {
 	m, err := hpc.ByName(machine)
 	if err != nil {
@@ -135,7 +127,7 @@ func runSim(bench, machine string, ranks, epochs, batch int, loader string, weak
 	if err != nil {
 		return err
 	}
-	ld, _, err := parseLoader(loader)
+	ld, err := sim.LoaderByName(loader)
 	if err != nil {
 		return err
 	}
@@ -174,7 +166,10 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 	if err != nil {
 		return err
 	}
-	_, reader, err := parseLoader(loader)
+	// Real mode resolves the engine through the csvio registry, so any
+	// registered engine — including internal/dataload's "sharded" —
+	// is a valid -loader value.
+	reader, err := csvio.ByName(loader)
 	if err != nil {
 		return err
 	}
@@ -198,7 +193,8 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 	}
 	res, err := b.Run(candle.RunConfig{
 		Ranks: ranks, TotalEpochs: epochs, WeakScaling: weak, Batch: batch,
-		Loader: reader, DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
+		Engine: loader, CacheDir: cacheDir,
+		DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
 		ParameterServer: psMode, Timeline: tl, Overlap: overlapMode,
 		Faults: injectFault, Elastic: elastic,
 		CheckpointDir: ckptDir, Resume: ckptDir != "" && elastic,

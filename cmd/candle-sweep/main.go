@@ -13,17 +13,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"candle/internal/candle"
 	"candle/internal/core"
 	"candle/internal/report"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment ID (e.g. fig6a, table3, sec5.4) or 'all'")
-		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		chart = flag.Int("chart", -1, "also render an ASCII bar chart of this column index (labels from column 0)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp     = flag.String("exp", "all", "experiment ID (e.g. fig6a, table3, sec5.4) or 'all'")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		chart   = flag.Int("chart", -1, "also render an ASCII bar chart of this column index (labels from column 0)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		loaders = flag.String("loaders", "", "run a real-mode phase-1 comparison of every registered CSV engine on this benchmark (e.g. NT3)")
 	)
 	flag.Parse()
 	if *list {
@@ -35,10 +38,52 @@ func main() {
 		}
 		return
 	}
+	if *loaders != "" {
+		if err := runLoaders(*loaders); err != nil {
+			fmt.Fprintln(os.Stderr, "candle-sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *csv, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "candle-sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// runLoaders is the real-mode analogue of Tables 3/4: generate the
+// benchmark's CSVs and time phase 1 under every registered engine.
+// Two rounds, so the sharded engine's cold parse and warm binary
+// cache both appear.
+func runLoaders(bench string) error {
+	b, err := candle.Default(bench)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "candle-sweep-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, _, err := b.PrepareData(dir, 1); err != nil {
+		return err
+	}
+	for round, label := range []string{"cold", "warm"} {
+		times, err := b.CompareLoaders(dir)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(times))
+		for name := range times {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("%s phase-1 load (%s, round %d):\n", bench, label, round+1)
+		for _, name := range names {
+			fmt.Printf("  %-40s %10.4f s\n", name, times[name])
+		}
+	}
+	return nil
 }
 
 func run(exp string, csv bool, chart int) error {

@@ -35,16 +35,9 @@ func main() {
 }
 
 func run(bench string, ranks, epochs int, weak bool, loader, out string) error {
-	var ld sim.Loader
-	switch loader {
-	case "naive":
-		ld = sim.LoaderNaive
-	case "chunked":
-		ld = sim.LoaderChunked
-	case "parallel":
-		ld = sim.LoaderParallel
-	default:
-		return fmt.Errorf("unknown loader %q", loader)
+	ld, err := sim.LoaderByName(loader)
+	if err != nil {
+		return err
 	}
 	scaling := sim.Strong
 	if weak {

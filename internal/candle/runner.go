@@ -10,6 +10,7 @@ import (
 	"candle/internal/checkpoint"
 	"candle/internal/csvio"
 	"candle/internal/data"
+	"candle/internal/dataload"
 	"candle/internal/horovod"
 	"candle/internal/mpi"
 	"candle/internal/nn"
@@ -28,9 +29,23 @@ type RunConfig struct {
 	WeakScaling bool
 	// Batch overrides the benchmark's default batch size when > 0.
 	Batch int
+	// Engine selects the phase-1 CSV engine by registry name
+	// ("naive", "chunked", "parallel", "sharded", ...; see
+	// csvio.Engines). Empty means "naive". The runner builds one
+	// engine instance per rank; the sharded streaming engine
+	// additionally gets its rank's communicator and the run's
+	// timeline, so each rank parses only its own byte-range shard.
+	Engine string
 	// Loader is the CSV engine for phase 1; nil means the naive
 	// (original pandas-style) reader.
+	//
+	// Deprecated: Loader predates the engine registry and shares one
+	// instance across all ranks, so it cannot carry per-rank state.
+	// Set Engine instead. Setting both is a configuration error.
 	Loader csvio.Reader
+	// CacheDir overrides where the sharded engine's binary cache
+	// files live; empty means alongside the source CSVs.
+	CacheDir string
 	// DataDir holds the CSV files; PrepareData must have run, or set
 	// Generate to create them on the fly.
 	DataDir string
@@ -76,6 +91,50 @@ type RunConfig struct {
 	// checkpoint when CheckpointDir is set. Without it a rank failure
 	// aborts the run with a *mpi.RankFailedError.
 	Elastic bool
+}
+
+// Validate checks the data-pipeline side of the config: Engine must
+// name a registered engine, and Engine and the deprecated Loader are
+// mutually exclusive — a config naming both has no single answer to
+// "which engine ran phase 1".
+func (cfg *RunConfig) Validate() error {
+	if cfg.Engine != "" && cfg.Loader != nil {
+		return fmt.Errorf("candle: set Engine (%q) or the deprecated Loader (%s), not both", cfg.Engine, cfg.Loader.Name())
+	}
+	if cfg.Engine != "" {
+		if _, err := csvio.ByName(cfg.Engine); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engineForRank builds the rank's CSV engine. The deprecated Loader
+// is honored as-is (one shared instance, the historical behavior);
+// otherwise the registry constructs a fresh instance, and a sharded
+// streaming loader is bound to the rank's communicator with all
+// collectives deferred to the consumer goroutine — the producer must
+// stay collective-free while the test read interleaves.
+func (cfg *RunConfig) engineForRank(c *mpi.Comm, clock func() float64) (csvio.Reader, error) {
+	if cfg.Loader != nil {
+		return cfg.Loader, nil
+	}
+	name := cfg.Engine
+	if name == "" {
+		name = "naive"
+	}
+	r, err := csvio.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := r.(*dataload.Loader); ok {
+		dl.Comm = c
+		dl.DeferExchange = true
+		dl.CacheDir = cfg.CacheDir
+		dl.Timeline = cfg.Timeline
+		dl.Clock = clock
+	}
+	return r, nil
 }
 
 // FailureRecord documents one rank failure absorbed by the elastic
@@ -143,6 +202,9 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.TotalEpochs <= 0 {
 		return nil, fmt.Errorf("candle: total epochs must be positive, got %d", cfg.TotalEpochs)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	size := cfg.Ranks
 	var failures []FailureRecord
 	for {
@@ -174,10 +236,6 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 // on `ranks` in-process workers. forceResume restores from the latest
 // checkpoint regardless of cfg.Resume — the elastic restart path.
 func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]RankResult, error) {
-	loader := cfg.Loader
-	if loader == nil {
-		loader = csvio.NewNaiveReader()
-	}
 	batch := cfg.Batch
 	if batch <= 0 {
 		batch = b.Cal.DefaultBatch
@@ -208,17 +266,33 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 		prof := trace.NewProfiler()
 		totalStop := prof.Start("total")
 
-		// Phase 1: data loading and preprocessing. Every rank loads
-		// the full train and test files, as the paper's benchmarks do.
+		// Phase 1: data loading and preprocessing. The train read is
+		// opened as a stream first, so its parse runs on a background
+		// goroutine while this rank reads the test file; the stream is
+		// then collected into the full matrix. For whole-file engines
+		// the adapter gives the same overlap; for the sharded engine
+		// the producer parses only this rank's byte range and the
+		// cross-rank exchange runs here, on the rank goroutine, after
+		// the test read — so every rank issues the same collective
+		// sequence in the same order.
+		loader, err := cfg.engineForRank(c, clock)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
 		loadBegin := clock()
 		loadStop := prof.Start("data_loading")
-		rawTrain, _, err := loader.Read(trainPath)
+		trainSrc, err := csvio.OpenStream(loader, trainPath)
 		if err != nil {
 			return fmt.Errorf("rank %d: loading train: %w", c.Rank(), err)
 		}
+		defer trainSrc.Close()
 		rawTest, _, err := loader.Read(testPath)
 		if err != nil {
 			return fmt.Errorf("rank %d: loading test: %w", c.Rank(), err)
+		}
+		rawTrain, _, err := csvio.Collect(trainSrc)
+		if err != nil {
+			return fmt.Errorf("rank %d: loading train: %w", c.Rank(), err)
 		}
 		trX, trY, err := data.FromRawCSV(b.Spec, rawTrain)
 		if err != nil {
@@ -386,13 +460,21 @@ func checksum(w []float64) float64 {
 	return s
 }
 
-// CompareLoaders runs phase 1 only (load + preprocess) with each CSV
-// engine against the benchmark's generated files and returns seconds
-// by engine name — the real-mode analogue of Tables 3 and 4.
+// CompareLoaders runs phase 1 only (load + preprocess) with every
+// registered CSV engine against the benchmark's generated files and
+// returns seconds by engine name — the real-mode analogue of Tables 3
+// and 4. The sharded engine runs single-process here (no world), so
+// its cold number is comparable to the whole-file engines; on a
+// repeat call its binary cache is warm.
 func (b *Benchmark) CompareLoaders(dir string) (map[string]float64, error) {
 	trainPath, _ := b.Files(dir)
-	out := make(map[string]float64, 3)
-	for _, r := range csvio.Readers() {
+	names := csvio.Engines()
+	out := make(map[string]float64, len(names))
+	for _, name := range names {
+		r, err := csvio.ByName(name)
+		if err != nil {
+			return nil, err
+		}
 		_, stats, err := r.Read(trainPath)
 		if err != nil {
 			return nil, fmt.Errorf("candle: %s: %w", r.Name(), err)

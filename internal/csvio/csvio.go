@@ -34,11 +34,22 @@ import (
 
 // ReadStats reports what a read did, for profiling and tests.
 type ReadStats struct {
-	Bytes           int64
+	// BytesRead is the number of source bytes this engine consumed.
+	// For a sharded read it is the rank's slice, not the whole file;
+	// for a cache hit it is the cache payload.
+	BytesRead       int64
 	Rows, Cols      int
 	Chunks          int
 	InferencePasses int
 	Seconds         float64
+	// CacheHit reports that a binary cache served the read and no CSV
+	// was parsed. Always false for the pure-CSV engines.
+	CacheHit bool
+	// SerialFallback reports that an engine which normally splits the
+	// input had to process it serially — gzip streams cannot be
+	// partitioned at byte offsets, so the parallel and sharded engines
+	// degrade to a single-threaded pass and record it here.
+	SerialFallback bool
 }
 
 // Reader is a CSV ingestion engine. Files must be rectangular numeric
@@ -231,7 +242,7 @@ func (r *NaiveReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 	for {
 		n, readErr := br.Read(buf)
 		if n > 0 {
-			stats.Bytes += int64(n)
+			stats.BytesRead += int64(n)
 			data := buf[:n]
 			for {
 				idx := bytes.IndexByte(data, '\n')
@@ -335,7 +346,7 @@ func (r *ChunkedReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 	for {
 		n, readErr := io.ReadFull(src, buf)
 		if n > 0 {
-			stats.Bytes += int64(n)
+			stats.BytesRead += int64(n)
 			stats.Chunks++
 			data := buf[:n]
 			for {
@@ -401,7 +412,14 @@ func (r *ParallelReader) Read(path string) (*tensor.Matrix, *ReadStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &ReadStats{Bytes: int64(len(raw))}
+	stats := &ReadStats{BytesRead: int64(len(raw))}
+	// A gzip stream has no seekable line boundaries, so Dask loads it
+	// as one partition: the parse degrades to a single-threaded pass.
+	// Record the fallback instead of silently reporting parallel work.
+	if isGzipPath(path) {
+		workers = 1
+		stats.SerialFallback = true
+	}
 	// Pass 1 (boundary discovery): split into ~equal partitions at
 	// line boundaries.
 	bounds := []int{0}

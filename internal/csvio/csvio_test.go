@@ -227,7 +227,7 @@ func TestNaiveReaderCountsChunksAndStats(t *testing.T) {
 	if stats.Chunks < 10 {
 		t.Fatalf("expected many small chunks, got %d", stats.Chunks)
 	}
-	if stats.Bytes == 0 || stats.Seconds < 0 {
+	if stats.BytesRead == 0 || stats.Seconds < 0 {
 		t.Fatalf("stats not populated: %+v", stats)
 	}
 }

@@ -6,6 +6,15 @@ import (
 	"strconv"
 )
 
+// ParseRow splits a CSV line on commas and parses each cell with the
+// non-allocating scanners, appending to dst. It is the typed
+// single-pass parse the optimized engines share; external engines
+// (internal/dataload's sharded loader) use it so every engine decodes
+// cells bit-identically.
+func ParseRow(line []byte, dst []float64) ([]float64, error) {
+	return parseRowFast(line, dst)
+}
+
 // parseRowFast splits a CSV line on commas and parses each cell with
 // the non-allocating float scanner, appending to dst. It is the typed
 // single-pass parse the optimized loaders use.

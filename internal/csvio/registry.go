@@ -1,0 +1,86 @@
+package csvio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The engine registry replaces the ad-hoc switch-cases the CLIs and
+// the runner used to build readers from flag strings. Engines register
+// a constructor under a short stable name ("naive", "chunked",
+// "parallel", ...); packages that provide additional engines — like
+// internal/dataload's sharded streaming loader — register themselves
+// from an init function, so any binary that links them can resolve
+// them by name.
+
+// EngineFactory constructs a fresh Reader. Factories must return a
+// new value each call: the runner configures per-rank state (shard
+// identity, communicator) on the instance it receives.
+type EngineFactory func() Reader
+
+var (
+	engineMu    sync.RWMutex
+	engineOrder []string
+	engineFns   = map[string]EngineFactory{}
+)
+
+// RegisterEngine adds an engine constructor under name. It panics on
+// an empty name or a duplicate registration — both are programmer
+// errors, caught at init time.
+func RegisterEngine(name string, f EngineFactory) {
+	if name == "" || f == nil {
+		panic("csvio: RegisterEngine needs a name and a factory")
+	}
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if _, dup := engineFns[name]; dup {
+		panic(fmt.Sprintf("csvio: engine %q registered twice", name))
+	}
+	engineFns[name] = f
+	engineOrder = append(engineOrder, name)
+}
+
+// Engines returns the registered engine names in registration order
+// (the three paper engines first, then extensions).
+func Engines() []string {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	out := make([]string, len(engineOrder))
+	copy(out, engineOrder)
+	return out
+}
+
+// ByName returns a fresh Reader for the named engine. Unknown names
+// yield an *UnknownEngineError listing the valid choices.
+func ByName(name string) (Reader, error) {
+	engineMu.RLock()
+	f, ok := engineFns[name]
+	engineMu.RUnlock()
+	if !ok {
+		return nil, &UnknownEngineError{Name: name, Known: Engines()}
+	}
+	return f(), nil
+}
+
+// UnknownEngineError reports a name with no registered engine, along
+// with the names that would have worked — a flag typo three hours
+// into a batch submission should not need a source dive to fix.
+type UnknownEngineError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownEngineError) Error() string {
+	known := make([]string, len(e.Known))
+	copy(known, e.Known)
+	sort.Strings(known)
+	return fmt.Sprintf("csvio: unknown engine %q (valid: %s)", e.Name, strings.Join(known, ", "))
+}
+
+func init() {
+	RegisterEngine("naive", func() Reader { return NewNaiveReader() })
+	RegisterEngine("chunked", func() Reader { return NewChunkedReader() })
+	RegisterEngine("parallel", func() Reader { return NewParallelReader(0) })
+}

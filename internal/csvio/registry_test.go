@@ -1,0 +1,138 @@
+package csvio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEnginesListsPaperReadersFirst(t *testing.T) {
+	names := Engines()
+	if len(names) < 3 {
+		t.Fatalf("want at least the 3 paper engines, got %v", names)
+	}
+	for i, want := range []string{"naive", "chunked", "parallel"} {
+		if names[i] != want {
+			t.Fatalf("Engines()[%d] = %q, want %q (registration order)", i, names[i], want)
+		}
+	}
+}
+
+func TestByNameBuildsFreshReaders(t *testing.T) {
+	a, err := ByName("chunked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("chunked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("ByName returned the same instance twice; factories must build fresh readers")
+	}
+	if a.Name() != NewChunkedReader().Name() {
+		t.Fatalf("ByName(chunked).Name() = %q", a.Name())
+	}
+}
+
+func TestByNameUnknownEngine(t *testing.T) {
+	_, err := ByName("dask")
+	if err == nil {
+		t.Fatal("want error for unknown engine")
+	}
+	var ue *UnknownEngineError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %T is not *UnknownEngineError", err)
+	}
+	if ue.Name != "dask" {
+		t.Fatalf("Name = %q", ue.Name)
+	}
+	if len(ue.Known) != len(Engines()) {
+		t.Fatalf("Known = %v, want all of %v", ue.Known, Engines())
+	}
+	msg := err.Error()
+	for _, name := range []string{"naive", "chunked", "parallel"} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list valid engine %q", msg, name)
+		}
+	}
+}
+
+func TestRegisterEngineDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterEngine("naive", func() Reader { return NewNaiveReader() })
+}
+
+func writeTestCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStreamAdapterDeliversOneBlock(t *testing.T) {
+	path := writeTestCSV(t, "1,2\n3,4\n5,6\n")
+	want, _, err := NewChunkedReader().Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenStream(NewChunkedReader(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	blk, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blk.Equal(want) {
+		t.Fatal("streamed block differs from Read")
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("second Next: %v, want io.EOF", err)
+	}
+	stats := src.(StatSource).Stats()
+	if stats == nil || stats.Rows != 3 || stats.BytesRead == 0 {
+		t.Fatalf("adapter stats: %+v", stats)
+	}
+}
+
+func TestStreamAdapterErrorAndClose(t *testing.T) {
+	path := writeTestCSV(t, "1,2\n3\n")
+	src := Stream(NewNaiveReader(), path)
+	if _, err := src.Next(); err == nil {
+		t.Fatal("want parse error through the stream")
+	}
+
+	src = Stream(NewNaiveReader(), writeTestCSV(t, "1,2\n"))
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err == nil || err == io.EOF {
+		t.Fatalf("Next after Close: %v, want closed error", err)
+	}
+}
+
+func TestCollectConcatenatesAndRejectsEmpty(t *testing.T) {
+	path := writeTestCSV(t, "1,2\n3,4\n")
+	m, stats, err := Collect(Stream(NewChunkedReader(), path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 2 || stats == nil {
+		t.Fatalf("Collect: %dx%d stats=%v", m.Rows, m.Cols, stats)
+	}
+	empty := writeTestCSV(t, "")
+	if _, _, err := Collect(Stream(NewChunkedReader(), empty)); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("Collect of empty file: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package csvio
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"candle/internal/tensor"
+)
+
+// ChunkSource is the streaming side of a CSV engine: parsed row
+// blocks arrive one at a time, so a consumer can overlap downstream
+// work (model build, first training steps) with the parse. Next
+// returns io.EOF after the last block. Close releases the source's
+// resources; it is safe to call before the stream is drained and
+// after EOF.
+type ChunkSource interface {
+	Next() (rows *tensor.Matrix, err error)
+	Close() error
+}
+
+// Streamer is implemented by readers that can produce row blocks
+// natively, with the parse running ahead of the consumer (the sharded
+// loader in internal/dataload). Whole-file readers are adapted with
+// Stream.
+type Streamer interface {
+	Open(path string) (ChunkSource, error)
+}
+
+// StatSource is implemented by chunk sources that can report what the
+// finished stream did; Stats is valid once Next has returned io.EOF.
+type StatSource interface {
+	Stats() *ReadStats
+}
+
+// OpenStream returns r's native stream when it implements Streamer,
+// and a Stream adapter otherwise, so whole-file readers and streaming
+// loaders are interchangeable behind one type.
+func OpenStream(r Reader, path string) (ChunkSource, error) {
+	if s, ok := r.(Streamer); ok {
+		return s.Open(path)
+	}
+	return Stream(r, path), nil
+}
+
+// Stream adapts a whole-file Reader into a ChunkSource that delivers
+// the file as a single block. The read starts immediately on a
+// background goroutine, so even a non-streaming engine overlaps its
+// parse with whatever the consumer does before the first Next.
+func Stream(r Reader, path string) ChunkSource {
+	s := &streamAdapter{done: make(chan struct{})}
+	go func() {
+		s.m, s.stats, s.err = r.Read(path)
+		close(s.done)
+	}()
+	return s
+}
+
+type streamAdapter struct {
+	done     chan struct{}
+	m        *tensor.Matrix
+	stats    *ReadStats
+	err      error
+	mu       sync.Mutex
+	consumed bool
+	closed   bool
+}
+
+func (s *streamAdapter) Next() (*tensor.Matrix, error) {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("csvio: stream closed")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.consumed {
+		return nil, io.EOF
+	}
+	s.consumed = true
+	return s.m, nil
+}
+
+func (s *streamAdapter) Close() error {
+	// The background read cannot be interrupted, but Close prevents
+	// any further Next from handing out its result.
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *streamAdapter) Stats() *ReadStats {
+	<-s.done
+	return s.stats
+}
+
+// Collect drains a ChunkSource into one matrix, concatenating blocks
+// in arrival order. The stats are the source's own when it implements
+// StatSource, and nil otherwise. An empty stream is an error, matching
+// the whole-file engines' empty-file behavior.
+func Collect(src ChunkSource) (*tensor.Matrix, *ReadStats, error) {
+	var blocks []*tensor.Matrix
+	rows, cols := 0, 0
+	for {
+		blk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if blk == nil || blk.Rows == 0 {
+			continue
+		}
+		if cols == 0 {
+			cols = blk.Cols
+		} else if blk.Cols != cols {
+			return nil, nil, fmt.Errorf("csvio: stream block has %d cols, want %d", blk.Cols, cols)
+		}
+		rows += blk.Rows
+		blocks = append(blocks, blk)
+	}
+	var stats *ReadStats
+	if ss, ok := src.(StatSource); ok {
+		stats = ss.Stats()
+	}
+	if rows == 0 {
+		return nil, nil, fmt.Errorf("csvio: empty file")
+	}
+	if len(blocks) == 1 && blocks[0].Rows == rows {
+		return blocks[0], stats, nil
+	}
+	out := tensor.New(rows, cols)
+	off := 0
+	for _, blk := range blocks {
+		copy(out.Data[off:], blk.Data)
+		off += len(blk.Data)
+	}
+	return out, stats, nil
+}

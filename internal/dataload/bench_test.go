@@ -1,0 +1,214 @@
+package dataload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"candle/internal/csvio"
+	"candle/internal/mpi"
+	"candle/internal/tensor"
+)
+
+// The load benchmark asks the paper's Table 3/4 question of this
+// repo's own pipeline: what does phase 1 cost when every rank parses
+// the whole file (the dask-like parallel reader, the best of the three
+// paper engines) versus when each rank parses only its byte-range
+// shard and the shards are exchanged with collectives — and what does
+// the binary columnar cache make of a warm rerun?
+//
+// On this single-core container there is no parsing parallelism to
+// win; the sharded gain is pure work reduction (4 ranks x 1/4 of the
+// bytes instead of 4 x all of them, plus one exchange), which is also
+// the dominant term on a real multi-node run where ranks do not share
+// a parser.
+
+const (
+	benchRounds = 3 // measured rounds per mode; best is reported
+	benchRanks  = 4
+)
+
+// benchCSV writes a rows x cols CSV of full-precision float cells
+// (shortest round-trippable form, ~18 characters each — the shape of
+// real expression matrices, which carry unquantized floats),
+// deterministic in seed.
+func benchCSV(tb testing.TB, dir string, rows, cols int) string {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	path := filepath.Join(dir, "bench.csv")
+	if err := csvio.WriteCSV(path, m); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+// timeWorldLoad runs fn once per rank on a fresh world and returns the
+// wall seconds of the slowest-rank completion (world.Run waits for
+// all), best of `rounds`; prepare runs before each round, outside the
+// timed region.
+func timeWorldLoad(tb testing.TB, rounds int, prepare func(), fn func(c *mpi.Comm) error) float64 {
+	tb.Helper()
+	best := math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		if prepare != nil {
+			prepare()
+		}
+		start := time.Now()
+		if err := mpi.NewWorld(benchRanks).Run(fn); err != nil {
+			tb.Fatal(err)
+		}
+		if s := time.Since(start).Seconds(); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// TestWriteLoadBench regenerates BENCH_load.json when BENCH_LOAD_OUT
+// names the destination (see `make bench-load`). BENCH_LOAD_SMOKE=1
+// shrinks the dataset and skips the speedup thresholds — the CI
+// configuration, which checks the harness end to end without timing
+// sensitivity.
+func TestWriteLoadBench(t *testing.T) {
+	out := os.Getenv("BENCH_LOAD_OUT")
+	if out == "" {
+		t.Skip("set BENCH_LOAD_OUT to write the benchmark file")
+	}
+	smoke := os.Getenv("BENCH_LOAD_SMOKE") != ""
+	rows, cols := 12000, 400 // ~42 MB
+	if smoke {
+		rows, cols = 600, 40
+	}
+	dir := t.TempDir()
+	path := benchCSV(t, dir, rows, cols)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	if err := os.Mkdir(cacheDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	clearCache := func() {
+		if err := os.RemoveAll(cacheDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Mkdir(cacheDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Baseline: every rank parses the whole file with the best paper
+	// engine, as the benchmarks' phase 1 does today.
+	tParallel := timeWorldLoad(t, benchRounds, nil, func(c *mpi.Comm) error {
+		_, _, err := csvio.NewParallelReader(0).Read(path)
+		return err
+	})
+
+	// Cold sharded: each rank parses 1/4 of the bytes, one collective
+	// exchange, rank 0 writes the cache (included in the timing).
+	tCold := timeWorldLoad(t, benchRounds, clearCache, func(c *mpi.Comm) error {
+		_, _, err := (&Loader{Comm: c, Cache: true, CacheDir: cacheDir, DeferExchange: true}).Read(path)
+		return err
+	})
+
+	// Warm: the cache exists; every rank reads columns, no parsing.
+	warmPrepare := func() {
+		if _, err := os.Stat(CachePath(path, cacheDir)); err != nil {
+			// Seed the cache once so every warm round hits.
+			if err := mpi.NewWorld(1).Run(func(c *mpi.Comm) error {
+				_, _, err := (&Loader{Comm: c, Cache: true, CacheDir: cacheDir}).Read(path)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tWarm := timeWorldLoad(t, benchRounds, warmPrepare, func(c *mpi.Comm) error {
+		_, stats, err := (&Loader{Comm: c, Cache: true, CacheDir: cacheDir, DeferExchange: true}).Read(path)
+		if err != nil {
+			return err
+		}
+		if !stats.CacheHit {
+			return fmt.Errorf("rank %d: warm round missed the cache", c.Rank())
+		}
+		return nil
+	})
+
+	// Bit-identity across the whole pyramid: naive vs sharded-cold vs
+	// cache-served.
+	want, _, err := csvio.NewNaiveReader().Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearCache()
+	cold, _, err := (&Loader{Cache: true, CacheDir: cacheDir}).Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmStats, err := (&Loader{Cache: true, CacheDir: cacheDir}).Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Equal(want) || !warm.Equal(want) || !warmStats.CacheHit {
+		t.Fatal("sharded/cache matrices are not bit-identical to naive")
+	}
+
+	coldSpeedup := tParallel / tCold
+	warmSpeedup := tCold / tWarm
+	if !smoke {
+		if coldSpeedup < 1.3 {
+			t.Errorf("cold sharded is only %.2fx the parallel reader at %d ranks, want >= 1.3x", coldSpeedup, benchRanks)
+		}
+		if warmSpeedup < 3 {
+			t.Errorf("warm cache is only %.2fx cold sharded, want >= 3x", warmSpeedup)
+		}
+	}
+
+	doc := map[string]any{
+		"description": "Phase-1 data loading at 4 in-process MPI ranks over one generated CSV of full-precision float cells (the shape of real expression matrices). Baseline: every rank reads the whole file with the dask-like parallel reader (the best of the paper's three engines) — the all-ranks-parse-everything pattern the CANDLE benchmarks use. Sharded cold: each rank parses only its byte-range shard (boundaries snapped to line starts, rank 0 broadcasts the column schema), the shards are exchanged with an allgather, and rank 0 writes the binary columnar cache — cache write included in the timing. Warm: every rank serves the read from the CRC32-sealed columnar cache, no parsing. All three paths produce bit-identical matrices (asserted). Times are the best of 3 world-wall-clock rounds on this single-core container, so the sharded win is pure per-rank work reduction (1/4 of the bytes each), the term that dominates real multi-node phase-1 too.",
+		"environment": map[string]any{
+			"cpu":        "single-core container",
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"go":         runtime.Version(),
+			"ranks":      benchRanks,
+			"rows":       rows,
+			"cols":       cols,
+			"csv_bytes":  fi.Size(),
+			"smoke":      smoke,
+		},
+		"parallel_reader_s":        round4(tParallel),
+		"sharded_cold_s":           round4(tCold),
+		"sharded_warm_cache_s":     round4(tWarm),
+		"cold_speedup_vs_parallel": round3(coldSpeedup),
+		"warm_speedup_vs_cold":     round3(warmSpeedup),
+		"regenerate":               "make bench-load",
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("parallel %.4fs, sharded cold %.4fs (%.2fx), warm cache %.4fs (%.2fx over cold) -> %s\n",
+		tParallel, tCold, coldSpeedup, tWarm, warmSpeedup, out)
+}
+
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }

@@ -1,0 +1,549 @@
+// Package dataload is the streaming sharded data pipeline: each MPI
+// rank parses only its own byte-range shard of the CSV, parsed row
+// blocks flow through a bounded channel so the load overlaps whatever
+// the consumer does next (model build, test-set read), and a binary
+// columnar cache makes warm reruns skip parsing entirely.
+//
+// The paper's phase analysis shows data loading dominating short
+// CANDLE runs — every rank re-parsed the whole training file. The
+// sharded loader divides that work: with n ranks each parses ~1/n of
+// the bytes, then the shards are exchanged with the same collectives
+// training already uses (a column-count broadcast from rank 0, an
+// allgather of shard sizes, an allgather of padded shard payloads).
+//
+// Collective discipline: mpi.Comm requires every rank to issue the
+// same collectives in the same order, and a Comm is not safe for
+// concurrent use from two goroutines. The background producer
+// therefore never touches the communicator when DeferExchange is set —
+// it parses its shard purely locally, and all collectives run on the
+// consumer's goroutine when the stream is drained. The runner uses
+// this mode so a prefetching train-file load can be in flight while
+// the rank reads its test file.
+package dataload
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"candle/internal/csvio"
+	"candle/internal/mpi"
+	"candle/internal/tensor"
+	"candle/internal/trace"
+)
+
+// EngineName is the name the loader registers in the csvio engine
+// registry.
+const EngineName = "sharded"
+
+// Defaults for the streaming knobs; zero values on Loader mean these.
+const (
+	DefaultBlockRows = 2048
+	DefaultPrefetch  = 4
+)
+
+func init() {
+	csvio.RegisterEngine(EngineName, func() csvio.Reader { return &Loader{Cache: true} })
+}
+
+// Loader is the sharded streaming engine. The zero value is a valid
+// single-process reader; the runner configures Comm and DeferExchange
+// per rank. It implements csvio.Reader and csvio.Streamer.
+type Loader struct {
+	// Comm is the communicator whose ranks co-read the file. Nil means
+	// single-process: one shard, no collectives.
+	Comm *mpi.Comm
+
+	// Cache enables the binary columnar cache. On a miss, rank 0 (or
+	// the sole process) writes the cache after a successful read; on a
+	// hit every rank reads the cache instead of parsing.
+	Cache bool
+
+	// CacheDir overrides where cache files live; empty means alongside
+	// the source CSV.
+	CacheDir string
+
+	// BlockRows is the streaming granularity (rows per block);
+	// 0 means DefaultBlockRows.
+	BlockRows int
+
+	// Prefetch is the bounded-channel depth between the parsing
+	// producer and the consumer; 0 means DefaultPrefetch.
+	Prefetch int
+
+	// DeferExchange moves all collectives (schema broadcast, shard
+	// allgathers) from the producer goroutine to the consumer's, at
+	// drain time. Required whenever the caller overlaps an Open stream
+	// with other collective-issuing work on the same goroutine.
+	DeferExchange bool
+
+	// Timeline, when set, receives load_shard / cache_hit spans;
+	// Clock supplies their timestamps (seconds, run-relative).
+	Timeline *trace.Timeline
+	Clock    func() float64
+}
+
+func (l *Loader) Name() string { return "sharded streaming (binary cache)" }
+
+func (l *Loader) rank() int {
+	if l.Comm == nil {
+		return 0
+	}
+	return l.Comm.Rank()
+}
+
+func (l *Loader) world() int {
+	if l.Comm == nil {
+		return 1
+	}
+	return l.Comm.Size()
+}
+
+func (l *Loader) clock() float64 {
+	if l.Clock != nil {
+		return l.Clock()
+	}
+	return time.Since(processStart).Seconds()
+}
+
+var processStart = time.Now()
+
+// Read parses path and returns the full matrix — Open + Collect, so
+// the Loader drops into any call site written against csvio.Reader.
+func (l *Loader) Read(path string) (*tensor.Matrix, *csvio.ReadStats, error) {
+	src, err := l.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer src.Close()
+	return csvio.Collect(src)
+}
+
+// Open starts the shard parse on a background goroutine and returns
+// the stream. With DeferExchange (or a nil Comm) the producer is
+// purely local; otherwise the producer issues the collectives itself,
+// which is only safe when no other collective can interleave on this
+// rank before the stream is drained.
+func (l *Loader) Open(path string) (csvio.ChunkSource, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	prefetch := l.Prefetch
+	if prefetch <= 0 {
+		prefetch = DefaultPrefetch
+	}
+	s := &source{
+		l:     l,
+		path:  path,
+		rank:  l.rank(),
+		world: l.world(),
+		size:  fi.Size(),
+		mtime: fi.ModTime().UnixNano(),
+		gz:    strings.HasSuffix(path, ".gz"),
+		blocks: make(chan *tensor.Matrix, prefetch),
+		done:   make(chan struct{}),
+		t0:     time.Now(),
+	}
+	go s.produce()
+	return s, nil
+}
+
+// source is one in-flight read. The producer goroutine owns the p*
+// fields until it closes blocks; the consumer goroutine owns the c*
+// fields. The channel close is the happens-before edge that hands the
+// producer's results to the consumer.
+type source struct {
+	l           *Loader
+	path        string
+	rank, world int
+	size, mtime int64
+	gz          bool
+
+	blocks    chan *tensor.Matrix
+	done      chan struct{} // closed by Close; aborts a blocked producer
+	closeOnce sync.Once
+	t0        time.Time
+
+	// Producer-owned until close(blocks).
+	pData      []float64 // this rank's contiguous shard rows
+	pRows      int
+	pCols      int
+	pFull      *tensor.Matrix // whole matrix, when producer assembled it
+	pErr       error
+	pExchanged bool // collectives already issued by the producer
+	stats      csvio.ReadStats
+
+	// Consumer-owned.
+	cFinal bool
+	cEOF   bool
+	cErr   error
+}
+
+var errClosed = fmt.Errorf("csvio: stream closed")
+
+// produce runs on the background goroutine: cache probe, shard parse,
+// and — only when the loader is not in deferred-exchange mode — the
+// cross-rank exchange.
+func (s *source) produce() {
+	defer close(s.blocks)
+	l := s.l
+
+	if l.Cache {
+		if m, payload, err := readCache(CachePath(s.path, l.CacheDir), s.size, s.mtime); err == nil {
+			start := l.clock()
+			s.pFull = m
+			s.stats = csvio.ReadStats{
+				BytesRead: payload,
+				Rows:      m.Rows,
+				Cols:      m.Cols,
+				Chunks:    1,
+				CacheHit:  true,
+			}
+			if l.Timeline != nil {
+				l.Timeline.Add(trace.Event{
+					Name: "cache_hit", Cat: "io", PID: 0, TID: s.rank,
+					Start: start, Dur: l.clock() - start,
+					Args: map[string]any{"path": s.path, "bytes": payload},
+				})
+			}
+			return
+		}
+	}
+
+	start := l.clock()
+	p := &sectionParser{}
+	shardOff, err := s.parseShard(p)
+	if err != nil {
+		s.pErr = err
+		return
+	}
+	s.pData, s.pRows, s.pCols = p.data, p.rows, p.cols
+	s.stats.BytesRead = p.bytes
+	s.stats.Rows, s.stats.Cols = p.rows, p.cols
+	s.stats.Chunks = s.world
+	s.stats.InferencePasses = 1
+	if l.Timeline != nil {
+		l.Timeline.Add(trace.Event{
+			Name: "load_shard", Cat: "io", PID: 0, TID: s.rank,
+			Start: start, Dur: l.clock() - start,
+			Args: map[string]any{
+				"path": s.path, "shard_offset": shardOff,
+				"bytes": p.bytes, "rows": p.rows,
+			},
+		})
+	}
+	if s.world > 1 && !s.gz && !l.DeferExchange {
+		s.pFull, s.pErr = s.exchange(false)
+		s.pExchanged = true
+	}
+}
+
+// parseShard parses this rank's byte range (or, for gzip and
+// single-process reads, the whole file), streaming blocks to the
+// consumer when the parse alone yields the final row set. It returns
+// the shard's starting byte offset.
+func (s *source) parseShard(p *sectionParser) (int64, error) {
+	l := s.l
+	blockRows := l.BlockRows
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	// Blocks can stream straight to the consumer only when this rank's
+	// parse produces the final rows — single process, or the gzip
+	// fallback where every rank reads everything. A sharded parse must
+	// wait for the exchange.
+	streaming := s.world == 1 || s.gz
+	onBlock := func(lo, hi int) error {
+		if !streaming {
+			return nil
+		}
+		blk := tensor.FromSlice(hi-lo, p.cols, p.data[lo*p.cols:hi*p.cols])
+		select {
+		case s.blocks <- blk:
+			return nil
+		case <-s.done:
+			return errClosed
+		}
+	}
+
+	if s.gz {
+		// Gzip streams have no byte-addressable line starts, so the
+		// shard-by-range plan degrades to every rank decompressing and
+		// parsing the whole file serially — made explicit in the stats,
+		// mirroring ParallelReader's fallback.
+		s.stats.SerialFallback = true
+		f, err := os.Open(s.path)
+		if err != nil {
+			return 0, fmt.Errorf("csvio: %w", err)
+		}
+		defer f.Close()
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return 0, fmt.Errorf("csvio: %s: %w", s.path, err)
+		}
+		defer zr.Close()
+		if err := p.consume(zr, blockRows, onBlock); err != nil {
+			if err == errClosed {
+				return 0, err
+			}
+			return 0, p.errAt(s.path, EngineName, 0, err)
+		}
+		return 0, nil
+	}
+
+	f, err := os.Open(s.path)
+	if err != nil {
+		return 0, fmt.Errorf("csvio: %w", err)
+	}
+	defer f.Close()
+	lo, err := shardStart(f, s.size, s.rank, s.world)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := shardStart(f, s.size, s.rank+1, s.world)
+	if err != nil {
+		return 0, err
+	}
+
+	// Schema handshake, non-deferred mode: rank 0 parses its first row
+	// and broadcasts the column count before anyone parses in bulk, so
+	// every shard enforces the schema as it goes and a ragged row fails
+	// fast with its exact line. In deferred mode this broadcast happens
+	// at exchange time instead, on the consumer goroutine.
+	if s.world > 1 && !l.DeferExchange {
+		wantCols, err := s.handshake(f, hi)
+		if err != nil {
+			return lo, err
+		}
+		p.wantCols = wantCols
+	}
+
+	if err := p.consume(io.NewSectionReader(f, lo, hi-lo), blockRows, onBlock); err != nil {
+		if err == errClosed {
+			return lo, err
+		}
+		return lo, p.errAt(s.path, EngineName, lo, err)
+	}
+	return lo, nil
+}
+
+// handshake broadcasts rank 0's column count. Rank 0 scans its shard
+// for the first non-blank line and parses it; a malformed first line
+// surfaces here, before the broadcast, and aborts the world.
+func (s *source) handshake(f *os.File, rank0End int64) (int, error) {
+	hdr := []float64{0}
+	if s.rank == 0 {
+		probe := &sectionParser{}
+		if err := probe.consumeFirstRow(io.NewSectionReader(f, 0, rank0End)); err != nil {
+			return 0, probe.errAt(s.path, EngineName, 0, err)
+		}
+		hdr[0] = float64(probe.cols)
+	}
+	if err := s.l.Comm.Broadcast(0, hdr); err != nil {
+		return 0, err
+	}
+	return int(hdr[0]), nil
+}
+
+// exchange runs the collective phase: schema broadcast (deferred mode
+// only), allgather of per-shard row counts, allgather of padded shard
+// payloads, then assembly of the full matrix in rank order. Every rank
+// executes the identical sequence, so it composes with training's own
+// collectives. withBroadcast selects the deferred-mode schema
+// handshake.
+func (s *source) exchange(withBroadcast bool) (*tensor.Matrix, error) {
+	c := s.l.Comm
+	refCols := 0
+	if withBroadcast {
+		hdr := []float64{0}
+		if s.rank == 0 && s.pRows > 0 {
+			hdr[0] = float64(s.pCols)
+		}
+		if err := c.Broadcast(0, hdr); err != nil {
+			return nil, err
+		}
+		refCols = int(hdr[0])
+	}
+
+	counts, err := c.Allgather([]float64{float64(s.pRows), float64(s.pCols)})
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the reference schema: rank 0's broadcast when it had
+	// rows, else the first shard that does. Every rank derives the
+	// same value from the same gathered counts.
+	if refCols == 0 {
+		for _, rc := range counts {
+			if int(rc[0]) > 0 {
+				refCols = int(rc[1])
+				break
+			}
+		}
+	}
+	maxRows, totalRows := 0, 0
+	for r, rc := range counts {
+		rows, cols := int(rc[0]), int(rc[1])
+		if rows > 0 && cols != refCols {
+			// A shard whose rows disagree with the schema: report the
+			// first line of that shard, as the partitioned engine does.
+			return nil, s.shardSchemaError(r, cols, refCols)
+		}
+		if rows > maxRows {
+			maxRows = rows
+		}
+		totalRows += rows
+	}
+	if totalRows == 0 {
+		return nil, nil // empty file: Collect turns this into the empty error
+	}
+
+	padded := make([]float64, maxRows*refCols)
+	copy(padded, s.pData)
+	out := make([]float64, s.world*maxRows*refCols)
+	if err := c.AllgatherInto(padded, out); err != nil {
+		return nil, err
+	}
+	full := tensor.New(totalRows, refCols)
+	off := 0
+	for r, rc := range counts {
+		n := int(rc[0]) * refCols
+		copy(full.Data[off:], out[r*maxRows*refCols:r*maxRows*refCols+n])
+		off += n
+	}
+	s.stats.Rows, s.stats.Cols = totalRows, refCols
+	return full, nil
+}
+
+// shardSchemaError builds the cross-shard mismatch error every rank
+// derives identically from the gathered counts. The offending line is
+// the first line of shard r — found lazily, since this is a cold path.
+func (s *source) shardSchemaError(r, got, want int) error {
+	line := 1
+	if f, err := os.Open(s.path); err == nil {
+		if off, err := shardStart(f, s.size, r, s.world); err == nil {
+			line = countLinesBefore(s.path, off) + 1
+		}
+		f.Close()
+	}
+	return &csvio.ParseError{
+		Path:   s.path,
+		Line:   line,
+		Engine: EngineName,
+		Err:    fmt.Errorf("ragged row: %d columns, want %d", got, want),
+	}
+}
+
+// Next hands the consumer the next parsed block. After the producer
+// finishes, the first Next runs the deferred exchange (collectives on
+// this goroutine) and the cache write-back, then returns the full
+// matrix (sharded mode) or io.EOF (streamed mode).
+func (s *source) Next() (*tensor.Matrix, error) {
+	if s.cErr != nil {
+		return nil, s.cErr
+	}
+	if s.cEOF {
+		return nil, io.EOF
+	}
+	select {
+	case <-s.done:
+		return nil, errClosed
+	default:
+	}
+	if blk, ok := <-s.blocks; ok {
+		return blk, nil
+	}
+	if s.pErr != nil {
+		s.cErr = s.pErr
+		return nil, s.cErr
+	}
+	if !s.cFinal {
+		s.cFinal = true
+		if err := s.finalize(); err != nil {
+			s.cErr = err
+			return nil, err
+		}
+	}
+	if s.pFull != nil {
+		m := s.pFull
+		s.pFull = nil
+		s.cEOF = true
+		s.stats.Seconds = time.Since(s.t0).Seconds()
+		return m, nil
+	}
+	s.cEOF = true
+	s.stats.Seconds = time.Since(s.t0).Seconds()
+	return nil, io.EOF
+}
+
+// finalize runs once, after the producer closed the channel: the
+// deferred collective exchange, then the cache write-back (rank 0
+// only, and only after the exchange — so no rank can observe a cache
+// hit in a run where another missed).
+func (s *source) finalize() error {
+	l := s.l
+	if s.stats.CacheHit {
+		return nil
+	}
+	if s.world > 1 && !s.gz && !s.pExchanged {
+		full, err := s.exchange(true)
+		if err != nil {
+			return err
+		}
+		s.pFull = full
+		s.pExchanged = true
+	}
+	if l.Cache && s.rank == 0 {
+		m := s.pFull
+		if m == nil && s.pRows > 0 {
+			m = tensor.FromSlice(s.pRows, s.pCols, s.pData)
+		}
+		if m != nil {
+			// Best effort: a failed cache write costs the next run a
+			// parse, nothing more.
+			_ = writeCache(CachePath(s.path, l.CacheDir), s.size, s.mtime, m)
+		}
+	}
+	return nil
+}
+
+// Stats reports what the stream did; complete once Next has returned
+// io.EOF (csvio.StatSource).
+func (s *source) Stats() *csvio.ReadStats { return &s.stats }
+
+// Close aborts an in-flight parse and releases the stream. Safe to
+// call whether or not the stream was drained.
+func (s *source) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	return nil
+}
+
+// consumeFirstRow parses lines until the first non-blank row sets the
+// column count — the rank-0 side of the schema handshake.
+func (p *sectionParser) consumeFirstRow(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			line = bytes.TrimSuffix(line, []byte{'\n'})
+			if perr := p.addLine(line); perr != nil {
+				return perr
+			}
+			if p.rows > 0 {
+				return nil
+			}
+		}
+		if err == io.EOF {
+			return nil // empty shard: cols stays 0, schema unenforced
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

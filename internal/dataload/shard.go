@@ -1,0 +1,203 @@
+package dataload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"candle/internal/csvio"
+)
+
+// Byte-range sharding: shard i of n over a file of `size` bytes
+// nominally starts at size*i/n, adjusted forward to the next line
+// start so every line belongs to exactly one shard. Every rank
+// computes its own boundaries with the same rule from the same file,
+// so no coordination is needed to agree on the partition — only the
+// schema handshake (rank 0's column count) crosses ranks.
+
+// shardStart returns the byte offset where shard i of n begins. The
+// rule: offset 0 for shard 0, the file size for shard n, and
+// otherwise the first line start at or after the nominal boundary
+// size*i/n (scanning from nominal-1, so a line beginning exactly on
+// the boundary stays with the later shard).
+func shardStart(r io.ReaderAt, size int64, i, n int) (int64, error) {
+	if i <= 0 {
+		return 0, nil
+	}
+	if i >= n {
+		return size, nil
+	}
+	nominal := size * int64(i) / int64(n)
+	if nominal == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, 64<<10)
+	for pos := nominal - 1; pos < size; {
+		m := len(buf)
+		if int64(m) > size-pos {
+			m = int(size - pos)
+		}
+		k, err := r.ReadAt(buf[:m], pos)
+		if k > 0 {
+			if idx := bytes.IndexByte(buf[:k], '\n'); idx >= 0 {
+				return pos + int64(idx) + 1, nil
+			}
+			pos += int64(k)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("dataload: boundary scan: %w", err)
+		}
+	}
+	return size, nil
+}
+
+// countLinesBefore counts the newlines in path's first `upTo` bytes —
+// the lazy translation from a shard-local line number to a file line
+// number, paid only on the error path so the hot path never scans
+// bytes outside its own shard.
+func countLinesBefore(path string, upTo int64) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	buf := make([]byte, 256<<10)
+	var n int64
+	lines := 0
+	for n < upTo {
+		m := len(buf)
+		if int64(m) > upTo-n {
+			m = int(upTo - n)
+		}
+		k, err := f.Read(buf[:m])
+		if k > 0 {
+			lines += bytes.Count(buf[:k], []byte{'\n'})
+			n += int64(k)
+		}
+		if err != nil {
+			break
+		}
+	}
+	return lines
+}
+
+// sectionParser accumulates the rows of one byte range, enforcing
+// rectangularity as it goes. wantCols > 0 enforces the schema the
+// rank-0 handshake established; otherwise the section's first row
+// sets the column count.
+type sectionParser struct {
+	wantCols int
+	cols     int
+	rows     int
+	data     []float64
+	line     int   // 1-based local line counter (blank lines included)
+	bytes    int64 // source bytes consumed
+	rowBuf   []float64
+}
+
+// errAt wraps a raw parse failure with its location, translating the
+// local line to a file line number.
+func (p *sectionParser) errAt(path, engine string, shardOff int64, err error) error {
+	return &csvio.ParseError{
+		Path:   path,
+		Line:   countLinesBefore(path, shardOff) + p.line,
+		Engine: engine,
+		Err:    err,
+	}
+}
+
+func (p *sectionParser) addLine(line []byte) error {
+	p.line++
+	line = bytes.TrimSuffix(line, []byte{'\r'})
+	if len(line) == 0 {
+		return nil
+	}
+	var err error
+	p.rowBuf, err = csvio.ParseRow(line, p.rowBuf[:0])
+	if err != nil {
+		return err
+	}
+	want := p.wantCols
+	if want <= 0 {
+		want = p.cols
+	}
+	if p.rows > 0 || p.wantCols > 0 {
+		if want > 0 && len(p.rowBuf) != want {
+			return fmt.Errorf("ragged row: %d columns, want %d", len(p.rowBuf), want)
+		}
+	}
+	if p.rows == 0 {
+		p.cols = len(p.rowBuf)
+	}
+	p.data = append(p.data, p.rowBuf...)
+	p.rows++
+	return nil
+}
+
+// consume parses every line of r. After each blockRows parsed rows it
+// calls onBlock with the half-open row range just completed, so a
+// streaming caller can hand blocks downstream while the parse
+// continues; onBlock may be nil, and a non-nil return aborts the
+// parse (a closed consumer). Parse errors carry the local line in
+// p.line — the caller adds the shard offset.
+func (p *sectionParser) consume(r io.Reader, blockRows int, onBlock func(lo, hi int) error) error {
+	buf := make([]byte, 1<<20)
+	var carry []byte
+	lastEmit := p.rows
+	emit := func() error {
+		if onBlock != nil && p.rows > lastEmit {
+			if err := onBlock(lastEmit, p.rows); err != nil {
+				return err
+			}
+			lastEmit = p.rows
+		}
+		return nil
+	}
+	for {
+		n, readErr := r.Read(buf)
+		if n > 0 {
+			p.bytes += int64(n)
+			data := buf[:n]
+			for {
+				idx := bytes.IndexByte(data, '\n')
+				if idx < 0 {
+					carry = append(carry, data...)
+					break
+				}
+				var line []byte
+				if len(carry) > 0 {
+					carry = append(carry, data[:idx]...)
+					line = carry
+				} else {
+					line = data[:idx]
+				}
+				if err := p.addLine(line); err != nil {
+					return err
+				}
+				carry = carry[:0]
+				data = data[idx+1:]
+				if blockRows > 0 && p.rows-lastEmit >= blockRows {
+					if err := emit(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if readErr != nil {
+			if readErr != io.EOF {
+				return readErr
+			}
+			break
+		}
+	}
+	if len(carry) > 0 {
+		if err := p.addLine(carry); err != nil {
+			return err
+		}
+	}
+	return emit()
+}

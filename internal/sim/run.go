@@ -33,6 +33,18 @@ func (l Loader) String() string {
 	}
 }
 
+// LoaderByName maps a loader name ("naive", "chunked", "parallel")
+// back to its enum — the flag-parsing inverse of String, shared by the
+// CLIs instead of each keeping its own switch.
+func LoaderByName(name string) (Loader, error) {
+	for _, l := range []Loader{LoaderNaive, LoaderChunked, LoaderParallel} {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown loader %q (valid: naive, chunked, parallel)", name)
+}
+
 // Scaling selects how total work maps onto ranks.
 type Scaling int
 
