@@ -25,7 +25,7 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/tensor ./internal/nn
 
 bench-tensor:
-	$(GO) test -bench 'BenchmarkMatMul|BenchmarkDenseStep' -benchmem -run '^$$' ./internal/tensor ./internal/nn
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkTMatMul|BenchmarkDenseStep' -benchmem -run '^$$' ./internal/tensor ./internal/nn
 
 # Sync-vs-overlap per-step wall time under an injected collective
 # stall; regenerates BENCH_overlap.json.

@@ -47,6 +47,10 @@ var overlapMode bool
 // cacheDir overrides where the sharded engine's binary cache lives.
 var cacheDir string
 
+// dtypeMode selects the real-mode compute precision ("f32" or "f64";
+// empty = f64 reference path).
+var dtypeMode string
+
 func main() {
 	var (
 		bench   = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
@@ -67,10 +71,12 @@ func main() {
 		elast   = flag.Bool("elastic", false, "recover from rank failures by restarting on a shrunken world (real mode)")
 		ckpt    = flag.String("checkpoint-dir", "", "checkpoint directory (real mode); elastic recovery resumes from it")
 		overlap = flag.Bool("overlap", false, "overlap gradient allreduce with backward compute (real mode)")
+		dtype   = flag.String("dtype", "f64", "compute precision: f32 (packed float32 kernels, fused layers) or f64 (real mode)")
 	)
 	flag.Parse()
 	psMode = *ps
 	cacheDir = *cache
+	dtypeMode = *dtype
 	timelineOut = *tlOut
 	elastic = *elast
 	ckptDir = *ckpt
@@ -193,6 +199,7 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 	}
 	res, err := b.Run(candle.RunConfig{
 		Ranks: ranks, TotalEpochs: epochs, WeakScaling: weak, Batch: batch,
+		DType:  dtypeMode,
 		Engine: loader, CacheDir: cacheDir,
 		DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
 		ParameterServer: psMode, Timeline: tl, Overlap: overlapMode,

@@ -34,6 +34,7 @@ import (
 // keeps run testable.
 type options struct {
 	bench, dir, addr      string
+	dtype                 string
 	sampleDiv, featureDiv int
 	maxBatch              int
 	maxWait               time.Duration
@@ -49,6 +50,7 @@ func main() {
 	flag.StringVar(&o.bench, "bench", "NT3", "benchmark the checkpoints were trained on: NT3, P1B1, P1B2, P1B3")
 	flag.StringVar(&o.dir, "dir", "", "checkpoint directory to load from and watch (required)")
 	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.StringVar(&o.dtype, "dtype", "", "serving precision: f32, f64, or empty to follow the checkpoint's dtype")
 	flag.IntVar(&o.sampleDiv, "sample-div", 20, "dataset sample divisor the model was trained at (1 = paper scale)")
 	flag.IntVar(&o.featureDiv, "feature-div", 1200, "feature divisor the model was trained at (1 = paper scale)")
 	flag.IntVar(&o.maxBatch, "max-batch", 32, "max requests coalesced into one forward (1 = unbatched)")
@@ -89,6 +91,7 @@ func run(o options, ready chan<- net.Addr) error {
 		Factory:     func() *nn.Sequential { return b.Build(b.Spec) },
 		Loss:        b.Loss,
 		InputDim:    b.Spec.Features,
+		DType:       o.dtype,
 		MaxBatch:    o.maxBatch,
 		MaxWait:     o.maxWait,
 		Replicas:    o.replicas,
@@ -154,7 +157,8 @@ func bootstrap(b *candle.Benchmark, o options) error {
 		Ranks:           1,
 		TotalEpochs:     o.bootstrapEpochs,
 		Batch:           7,
-		LR:              0.05, // scaled datasets want a larger step than Table 1's
+		DType:           o.dtype, // checkpoints record this precision
+		LR:              0.05,    // scaled datasets want a larger step than Table 1's
 		Loader:          csvio.NewChunkedReader(),
 		DataDir:         dataDir,
 		Seed:            7,

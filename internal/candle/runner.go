@@ -29,6 +29,12 @@ type RunConfig struct {
 	WeakScaling bool
 	// Batch overrides the benchmark's default batch size when > 0.
 	Batch int
+	// DType selects the training compute precision: "f32" runs the
+	// packed float32 kernels with fused Dense/LSTM passes (f64 master
+	// weights, f32 compute); "f64" or "" is the double-precision
+	// reference path. Checkpoints record the precision they were
+	// trained at.
+	DType string
 	// Engine selects the phase-1 CSV engine by registry name
 	// ("naive", "chunked", "parallel", "sharded", ...; see
 	// csvio.Engines). Empty means "naive". The runner builds one
@@ -103,6 +109,11 @@ func (cfg *RunConfig) Validate() error {
 	}
 	if cfg.Engine != "" {
 		if _, err := csvio.ByName(cfg.Engine); err != nil {
+			return err
+		}
+	}
+	if cfg.DType != "" {
+		if _, err := tensor.ParseDType(cfg.DType); err != nil {
 			return err
 		}
 	}
@@ -347,6 +358,15 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 			defer dist.Close()
 		}
 		model := b.Build(b.Spec)
+		if cfg.DType != "" {
+			dt, err := tensor.ParseDType(cfg.DType)
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", c.Rank(), err)
+			}
+			if err := model.SetDType(dt); err != nil {
+				return fmt.Errorf("rank %d: %w", c.Rank(), err)
+			}
+		}
 		if err := model.Compile(b.Spec.Features, b.Loss, opt, cfg.Seed+int64(c.Rank())*7919); err != nil {
 			return fmt.Errorf("rank %d: compile: %w", c.Rank(), err)
 		}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"candle/internal/nn"
+	"candle/internal/tensor"
 )
 
 // Snapshot is one serialized training state.
@@ -34,10 +35,39 @@ type Snapshot struct {
 	Epoch int
 	// Step is the global optimizer step count at save time.
 	Step int
-	// Weights is the flat parameter vector (nn.WeightsVector order).
+	// Weights is the flat parameter vector (nn.WeightsVector order)
+	// for f64 snapshots.
 	Weights []float64
 	// Loss is the epoch loss at save time, for bookkeeping.
 	Loss float64
+	// DType records the compute precision the model ran at: "f64",
+	// "f32", or "" on pre-dtype snapshots (always float64). Snapshots
+	// of f32 models store Weights32 instead of Weights, at half the
+	// file size.
+	DType string
+	// Weights32 is the flat parameter vector for f32 snapshots.
+	Weights32 []float32
+}
+
+// DTypeOrDefault resolves the snapshot's precision, mapping pre-dtype
+// files to F64.
+func (s *Snapshot) DTypeOrDefault() tensor.DType {
+	dt, err := tensor.ParseDType(s.DType)
+	if err != nil {
+		return tensor.F64
+	}
+	return dt
+}
+
+// WeightsF64 returns the snapshot's weights widened to float64
+// regardless of stored precision — the form SetWeightsVector takes.
+func (s *Snapshot) WeightsF64() []float64 {
+	if len(s.Weights) == 0 && len(s.Weights32) > 0 {
+		out := make([]float64, len(s.Weights32))
+		tensor.PromoteSlice(out, s.Weights32)
+		return out
+	}
+	return s.Weights
 }
 
 // ErrNoCheckpoint is returned by Latest when the directory holds none.
@@ -48,13 +78,22 @@ var ErrNoCheckpoint = errors.New("checkpoint: none found")
 // a bit flip, truncation, or partial write.
 var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
 
-// Snapshot files end with an 8-byte footer: a big-endian IEEE CRC32 of
-// the gob payload followed by the magic. Files without the magic are
-// treated as legacy (pre-footer) snapshots and decoded without
-// verification.
+// Snapshot files come in three generations, all loadable:
+//
+//   - v2 (current): an 8-byte header at the file start — the magic
+//     "CKV2", one dtype tag byte (0 = f64, 1 = f32), three reserved
+//     zero bytes — then the gob payload, then the 8-byte CRC32 footer
+//     sealing header+payload.
+//   - v1: gob payload followed by the CRC32 footer (magic "CKV1").
+//   - legacy: a bare gob payload with no framing at all; decoded
+//     without verification and treated as f64.
 const (
 	footerLen = 8
 	magic     = "CKV1"
+	headerLen = 8
+	magicV2   = "CKV2"
+	tagF64    = byte(0)
+	tagF32    = byte(1)
 )
 
 // readFile and the retry knobs are swappable so tests can script
@@ -65,18 +104,30 @@ var (
 	readBackoff = 5 * time.Millisecond
 )
 
-// Save writes a snapshot atomically (temp file + rename) to path,
-// sealing the gob payload with a CRC32 footer so restore can detect
-// corruption.
+// Save writes a snapshot atomically (temp file + rename) to path in
+// the v2 format: a dtype-tagged header, the gob payload, and a CRC32
+// footer sealing both so restore can detect corruption.
 func Save(path string, s *Snapshot) error {
 	if s == nil {
 		return errors.New("checkpoint: nil snapshot")
+	}
+	tag := tagF64
+	switch s.DTypeOrDefault() {
+	case tensor.F32:
+		tag = tagF32
+		if len(s.Weights32) == 0 && len(s.Weights) > 0 {
+			return errors.New("checkpoint: f32 snapshot carries only f64 weights")
+		}
 	}
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	var buf bytes.Buffer
+	var hdr [headerLen]byte
+	copy(hdr[:4], magicV2)
+	hdr[4] = tag
+	buf.Write(hdr[:])
 	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
 		return fmt.Errorf("checkpoint: encoding: %w", err)
 	}
@@ -138,7 +189,28 @@ func Load(path string) (*Snapshot, error) {
 	}
 	payload := raw
 	verified := false
-	if len(raw) >= footerLen && string(raw[len(raw)-4:]) == magic {
+	var headerDType string
+	if len(raw) >= headerLen && string(raw[:4]) == magicV2 {
+		// v2: the footer is mandatory and seals header+payload.
+		if len(raw) < headerLen+footerLen || string(raw[len(raw)-4:]) != magic {
+			return nil, fmt.Errorf("%w: %s: v2 snapshot missing footer", ErrCorrupt, path)
+		}
+		body := raw[: len(raw)-footerLen : len(raw)-footerLen]
+		want := binary.BigEndian.Uint32(raw[len(raw)-footerLen : len(raw)-4])
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return nil, fmt.Errorf("%w: %s: crc %08x, footer says %08x", ErrCorrupt, path, got, want)
+		}
+		switch raw[4] {
+		case tagF32:
+			headerDType = "f32"
+		case tagF64:
+			headerDType = "f64"
+		default:
+			return nil, fmt.Errorf("%w: %s: unknown dtype tag %d", ErrCorrupt, path, raw[4])
+		}
+		payload = body[headerLen:]
+		verified = true
+	} else if len(raw) >= footerLen && string(raw[len(raw)-4:]) == magic {
 		payload = raw[: len(raw)-footerLen : len(raw)-footerLen]
 		want := binary.BigEndian.Uint32(raw[len(raw)-footerLen : len(raw)-4])
 		if got := crc32.ChecksumIEEE(payload); got != want {
@@ -154,6 +226,9 @@ func Load(path string) (*Snapshot, error) {
 			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 		}
 		return nil, fmt.Errorf("checkpoint: decoding %s: %w", path, err)
+	}
+	if s.DType == "" {
+		s.DType = headerDType // pre-dtype payload in a v2 file, or legacy → ""
 	}
 	return &s, nil
 }
@@ -228,12 +303,13 @@ func epochOf(path, benchmark string) int {
 }
 
 // Restore copies a snapshot's weights into a compiled model after
-// verifying identity and size.
+// verifying identity and size, promoting f32 snapshots into the f64
+// master weights.
 func Restore(m *nn.Sequential, s *Snapshot, benchmark string) error {
 	if s.Benchmark != benchmark {
 		return fmt.Errorf("checkpoint: snapshot is for %q, want %q", s.Benchmark, benchmark)
 	}
-	if err := m.SetWeightsVector(s.Weights); err != nil {
+	if err := m.SetWeightsVector(s.WeightsF64()); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
@@ -272,8 +348,19 @@ func (c *Callback) OnEpochEnd(m *nn.Sequential, epoch int, loss float64) {
 		Benchmark: c.Benchmark,
 		Epoch:     epoch,
 		Step:      m.Steps(),
-		Weights:   m.WeightsVector(),
 		Loss:      loss,
+	}
+	// Snapshots are written at the model's compute precision: an f32
+	// model's checkpoints carry f32 weights at half the size (the
+	// demotion loses nothing the f32 forward pass ever saw).
+	if m.DType() == tensor.F32 {
+		w := m.WeightsVector()
+		s.DType = "f32"
+		s.Weights32 = make([]float32, len(w))
+		tensor.DemoteSlice(s.Weights32, w)
+	} else {
+		s.DType = "f64"
+		s.Weights = m.WeightsVector()
 	}
 	if err := Save(FileFor(c.Dir, c.Benchmark, epoch), s); err != nil && c.Err == nil {
 		c.Err = err

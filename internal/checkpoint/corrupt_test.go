@@ -58,14 +58,15 @@ func TestLoadDetectsTruncation(t *testing.T) {
 }
 
 // TestLoadLegacyWithoutFooter: snapshots written before the CRC footer
-// (plain gob) still load.
+// (plain gob, no v2 header) still load. Stripping both the header and
+// the footer from a current file reproduces the original byte format.
 func TestLoadLegacyWithoutFooter(t *testing.T) {
 	path := writeSnap(t, t.TempDir(), 0)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, raw[:len(raw)-footerLen], 0o644); err != nil {
+	if err := os.WriteFile(path, raw[headerLen:len(raw)-footerLen], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := Load(path)

@@ -27,12 +27,15 @@ import (
 
 // benchModel is wider than the unit-test model so one backward pass
 // has enough compute to hide communication behind.
-func benchModel(tb testing.TB, opt nn.Optimizer) *nn.Sequential {
+func benchModel(tb testing.TB, opt nn.Optimizer, dtype tensor.DType) *nn.Sequential {
 	m := nn.NewSequential("overlap-bench",
 		nn.NewDense(512), nn.NewActivation("relu"),
 		nn.NewDense(512), nn.NewActivation("relu"),
 		nn.NewDense(256), nn.NewActivation("relu"),
 		nn.NewDense(10), nn.NewSoftmax())
+	if err := m.SetDType(dtype); err != nil {
+		tb.Fatal(err)
+	}
 	if err := m.Compile(128, nn.CategoricalCrossEntropy{}, opt, 7); err != nil {
 		tb.Fatal(err)
 	}
@@ -55,6 +58,14 @@ func benchBatch(rank int) (*tensor.Matrix, *tensor.Matrix) {
 // warmup) with a per-collective entry delay injected on rank 0, and
 // returns seconds per step plus the allreduce count per step.
 func measureOverlapRun(tb testing.TB, size, nsteps, fusionBytes int, overlap bool, delay time.Duration) (secPerStep float64, callsPerStep float64) {
+	return measureOverlapRunD(tb, size, nsteps, fusionBytes, overlap, delay, tensor.F64)
+}
+
+// measureOverlapRunD is measureOverlapRun at a chosen compute
+// precision. The f32 path still reduces f64 gradients (promoted at
+// the layer boundary), so the collective sequence is identical across
+// precisions — only the compute shrinks.
+func measureOverlapRunD(tb testing.TB, size, nsteps, fusionBytes int, overlap bool, delay time.Duration, dtype tensor.DType) (secPerStep float64, callsPerStep float64) {
 	const warmup = 2
 	w := mpi.NewWorld(size)
 	if delay > 0 {
@@ -72,7 +83,7 @@ func measureOverlapRun(tb testing.TB, size, nsteps, fusionBytes int, overlap boo
 		h := Init(c, Options{FusionBytes: fusionBytes, Overlap: overlap})
 		dist := h.DistributedOptimizer(nn.NewSGD(0.01))
 		defer dist.Close()
-		m := benchModel(tb, dist)
+		m := benchModel(tb, dist, dtype)
 		if overlap {
 			m.SetGradSink(dist)
 		}
@@ -116,6 +127,21 @@ func BenchmarkTrainStep(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			sec, _ := measureOverlapRun(b, 2, b.N, 64<<10, overlap, 2*time.Millisecond)
+			b.ReportMetric(sec*1e9, "wall-ns/step")
+		})
+	}
+}
+
+// BenchmarkTrainStepDType compares per-step distributed training wall
+// time at f64 vs f32 (overlap on, no injected stall): the f32 step
+// runs the fused packed kernels while the allreduce still moves f64
+// gradients, so the speedup is pure compute:
+//
+//	go test -bench TrainStepDType -run '^$' ./internal/horovod
+func BenchmarkTrainStepDType(b *testing.B) {
+	for _, dt := range []tensor.DType{tensor.F64, tensor.F32} {
+		b.Run(dt.String(), func(b *testing.B) {
+			sec, _ := measureOverlapRunD(b, 2, b.N, 64<<10, true, 0, dt)
 			b.ReportMetric(sec*1e9, "wall-ns/step")
 		})
 	}

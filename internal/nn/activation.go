@@ -17,6 +17,10 @@ type Activation struct {
 	in   *tensor.Matrix // cached pre-activation (relu/sigmoid/tanh)
 	out  *tensor.Matrix // reusable output buffer (also backward cache)
 	dx   *tensor.Matrix // reusable backward buffer
+	// elided is set by Compile when the preceding Dense absorbed this
+	// nonlinearity into its fused f32 pass; the layer then becomes the
+	// identity in both directions.
+	elided bool
 }
 
 // NewActivation returns an activation layer of the given kind. Unknown
@@ -47,6 +51,9 @@ func (a *Activation) Build(_ *rand.Rand, inDim int) (int, error) {
 
 // Forward implements Layer.
 func (a *Activation) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if a.elided {
+		return x
+	}
 	switch a.Kind {
 	case "linear":
 		return x
@@ -109,6 +116,9 @@ func (a *Activation) ensureDx(dout *tensor.Matrix) *tensor.Matrix {
 
 // Backward implements Layer.
 func (a *Activation) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if a.elided {
+		return dout
+	}
 	switch a.Kind {
 	case "linear":
 		return dout

@@ -89,3 +89,36 @@ func BenchmarkDenseStep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDenseStep32 is the float32 column of BenchmarkDenseStep:
+// the same two Pilot1 shapes through the fused Dense+bias+relu f32
+// pass (packed kernels, f64 master weights, promoted gradients).
+func BenchmarkDenseStep32(b *testing.B) {
+	for _, s := range []struct {
+		name             string
+		batch, in, units int
+	}{
+		{"NT3dense_20x1064x128", 20, 1064, 128},
+		{"P1B1enc_100x4096x1024", 100, 4096, 1024},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			d := NewDense(s.units)
+			d.setDType(tensor.F32)
+			d.fuse = "relu"
+			if _, err := d.Build(rng, s.in); err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.RandNormal(rng, s.batch, s.in, 1)
+			dout := tensor.RandNormal(rng, s.batch, s.units, 1)
+			d.Forward(x, true)
+			d.Backward(dout)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Forward(x, true)
+				d.Backward(dout)
+			}
+		})
+	}
+}

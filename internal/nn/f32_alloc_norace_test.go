@@ -1,0 +1,41 @@
+//go:build !race
+
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+// TestF32DenseStepAllocationFree is the alloc guard for the warmed
+// fused f32 Dense step: demotion buffers, f32 shadows, pack scratch,
+// and the promoted outputs must all come from reusable storage.
+//
+// Excluded from -race builds: the race-mode sync.Pool drops a sampled
+// fraction of Puts, so the pooled pack buffers reallocate
+// nondeterministically and the strict count below cannot hold there.
+// The race target still runs the fused step itself through the f32
+// correctness tests in f32_test.go.
+func TestF32DenseStepAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d := NewDense(64)
+	d.setDType(tensor.F32)
+	d.fuse = "relu"
+	if _, err := d.Build(rng, 128); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(rng, 32, 128, 1)
+	dout := tensor.RandNormal(rng, 32, 64, 1)
+	step := func() {
+		d.Forward(x, true)
+		d.Backward(dout)
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(20, step); allocs > 2 {
+		t.Fatalf("warmed fused f32 Dense step did %v allocations, want <= 2", allocs)
+	}
+}

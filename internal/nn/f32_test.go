@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+// close32 is the mixed absolute/relative tolerance used to compare the
+// f32 compute path against the f64 reference: float32 rounding scales
+// with both the magnitude of the result and the reduction depth.
+func close32(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-4+1e-3*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func mustClose32(t *testing.T, what string, got, want *tensor.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d != %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if !close32(got.Data[i], want.Data[i]) {
+			t.Fatalf("%s[%d] = %v, f64 reference %v", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// twinModels builds the same architecture twice from one seed, one
+// compiled at f32, one at f64.
+func twinModels(t *testing.T, build func() *Sequential, inDim int) (f32m, f64m *Sequential) {
+	t.Helper()
+	f32m, f64m = build(), build()
+	if err := f32m.SetDType(tensor.F32); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Sequential{f32m, f64m} {
+		if err := m.Compile(inDim, MeanSquaredError{}, NewSGD(0.05), 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f32m, f64m
+}
+
+// TestF32DenseStackMatchesF64 runs identical Dense+activation stacks
+// in both precisions and demands forward outputs, input gradients, and
+// parameter gradients agree within float32 tolerance — the layer-level
+// form of the pilot-shape property test in internal/candle.
+func TestF32DenseStackMatchesF64(t *testing.T) {
+	build := func() *Sequential {
+		return NewSequential("twin",
+			NewDense(48), NewActivation("relu"),
+			NewDense(24), NewActivation("tanh"),
+			NewDense(8), NewActivation("sigmoid"),
+		)
+	}
+	m32, m64 := twinModels(t, build, 30)
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.RandNormal(rng, 16, 30, 1)
+	y := tensor.RandNormal(rng, 16, 8, 1)
+
+	mustClose32(t, "forward", m32.Forward(x, false), m64.Forward(x, false))
+
+	l32 := m32.GradientsOnly(x, y)
+	l64 := m64.GradientsOnly(x, y)
+	if !close32(l32, l64) {
+		t.Fatalf("loss %v (f32) vs %v (f64)", l32, l64)
+	}
+	p32, p64 := m32.Params(), m64.Params()
+	for i := range p64 {
+		mustClose32(t, "grad "+p64[i].Name, p32[i].Grad, p64[i].Grad)
+	}
+}
+
+// TestF32FusionElidesActivations verifies the Compile-time fusion
+// pass: every fusable Dense→Activation pair collapses, non-fusable
+// ones (softmax) survive, and the fused model still matches the f64
+// stack numerically.
+func TestF32FusionElidesActivations(t *testing.T) {
+	m := NewSequential("fused",
+		NewDense(16), NewReLU(),
+		NewDense(4), NewSoftmax(),
+	)
+	if err := m.SetDType(tensor.F32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compile(10, MeanSquaredError{}, NewSGD(0.1), 1); err != nil {
+		t.Fatal(err)
+	}
+	relu := m.Layers[1].(*Activation)
+	softmax := m.Layers[3].(*Activation)
+	if !relu.elided {
+		t.Fatal("relu after Dense should be fused away under F32")
+	}
+	if softmax.elided {
+		t.Fatal("softmax must not be fused")
+	}
+	if m.Layers[0].(*Dense).fuse != "relu" {
+		t.Fatal("dense did not absorb the relu")
+	}
+	if m.Layers[2].(*Dense).fuse != "" {
+		t.Fatal("dense before softmax must stay unfused")
+	}
+	if m.DType() != tensor.F32 {
+		t.Fatal("DType not recorded")
+	}
+}
+
+// TestF32LSTMMatchesF64 checks the f32 recurrence (fused gates, f32
+// BPTT, promoted gradients) against the f64 reference.
+func TestF32LSTMMatchesF64(t *testing.T) {
+	build := func() *Sequential {
+		return NewSequential("twin-lstm", NewLSTM(12, 6), NewDense(3))
+	}
+	m32, m64 := twinModels(t, build, 6*5) // 5 steps × 6 features
+	rng := rand.New(rand.NewSource(13))
+	x := tensor.RandNormal(rng, 9, 30, 1)
+	y := tensor.RandNormal(rng, 9, 3, 1)
+
+	mustClose32(t, "forward", m32.Forward(x, false), m64.Forward(x, false))
+	m32.GradientsOnly(x, y)
+	m64.GradientsOnly(x, y)
+	p32, p64 := m32.Params(), m64.Params()
+	for i := range p64 {
+		mustClose32(t, "grad "+p64[i].Name, p32[i].Grad, p64[i].Grad)
+	}
+}
+
+// TestF32TrainingConverges trains a small f32 regression model and
+// requires the loss to drop — the end-to-end proof that TrainBatch,
+// the optimizer, and the promoted gradients cooperate.
+func TestF32TrainingConverges(t *testing.T) {
+	m := NewSequential("f32-train", NewDense(32), NewReLU(), NewDense(1))
+	if err := m.SetDType(tensor.F32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compile(8, MeanSquaredError{}, NewSGD(0.05), 3); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	x := tensor.RandNormal(rng, 64, 8, 1)
+	y := tensor.New(64, 1)
+	for i := 0; i < 64; i++ {
+		s := 0.0
+		for _, v := range x.Row(i) {
+			s += v
+		}
+		y.Data[i] = math.Sin(s)
+	}
+	first := m.TrainBatch(x, y)
+	var last float64
+	for i := 0; i < 120; i++ {
+		last = m.TrainBatch(x, y)
+	}
+	if !(last < first*0.5) {
+		t.Fatalf("f32 training did not converge: first %v, last %v", first, last)
+	}
+}
+
+// The alloc guard for the fused f32 Dense step lives in
+// f32_alloc_norace_test.go: under the race detector sync.Pool drops a
+// sampled fraction of Puts, so pool-backed pack scratch reallocates
+// nondeterministically and a strict allocation count cannot hold.

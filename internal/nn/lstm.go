@@ -42,6 +42,20 @@ type LSTM struct {
 	dcBuf  *tensor.Matrix
 	dzBuf  *tensor.Matrix
 	dxtBuf *tensor.Matrix
+
+	// F32 path (see SetDType): demoted weight shadows, f32 step caches,
+	// and a promoted f64 output buffer for the Layer boundary. The four
+	// gate matmuls are already fused in the 4U-wide wx/wh products; the
+	// f32 path keeps that and runs the whole BPTT in float32, promoting
+	// only parameter gradients and dx.
+	dtype                                    tensor.DType
+	wx32, wh32, b32                          *tensor.Matrix32
+	xin32                                    *tensor.Matrix32
+	xs32, is32, fs32, gs32, os32, cs32, hs32 []*tensor.Matrix32
+	zero32, z32, zh32                        *tensor.Matrix32
+	hOut                                     *tensor.Matrix
+	dx32, dh32, dc32, dz32, dxt32            *tensor.Matrix32
+	db32                                     []float32
 }
 
 // ensureSteps sizes a per-step cache slice, reusing both the slice and
@@ -96,6 +110,9 @@ func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 
 // Forward implements Layer.
 func (l *LSTM) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if l.dtype == tensor.F32 {
+		return l.forward32(x)
+	}
 	B, U := x.Rows, l.Units
 	l.batch = B
 	l.xs = ensureSteps(l.xs, l.steps, B, l.InDim)
@@ -144,6 +161,9 @@ func (l *LSTM) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
 
 // Backward implements Layer.
 func (l *LSTM) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if l.dtype == tensor.F32 {
+		return l.backward32(dout)
+	}
 	B, U := l.batch, l.Units
 	l.dx = ensure(l.dx, B, l.steps*l.InDim)
 	dx := l.dx

@@ -18,6 +18,7 @@ type Sequential struct {
 	opt      Optimizer
 	rng      *rand.Rand
 	built    bool
+	dtype    tensor.DType
 	inDim    int
 	outDim   int
 	params   []*Param
@@ -53,6 +54,37 @@ func NewSequential(name string, layers ...Layer) *Sequential {
 	return &Sequential{ModelName: name, Layers: layers}
 }
 
+// dtypeAware is implemented by layers with a native reduced-precision
+// compute path.
+type dtypeAware interface{ setDType(tensor.DType) }
+
+// SetDType selects the compute precision for layers that support it
+// (Dense and LSTM run native f32 kernels; everything else stays f64).
+// Must be called before Compile: the fusion pass runs at build time.
+// Master weights, gradients, the optimizer, and collectives remain
+// float64 regardless, so checkpoints and allreduce wires are
+// precision-independent.
+func (s *Sequential) SetDType(dt tensor.DType) error {
+	if s.built {
+		return errors.New("nn: SetDType must be called before Compile")
+	}
+	s.dtype = dt
+	return nil
+}
+
+// DType returns the compute precision the model was configured with.
+func (s *Sequential) DType() tensor.DType { return s.dtype }
+
+// fusableActivation reports whether an activation kind can be absorbed
+// into the preceding Dense layer's fused f32 pass.
+func fusableActivation(kind string) bool {
+	switch kind {
+	case "relu", "sigmoid", "tanh":
+		return true
+	}
+	return false
+}
+
 // Compile builds every layer for the given input width, wires the loss
 // and optimizer, and seeds the model's private RNG (weight init and
 // dropout are deterministic per seed).
@@ -68,6 +100,26 @@ func (s *Sequential) Compile(inDim int, loss Loss, opt Optimizer, seed int64) er
 	}
 	s.rng = rand.New(rand.NewSource(seed))
 	s.layerOut = make(map[Layer]int, len(s.Layers))
+	if s.dtype == tensor.F32 {
+		// Fusion pass: a Dense directly followed by a pointwise
+		// activation absorbs it into its single fused f32 pass; the
+		// Activation layer collapses to the identity.
+		for i, l := range s.Layers[:len(s.Layers)-1] {
+			d, ok := l.(*Dense)
+			if !ok {
+				continue
+			}
+			if a, ok := s.Layers[i+1].(*Activation); ok && fusableActivation(a.Kind) {
+				d.fuse = a.Kind
+				a.elided = true
+			}
+		}
+		for _, l := range s.Layers {
+			if da, ok := l.(dtypeAware); ok {
+				da.setDType(tensor.F32)
+			}
+		}
+	}
 	dim := inDim
 	for _, l := range s.Layers {
 		out, err := l.Build(s.rng, dim)

@@ -92,6 +92,12 @@ type statelessBase struct{}
 func (statelessBase) Params() []*Param { return nil }
 
 // Dense is a fully connected layer: y = x·W + b.
+//
+// Under DType F32 (see Sequential.SetDType) the layer runs its matmuls
+// natively in float32 on demoted weight shadows, fusing the bias add
+// and — when Compile elided the following Activation layer into it —
+// the nonlinearity into one pass over the f32 output. Master weights,
+// gradients, and the Layer interface stay float64.
 type Dense struct {
 	Units int
 	name  string
@@ -99,6 +105,14 @@ type Dense struct {
 	x     *tensor.Matrix // cached input
 	out   *tensor.Matrix // reusable forward buffer
 	dx    *tensor.Matrix // reusable backward buffer
+
+	dtype tensor.DType
+	fuse  string // activation kind fused into the f32 forward ("" = none)
+	// f32 shadows and reusable buffers (nil until first F32 forward)
+	w32, b32   *tensor.Matrix32
+	x32, y32   *tensor.Matrix32 // demoted input; fused post-activation output
+	dz32, dx32 *tensor.Matrix32
+	db32       []float32
 }
 
 // NewDense returns a Dense layer with the given number of output
@@ -125,6 +139,9 @@ func (d *Dense) Build(rng *rand.Rand, inDim int) (int, error) {
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	if d.dtype == tensor.F32 {
+		return d.forward32(x)
+	}
 	d.x = x
 	d.out = ensure(d.out, x.Rows, d.Units)
 	tensor.MatMulInto(d.out, x, d.w.Value)
@@ -134,6 +151,9 @@ func (d *Dense) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 
 // Backward implements Layer.
 func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.dtype == tensor.F32 {
+		return d.backward32(dout)
+	}
 	// dW = xᵀ·dout, db = column sums of dout, dx = dout·Wᵀ.
 	addGrad(d.w.Grad, func(dst *tensor.Matrix) { tensor.TMatMulInto(dst, d.x, dout) })
 	dout.AccumColSums(d.b.Grad.Data)

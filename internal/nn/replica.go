@@ -36,6 +36,12 @@ func (s *Sequential) Replica(factory func() *Sequential) (*Sequential, error) {
 	if m.Built() {
 		return nil, errors.New("nn: replica factory must return an uncompiled model")
 	}
+	// The replica must run at the source's precision: an f32 source
+	// carries f32-rounded weights, and serving them through f64 kernels
+	// would cost the packed-kernel speedup without buying accuracy back.
+	if err := m.SetDType(s.dtype); err != nil {
+		return nil, fmt.Errorf("nn: replica dtype: %w", err)
+	}
 	// The replica's init seed is irrelevant: Compile's random weights
 	// are overwritten wholesale just below, and inference never touches
 	// the dropout RNG.

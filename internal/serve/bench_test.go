@@ -46,12 +46,12 @@ const (
 // small enough that per-request overhead, not compute, dominates the
 // unbatched path, which is the workload micro-batching exists for.
 func benchServer(tb testing.TB, maxBatch int) *Server {
-	return benchServerDiv(tb, benchFeatureDiv, maxBatch)
+	return benchServerDiv(tb, "NT3", benchFeatureDiv, maxBatch, "")
 }
 
-func benchServerDiv(tb testing.TB, featureDiv, maxBatch int) *Server {
+func benchServerDiv(tb testing.TB, bench string, featureDiv, maxBatch int, dtype string) *Server {
 	tb.Helper()
-	b, err := candle.Scaled("NT3", 20, featureDiv)
+	b, err := candle.Scaled(bench, 20, featureDiv)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -62,20 +62,21 @@ func benchServerDiv(tb testing.TB, featureDiv, maxBatch int) *Server {
 	}
 	dir := tb.TempDir()
 	snap := &checkpoint.Snapshot{
-		Benchmark: "NT3",
+		Benchmark: bench,
 		Epoch:     1,
 		Step:      100,
 		Weights:   ref.WeightsVector(),
 	}
-	if err := checkpoint.Save(checkpoint.FileFor(dir, "NT3", 1), snap); err != nil {
+	if err := checkpoint.Save(checkpoint.FileFor(dir, bench, 1), snap); err != nil {
 		tb.Fatal(err)
 	}
 	s, err := New(Config{
-		Benchmark:   "NT3",
+		Benchmark:   bench,
 		Dir:         dir,
 		Factory:     func() *nn.Sequential { return b.Build(b.Spec) },
 		Loss:        b.Loss,
 		InputDim:    dim,
+		DType:       dtype,
 		MaxBatch:    maxBatch,
 		MaxWait:     2 * time.Millisecond,
 		Replicas:    2,
@@ -107,7 +108,13 @@ type serveRun struct {
 // estimates, the usual histogram convention).
 func measureServeRun(tb testing.TB, maxBatch, clients, total int) serveRun {
 	tb.Helper()
-	s := benchServer(tb, maxBatch)
+	return measureServeRunOn(tb, benchServer(tb, maxBatch), clients, total)
+}
+
+// measureServeRunOn is measureServeRun against a caller-built server
+// (it takes ownership and shuts the server down when done).
+func measureServeRunOn(tb testing.TB, s *Server, clients, total int) serveRun {
+	tb.Helper()
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -206,6 +213,23 @@ func BenchmarkServePredict(b *testing.B) {
 	}{{"unbatched", 1}, {"batched32", benchMaxBatch}} {
 		b.Run(mode.name, func(b *testing.B) {
 			r := measureServeRun(b, mode.maxBatch, benchClients, b.N)
+			b.ReportMetric(r.throughput, "req/s")
+			b.ReportMetric(r.p99*1e6, "p99-us")
+		})
+	}
+}
+
+// BenchmarkServeDType contrasts end-to-end batched serving at f64 vs
+// f32 replicas on a compute-heavy P1B1 autoencoder (features/15 ≈
+// 4000-wide rows through ~1000-unit dense layers) — an all-Dense model
+// where the fused f32 forward, not dispatch overhead, dominates:
+//
+//	go test -bench ServeDType -run '^$' ./internal/serve
+func BenchmarkServeDType(b *testing.B) {
+	for _, dt := range []string{"f64", "f32"} {
+		b.Run(dt, func(b *testing.B) {
+			s := benchServerDiv(b, "P1B1", 15, benchMaxBatch, dt)
+			r := measureServeRunOn(b, s, benchClients, b.N)
 			b.ReportMetric(r.throughput, "req/s")
 			b.ReportMetric(r.p99*1e6, "p99-us")
 		})

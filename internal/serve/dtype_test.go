@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"candle/internal/checkpoint"
+	"candle/internal/nn"
+	"candle/internal/tensor"
+)
+
+// writeCkpt32 saves an f32 snapshot of a fresh model and returns the
+// reference model (f64 weights equal to the promoted f32 values).
+func writeCkpt32(t *testing.T, dir string, epoch int, seed int64) *nn.Sequential {
+	t.Helper()
+	m := testFactory()
+	if err := m.Compile(testDim, nn.CategoricalCrossEntropy{}, nn.NewSGD(0.01), seed); err != nil {
+		t.Fatal(err)
+	}
+	w := m.WeightsVector()
+	w32 := make([]float32, len(w))
+	tensor.DemoteSlice(w32, w)
+	// Round the reference weights through f32 too so both precisions
+	// start from identical values.
+	tensor.PromoteSlice(w, w32)
+	if err := m.SetWeightsVector(w); err != nil {
+		t.Fatal(err)
+	}
+	s := &checkpoint.Snapshot{
+		Benchmark: testBench, Epoch: epoch, Step: epoch * 100,
+		DType: "f32", Weights32: w32,
+	}
+	if err := checkpoint.Save(checkpoint.FileFor(dir, testBench, epoch), s); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestServeFollowsCheckpointDType: with Config.DType empty, an f32
+// checkpoint is served through f32 replicas, predictions agree with
+// the reference within float32 tolerance, and /healthz reports the
+// precision.
+func TestServeFollowsCheckpointDType(t *testing.T) {
+	dir := t.TempDir()
+	ref := writeCkpt32(t, dir, 0, 5)
+	s := newTestServer(t, testConfig(dir))
+	if s.DType() != tensor.F32 {
+		t.Fatalf("serving dtype %v, want F32 from checkpoint", s.DType())
+	}
+
+	features := []float64{0.3, -1.2, 0.8, 0.05, -0.4, 1.1}
+	pred, _, err := s.Predict(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, testDim)
+	copy(x.Data, features)
+	want := ref.Forward(x, false)
+	for i := range pred {
+		if d := pred[i] - want.Data[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("pred[%d] = %v, reference %v", i, pred[i], want.Data[i])
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["dtype"] != "f32" {
+		t.Fatalf("healthz dtype = %v, want f32", h["dtype"])
+	}
+}
+
+// TestServeForcedDType: Config.DType overrides the checkpoint — an f64
+// snapshot forced to f32 serves demoted weights through the f32
+// kernels; a bad dtype string is rejected at construction.
+func TestServeForcedDType(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 0, 5)
+
+	cfg := testConfig(dir)
+	cfg.DType = "f32"
+	s := newTestServer(t, cfg)
+	if s.DType() != tensor.F32 {
+		t.Fatalf("forced dtype not applied: %v", s.DType())
+	}
+	if _, _, err := s.Predict([]float64{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := testConfig(dir)
+	bad.DType = "bf16"
+	if _, err := New(bad); err == nil {
+		t.Fatal("bad Config.DType accepted")
+	}
+}

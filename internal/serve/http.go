@@ -108,6 +108,7 @@ type healthzResponse struct {
 	// trouble (the server still serves its previous good weights).
 	Status          string  `json:"status"`
 	Benchmark       string  `json:"benchmark"`
+	DType           string  `json:"dtype"`
 	Epoch           int     `json:"epoch"`
 	Step            int     `json:"step"`
 	Replicas        int     `json:"replicas"`
@@ -125,6 +126,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{
 		Status:          "ok",
 		Benchmark:       s.cfg.Benchmark,
+		DType:           s.rs.Load().dtype.String(),
 		Epoch:           s.health.epoch,
 		Step:            s.health.step,
 		Replicas:        s.cfg.Replicas,

@@ -56,6 +56,12 @@ type Config struct {
 	Loss nn.Loss
 	// InputDim is the feature width requests must carry.
 	InputDim int
+	// DType selects the replicas' compute precision: "f32", "f64", or
+	// "" to follow whatever precision the loaded checkpoint was trained
+	// at. Forcing "f32" on an f64 checkpoint serves demoted weights
+	// through the packed float32 kernels (faster, float32-rounded
+	// outputs); forcing "f64" promotes an f32 checkpoint.
+	DType string
 
 	// MaxBatch caps how many requests one Forward coalesces
 	// (default 32). 1 disables batching — the unbatched baseline.
@@ -90,6 +96,11 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.InputDim <= 0 {
 		return fmt.Errorf("serve: Config.InputDim must be positive, got %d", c.InputDim)
+	}
+	if c.DType != "" {
+		if _, err := tensor.ParseDType(c.DType); err != nil {
+			return fmt.Errorf("serve: Config.DType: %w", err)
+		}
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 32
@@ -188,6 +199,7 @@ type replica struct {
 // new generation without locking.
 type replicaSet struct {
 	epoch, step int
+	dtype       tensor.DType
 	free        chan *replica
 }
 
@@ -243,10 +255,20 @@ func (s *Server) buildReplicaSet(snap *checkpoint.Snapshot) (*replicaSet, error)
 	if primary == nil {
 		return nil, errors.New("factory returned nil")
 	}
+	// Precision: an explicit Config.DType wins; otherwise serve at the
+	// precision the checkpoint was trained at. nn.Replicate propagates
+	// the choice to the other replicas.
+	dt := snap.DTypeOrDefault()
+	if s.cfg.DType != "" {
+		dt, _ = tensor.ParseDType(s.cfg.DType)
+	}
+	if err := primary.SetDType(dt); err != nil {
+		return nil, err
+	}
 	if err := primary.Compile(s.cfg.InputDim, s.cfg.Loss, nn.NewSGD(0), 1); err != nil {
 		return nil, err
 	}
-	if err := primary.SetWeightsVector(snap.Weights); err != nil {
+	if err := primary.SetWeightsVector(snap.WeightsF64()); err != nil {
 		return nil, err
 	}
 	models := []*nn.Sequential{primary}
@@ -260,6 +282,7 @@ func (s *Server) buildReplicaSet(snap *checkpoint.Snapshot) (*replicaSet, error)
 	rs := &replicaSet{
 		epoch: snap.Epoch,
 		step:  snap.Step,
+		dtype: dt,
 		free:  make(chan *replica, len(models)),
 	}
 	for _, m := range models {
@@ -358,6 +381,10 @@ func (s *Server) Generation() (epoch, step int) {
 	rs := s.rs.Load()
 	return rs.epoch, rs.step
 }
+
+// DType reports the compute precision of the replica generation
+// currently serving.
+func (s *Server) DType() tensor.DType { return s.rs.Load().dtype }
 
 // Metrics exposes the server's metric registry (for tests and the
 // /metrics handler).

@@ -1,0 +1,43 @@
+//go:build amd64
+
+package tensor
+
+// Runtime AVX detection for the float32 micro-kernel. The baseline
+// amd64 target is SSE2-only, so the 8-lane kernel in avx_amd64.s is
+// gated on CPUID reporting AVX with OS-enabled YMM state (OSXSAVE set
+// and XCR0 covering XMM|YMM). Everything falls back to the portable
+// generic kernel in pack.go when the check fails.
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, valid only when CPUID reports OSXSAVE.
+func xgetbv0() (eax, edx uint32)
+
+// avx4x16 accumulates a packed kw-deep panel into a 4×jv tile of the
+// output in 16-float column chunks: for jj in [0,jv) step 16,
+// o_r[jj+l] += ap[t*packMR+r] * bp[t*jstride+jj+l] for t in k-order.
+// Per-element semantics match micro4x exactly (one VMULPS + one VADDPS
+// per term, lanes independent), so results are bit-identical to the
+// scalar kernel. jv must be a positive multiple of 16 and kw ≥ 1.
+//
+//go:noescape
+func avx4x16(o0, o1, o2, o3, ap, bp *float32, kw, jv, jstride int)
+
+// useAVX is a var, not a const, so tests can force the generic path.
+var useAVX = detectAVX()
+
+func detectAVX() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	_, _, ecx, _ := cpuidex(1, 0)
+	if ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return false
+	}
+	lo, _ := xgetbv0()
+	return lo&0x6 == 0x6 // OS saves XMM and YMM state
+}

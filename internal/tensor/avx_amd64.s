@@ -1,0 +1,111 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func avx4x16(o0, o1, o2, o3, ap, bp *float32, kw, jv, jstride int)
+//
+// The 8-lane AVX form of micro4x: a 4-row × 16-column accumulator tile
+// lives in Y0–Y7 across the whole k sweep; per k step the two 8-float
+// B chunks are loaded once and reused by all four rows via
+// VBROADCASTSS of the interleaved A panel. Each output element sees
+// one VMULPS and one VADDPS per k in k-increasing order — bitwise the
+// same arithmetic as the scalar kernel, lanes independent.
+//
+// jv must be a positive multiple of 16, kw >= 1. jstride is the B
+// panel row stride in floats.
+TEXT ·avx4x16(SB), NOSPLIT, $0-72
+	MOVQ o0+0(FP), R8
+	MOVQ o1+8(FP), R9
+	MOVQ o2+16(FP), R10
+	MOVQ o3+24(FP), R11
+	MOVQ ap+32(FP), R12
+	MOVQ bp+40(FP), R13
+	MOVQ kw+48(FP), R14
+	MOVQ jv+56(FP), R15
+	MOVQ jstride+64(FP), DI
+	SHLQ $2, DI                // B panel row stride in bytes
+	XORQ SI, SI                // jj byte offset into the output rows
+
+jloop:
+	// Load the 4×16 accumulator tile.
+	VMOVUPS (R8)(SI*1), Y0
+	VMOVUPS 32(R8)(SI*1), Y1
+	VMOVUPS (R9)(SI*1), Y2
+	VMOVUPS 32(R9)(SI*1), Y3
+	VMOVUPS (R10)(SI*1), Y4
+	VMOVUPS 32(R10)(SI*1), Y5
+	VMOVUPS (R11)(SI*1), Y6
+	VMOVUPS 32(R11)(SI*1), Y7
+
+	MOVQ R13, BX               // &bp[t=0, jj]
+	ADDQ SI, BX
+	MOVQ R12, AX               // &ap[t=0, r=0]
+	MOVQ R14, CX               // k countdown
+
+kloop:
+	VMOVUPS (BX), Y8           // B[t, jj:jj+8]
+	VMOVUPS 32(BX), Y9         // B[t, jj+8:jj+16]
+
+	VBROADCASTSS (AX), Y10     // A[i+0, t]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y0, Y0
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y1, Y1
+
+	VBROADCASTSS 4(AX), Y10    // A[i+1, t]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y2, Y2
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y3, Y3
+
+	VBROADCASTSS 8(AX), Y10    // A[i+2, t]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y4, Y4
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y5, Y5
+
+	VBROADCASTSS 12(AX), Y10   // A[i+3, t]
+	VMULPS Y8, Y10, Y11
+	VADDPS Y11, Y6, Y6
+	VMULPS Y9, Y10, Y11
+	VADDPS Y11, Y7, Y7
+
+	ADDQ $16, AX               // next interleaved A quad
+	ADDQ DI, BX                // next B panel row
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPS Y0, (R8)(SI*1)
+	VMOVUPS Y1, 32(R8)(SI*1)
+	VMOVUPS Y2, (R9)(SI*1)
+	VMOVUPS Y3, 32(R9)(SI*1)
+	VMOVUPS Y4, (R10)(SI*1)
+	VMOVUPS Y5, 32(R10)(SI*1)
+	VMOVUPS Y6, (R11)(SI*1)
+	VMOVUPS Y7, 32(R11)(SI*1)
+
+	ADDQ $64, SI               // 16 floats forward
+	SUBQ $16, R15
+	JNZ  jloop
+
+	VZEROUPPER
+	RET

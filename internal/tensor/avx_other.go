@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 targets always take the portable generic micro-kernel.
+var useAVX = false
+
+func avx4x16(o0, o1, o2, o3, ap, bp *float32, kw, jv, jstride int) {
+	panic("tensor: avx4x16 called without AVX support")
+}

@@ -44,6 +44,64 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// benchMatMulInto32 mirrors benchMatMulInto on the f32 packed kernel;
+// SetBytes halves per element, so B/s columns are comparable across
+// precisions while ns/op shows the raw step-time win.
+func benchMatMulInto32(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal32(rng, m, k, 1)
+	y := RandNormal32(rng, k, n, 1)
+	out := New32(m, n)
+	b.SetBytes(int64(m) * int64(k) * int64(n) * 2 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto32(out, x, y)
+	}
+}
+
+func BenchmarkMatMul32(b *testing.B) {
+	for _, s := range []struct {
+		name    string
+		m, k, n int
+	}{
+		{"256x256x256", 256, 256, 256},
+		{"512x512x512", 512, 512, 512},
+		{"1024x1024x1024", 1024, 1024, 1024},
+		{"NT3conv_2660x208", 2660, 208, 16},
+		{"NT3dense_20x1064", 20, 1064, 128},
+		{"P1B1enc_100x4096", 100, 4096, 1024},
+	} {
+		b.Run(s.name, func(b *testing.B) { benchMatMulInto32(b, s.m, s.k, s.n) })
+	}
+}
+
+func BenchmarkMatMulT32(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandNormal32(rng, 100, 1024, 1)
+	y := RandNormal32(rng, 4096, 1024, 1)
+	out := New32(100, 4096)
+	b.SetBytes(100 * 1024 * 4096 * 2 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTInto32(out, x, y)
+	}
+}
+
+func BenchmarkTMatMul32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandNormal32(rng, 100, 4096, 1)
+	y := RandNormal32(rng, 100, 1024, 1)
+	out := New32(4096, 1024)
+	b.SetBytes(100 * 4096 * 1024 * 2 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMatMulInto32(out, x, y)
+	}
+}
+
 func BenchmarkMatMulT(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	x := RandNormal(rng, 100, 1024, 1)

@@ -194,19 +194,45 @@ func TMatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// tMatMul routes to the packed register-tiled kernel when the output
+// is wide enough to amortize panel packing. Narrow outputs (Conv1D
+// weight gradients: n = filters, often ≤ 64) keep the outer-product
+// kernel, whose zero skip exploits padded im2col patches.
+const (
+	tMatMulPackMinN = 64
+	tMatMulPackMinK = 8
+)
+
 // TMatMulInto computes dst = aᵀ·b without allocating or materializing
 // the transpose. dst must be a.Cols×b.Cols and must not alias a or b.
+// Wide products run on the packed kernel: the packing stage walks a
+// column-major into the same k-major panels MatMul packs its A strips
+// into, so the transpose costs one extra copy of each panel instead
+// of a strided inner loop.
 func TMatMulInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: TMatMul dim mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	// Parallelize over output rows (a's columns) to keep writes disjoint.
 	checkDst(dst, a.Cols, b.Cols, a, b, "TMatMulInto")
+	packed := b.Cols >= tMatMulPackMinN && a.Rows >= tMatMulPackMinK
 	if serialRows(a.Cols, a.Rows*a.Cols*b.Cols) {
+		if packed {
+			pb := packPool64.Get().(*packBuf[float64])
+			matMulPackedRange(dst.Data, a.Data, 1, a.Cols, b.Data, a.Rows, b.Cols, 0, a.Cols, pb.a, pb.b)
+			packPool64.Put(pb)
+			return
+		}
 		tMatMulRange(dst, a, b, 0, a.Cols)
 		return
 	}
 	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		if packed {
+			pb := packPool64.Get().(*packBuf[float64])
+			matMulPackedRange(dst.Data, a.Data, 1, a.Cols, b.Data, a.Rows, b.Cols, lo, hi, pb.a, pb.b)
+			packPool64.Put(pb)
+			return
+		}
 		tMatMulRange(dst, a, b, lo, hi)
 	})
 }

@@ -25,6 +25,16 @@ func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
 	return m
 }
 
+// RandNormal32 returns a rows×cols float32 matrix with N(0, std²)
+// entries drawn from rng.
+func RandNormal32(rng *rand.Rand, rows, cols int, std float64) *Matrix32 {
+	m := New32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+	return m
+}
+
 // GlorotUniform returns a fanIn×fanOut weight matrix initialized with
 // the Glorot/Xavier uniform scheme Keras uses by default, which keeps
 // activation variance stable across layers.

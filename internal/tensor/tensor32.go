@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Matrix32 is a dense row-major float32 matrix — the storage half of
+// the F32 compute path. It mirrors the float64 Matrix API (the subset
+// the nn hot path uses) and is served by the same packed kernels via
+// the generic core in pack.go.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New32 returns a zeroed rows×cols float32 matrix.
+func New32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice32 wraps data (not copied) as a rows×cols matrix.
+func FromSlice32(rows, cols int, data []float32) *Matrix32 {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice32 size mismatch: %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix32) Clone() *Matrix32 {
+	out := New32(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns element (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element to 0 in place.
+func (m *Matrix32) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix32) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Matrix32) SameShape(n *Matrix32) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+func (m *Matrix32) shapeCheck(n *Matrix32, op string) {
+	if !m.SameShape(n) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+}
+
+// Add sets m += n in place and returns m.
+func (m *Matrix32) Add(n *Matrix32) *Matrix32 {
+	m.shapeCheck(n, "Add32")
+	for i, v := range n.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix32) Scale(s float32) *Matrix32 {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddRowVector adds vector v (length m.Cols) to every row of m in
+// place — the f32 bias add.
+func (m *Matrix32) AddRowVector(v []float32) *Matrix32 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)[:len(v)]
+		for j, bv := range v {
+			row[j] += bv
+		}
+	}
+	return m
+}
+
+// AccumColSums adds per-column sums of m into dst (length m.Cols) —
+// the f32 bias-gradient reduction.
+func (m *Matrix32) AccumColSums(dst []float32) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: AccumColSums length %d != cols %d", len(dst), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)[:len(dst)]
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// RowSlice returns a view of rows [lo, hi) of m (shared storage).
+func (m *Matrix32) RowSlice(lo, hi int) *Matrix32 {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix32{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// Equal reports whether m and n are identical in shape and elements.
+func (m *Matrix32) Equal(n *Matrix32) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i, v := range m.Data {
+		if n.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports whether m and n agree element-wise within tol.
+func (m *Matrix32) AlmostEqual(n *Matrix32, tol float64) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(float64(n.Data[i])-float64(v)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Conversions. The F32 path stores f64 master weights (optimizers and
+// collectives stay f64) and demotes at the layer boundary; these are
+// the two directions of that boundary.
+
+// DemoteInto rounds src (f64) into dst (f32). Shapes must match.
+func DemoteInto(dst *Matrix32, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: DemoteInto shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	DemoteSlice(dst.Data, src.Data)
+}
+
+// PromoteInto widens src (f32) into dst (f64). Shapes must match.
+func PromoteInto(dst *Matrix, src *Matrix32) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: PromoteInto shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	PromoteSlice(dst.Data, src.Data)
+}
+
+// DemoteSlice rounds src into dst element-wise; lengths must match.
+func DemoteSlice(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: DemoteSlice length %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// PromoteSlice widens src into dst element-wise; lengths must match.
+func PromoteSlice(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: PromoteSlice length %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// The float32 scratch arena, bucketed by power-of-two capacity like
+// the float64 one in arena.go.
+var arena32Classes [48]sync.Pool
+
+// Get32 returns a zeroed rows×cols f32 matrix from the arena.
+func Get32(rows, cols int) *Matrix32 {
+	n := rows * cols
+	if n <= 0 {
+		return New32(rows, cols)
+	}
+	c := bits.Len(uint(n - 1))
+	m, ok := arena32Classes[c].Get().(*Matrix32)
+	if !ok {
+		return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, n, 1<<c)}
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Put32 returns a matrix obtained from Get32 to the arena. Matrices
+// whose capacity is not a power of two (views) are dropped.
+func Put32(m *Matrix32) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(m.Data) - 1))
+	if cap(m.Data) != 1<<c {
+		return
+	}
+	m.Data = m.Data[:cap(m.Data)]
+	arena32Classes[c].Put(m)
+}
