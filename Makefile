@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load ci
+.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load ci \
+	sim-smoke sim-multi-seed sim-nondeterminism sim-import-export
 
 build:
 	$(GO) build ./...
@@ -42,4 +43,31 @@ bench-serve:
 bench-load:
 	BENCH_LOAD_OUT=$(CURDIR)/BENCH_load.json $(GO) test -count=1 -run TestWriteLoadBench -v ./internal/dataload
 
-ci: build test race vet
+# Seeded scenario simulation (cmd/candle-sim): each seed draws a full
+# run configuration — pilot, ranks, engine, precision, overlap, fault
+# plan, checkpoint cadence — and checks the machine-verified invariants
+# (determinism, checkpoint import/export, fault outcomes, overlap and
+# dtype equivalences) under a deadlock watchdog. A failing seed prints
+# its repro: candle-sim -seed N -verbose.
+SIM_SEED ?= 42
+SEEDS ?= 25
+SIM_START_SEED ?= 1
+
+# One pinned seed, full invariant suite, under the race detector:
+# CI-fast and deterministic.
+sim-smoke:
+	$(GO) run -race ./cmd/candle-sim -seed $(SIM_SEED)
+
+# Sweep $(SEEDS) consecutive seeds from $(SIM_START_SEED), fail-fast
+# with the failing seed echoed.
+sim-multi-seed:
+	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED)
+
+# Focused sweeps over one invariant family each.
+sim-nondeterminism:
+	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED) -check determinism
+
+sim-import-export:
+	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED) -check import-export
+
+ci: build test race vet sim-smoke

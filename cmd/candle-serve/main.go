@@ -25,7 +25,6 @@ import (
 
 	"candle/internal/candle"
 	"candle/internal/checkpoint"
-	"candle/internal/csvio"
 	"candle/internal/nn"
 	"candle/internal/serve"
 )
@@ -159,7 +158,7 @@ func bootstrap(b *candle.Benchmark, o options) error {
 		Batch:           7,
 		DType:           o.dtype, // checkpoints record this precision
 		LR:              0.05,    // scaled datasets want a larger step than Table 1's
-		Loader:          csvio.NewChunkedReader(),
+		Engine:          "chunked",
 		DataDir:         dataDir,
 		Seed:            7,
 		CheckpointDir:   o.dir,

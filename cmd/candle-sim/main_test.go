@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMainSingleSeedPasses(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := runMain([]string{"-seed", "7", "-check", "faults"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok   seed 7") || !strings.Contains(out.String(), "PASS 1 seed(s)") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunMainSweepEchoesSeeds(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := runMain([]string{"-seeds", "2", "-start-seed", "3", "-check", "faults"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"ok   seed 3", "ok   seed 4", "PASS 2 seed(s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunMainFailureEchoesRepro: an impossible watchdog deadline makes
+// the base run "deadlock", which must fail fast with exit 1, the typed
+// no-hang violation, the repro line, and the goroutine dump.
+func TestRunMainFailureEchoesRepro(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := runMain([]string{"-seed", "5", "-check", "faults", "-timeout", "1ns"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	for _, want := range []string{"no-hang", "repro: candle-sim -seed 5 -verbose", "goroutine"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Fatalf("missing %q in stderr:\n%s", want, errOut.String())
+		}
+	}
+}
+
+func TestRunMainRejectsUnknownCheck(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runMain([]string{"-check", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := runMain([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("flag error exit, want 2")
+	}
+}

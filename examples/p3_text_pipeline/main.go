@@ -13,7 +13,6 @@ import (
 	"os"
 
 	"candle/internal/candle"
-	"candle/internal/csvio"
 )
 
 func main() {
@@ -38,7 +37,7 @@ func main() {
 	for _, ranks := range []int{1, 2, 4} {
 		res, err := bench.Run(candle.RunConfig{
 			Ranks: ranks, TotalEpochs: 40, Batch: 12, LR: 0.03,
-			Loader: csvio.NewChunkedReader(), DataDir: dir, Seed: 13,
+			Engine: "chunked", DataDir: dir, Seed: 13,
 		})
 		if err != nil {
 			log.Fatal(err)

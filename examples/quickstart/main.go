@@ -11,7 +11,6 @@ import (
 	"os"
 
 	"candle/internal/candle"
-	"candle/internal/csvio"
 )
 
 func main() {
@@ -45,7 +44,7 @@ func main() {
 		TotalEpochs: 32,
 		Batch:       7,
 		LR:          0.05, // scaled datasets want a larger step than Table 1's 0.001
-		Loader:      csvio.NewChunkedReader(),
+		Engine:      "chunked",
 		DataDir:     dir,
 		Seed:        7,
 	})

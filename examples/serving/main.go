@@ -14,7 +14,6 @@ import (
 	"time"
 
 	"candle/internal/candle"
-	"candle/internal/csvio"
 	"candle/internal/nn"
 	"candle/internal/serve"
 )
@@ -43,7 +42,7 @@ func main() {
 	train := func(epochs int) {
 		_, err := bench.Run(candle.RunConfig{
 			Ranks: 1, TotalEpochs: epochs, Batch: 7, LR: 0.05,
-			Loader: csvio.NewChunkedReader(), DataDir: dataDir, Seed: 7,
+			Engine: "chunked", DataDir: dataDir, Seed: 7,
 			CheckpointDir: ckptDir, CheckpointEvery: 1, Resume: true,
 		})
 		if err != nil {

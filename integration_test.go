@@ -36,13 +36,13 @@ func TestEndToEndAllLoadersProduceSameTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 	var checksums []float64
-	for _, loader := range csvio.Readers() {
+	for _, engine := range csvio.Engines() {
 		res, err := bench.Run(candle.RunConfig{
 			Ranks: 2, TotalEpochs: 8, Batch: 7, LR: 0.05,
-			Loader: loader, DataDir: dir, Seed: 21,
+			Engine: engine, DataDir: dir, Seed: 21,
 		})
 		if err != nil {
-			t.Fatalf("%s: %v", loader.Name(), err)
+			t.Fatalf("%s: %v", engine, err)
 		}
 		checksums = append(checksums, res.Root.WeightsChecksum)
 	}
@@ -107,12 +107,12 @@ func TestEndToEndCorruptCSVFailsCleanly(t *testing.T) {
 	if err := os.WriteFile(trainPath, []byte(corrupted), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	for _, loader := range csvio.Readers() {
+	for _, engine := range csvio.Engines() {
 		_, err := bench.Run(candle.RunConfig{
-			Ranks: 2, TotalEpochs: 2, Batch: 7, Loader: loader, DataDir: dir, Seed: 1,
+			Ranks: 2, TotalEpochs: 2, Batch: 7, Engine: engine, DataDir: dir, Seed: 1,
 		})
 		if err == nil {
-			t.Fatalf("%s: corrupt CSV accepted", loader.Name())
+			t.Fatalf("%s: corrupt CSV accepted", engine)
 		}
 	}
 }

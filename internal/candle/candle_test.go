@@ -182,7 +182,7 @@ func TestRunWithTimelineAndChunkedLoader(t *testing.T) {
 	tl := trace.NewTimeline()
 	res := runSmall(t, 2, RunConfig{
 		TotalEpochs: 4,
-		Loader:      csvio.NewChunkedReader(),
+		Engine:      "chunked",
 		Timeline:    tl,
 	})
 	if res.Root.LoadSeconds <= 0 {

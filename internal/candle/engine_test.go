@@ -11,16 +11,9 @@ import (
 	"candle/internal/trace"
 )
 
-func TestValidateRejectsEngineAndLoaderTogether(t *testing.T) {
-	cfg := RunConfig{Engine: "chunked", Loader: csvio.NewChunkedReader()}
-	if err := cfg.Validate(); err == nil {
-		t.Fatal("Engine and Loader together must be rejected")
-	}
+func TestValidateEngineNames(t *testing.T) {
 	if err := (&RunConfig{Engine: "chunked"}).Validate(); err != nil {
 		t.Fatalf("Engine alone: %v", err)
-	}
-	if err := (&RunConfig{Loader: csvio.NewChunkedReader()}).Validate(); err != nil {
-		t.Fatalf("deprecated Loader alone: %v", err)
 	}
 	if err := (&RunConfig{}).Validate(); err != nil {
 		t.Fatalf("empty config: %v", err)
@@ -33,19 +26,8 @@ func TestValidateUnknownEngine(t *testing.T) {
 	if !errors.As(err, &ue) {
 		t.Fatalf("unknown engine error: %v", err)
 	}
-}
-
-func TestRunRejectsDoubleEngineSpec(t *testing.T) {
-	b, err := Scaled("NT3", 40, 1500)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, err = b.Run(RunConfig{
-		Ranks: 1, TotalEpochs: 1,
-		Engine: "naive", Loader: csvio.NewNaiveReader(),
-	})
-	if err == nil {
-		t.Fatal("Run accepted Engine and Loader together")
+	if _, err := (&Benchmark{}).Run(RunConfig{Ranks: 1, TotalEpochs: 1, Engine: "dask"}); !errors.As(err, &ue) {
+		t.Fatalf("Run with unknown engine: %v", err)
 	}
 }
 

@@ -36,18 +36,29 @@ func runWithDeadline(t *testing.T, d time.Duration, fn func() (*RunResult, error
 	}
 }
 
-// failFirstReader wraps a csvio.Reader and fails exactly one Read call
-// (the first across all ranks), modeling one rank whose data load
-// dies while its peers march into the broadcast barrier.
+// The "failfirst" test engine wraps the naive reader and fails exactly
+// one Read call (the first across all ranks and instances, via the
+// shared armed-error pointer), modeling one rank whose data load dies
+// while its peers march into the broadcast barrier. While disarmed it
+// is a plain naive reader, so registry-wide sweeps (CompareLoaders)
+// pass through it safely.
+var failFirstArm atomic.Pointer[error]
+
 type failFirstReader struct {
 	csvio.Reader
-	calls atomic.Int32
-	err   error
 }
 
+func init() {
+	csvio.RegisterEngine("failfirst", func() csvio.Reader {
+		return &failFirstReader{Reader: csvio.NewNaiveReader()}
+	})
+}
+
+func (r *failFirstReader) Name() string { return "failfirst" }
+
 func (r *failFirstReader) Read(path string) (*tensor.Matrix, *csvio.ReadStats, error) {
-	if r.calls.Add(1) == 1 {
-		return nil, nil, r.err
+	if e := failFirstArm.Swap(nil); e != nil {
+		return nil, nil, *e
 	}
 	return r.Reader.Read(path)
 }
@@ -67,10 +78,12 @@ func TestLoadFailureDoesNotDeadlockBroadcast(t *testing.T) {
 		t.Fatal(err)
 	}
 	sentinel := errors.New("csv load exploded")
+	failFirstArm.Store(&sentinel)
+	t.Cleanup(func() { failFirstArm.Store(nil) })
 	_, err = runWithDeadline(t, 30*time.Second, func() (*RunResult, error) {
 		return b.Run(RunConfig{
 			Ranks: 4, TotalEpochs: 4, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
-			Loader: &failFirstReader{Reader: csvio.NewNaiveReader(), err: sentinel},
+			Engine: "failfirst",
 		})
 	})
 	if !errors.Is(err, sentinel) {

@@ -1,0 +1,170 @@
+package candle
+
+import (
+	"testing"
+	"time"
+
+	"candle/internal/checkpoint"
+	"candle/internal/mpi"
+)
+
+// TestContinueResumeBitIdentical is the regression test for the
+// cumulative-shuffle bug the scenario harness caught: Fit used to
+// shuffle the previous epoch's order in place, so epoch g's effective
+// sample order was the composition of every shuffle since the Fit call
+// began — an order a checkpoint-resumed Fit starting at epoch g could
+// never replay. With per-epoch reseeded shuffles (and optimizer state
+// in the snapshot), a run interrupted after epoch k and resumed with
+// Continue must finish with exactly the bits of an uninterrupted run.
+func TestContinueResumeBitIdentical(t *testing.T) {
+	b, err := Scaled("NT3", 60, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 99); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2} {
+		base := RunConfig{
+			Ranks: ranks, Batch: 8, LR: 0.02, DataDir: dir, Seed: 99,
+			KeepWeights: true,
+		}
+
+		full := base
+		full.TotalEpochs = 2 * ranks // two epochs per rank
+		want, err := b.Run(full)
+		if err != nil {
+			t.Fatalf("ranks=%d uninterrupted: %v", ranks, err)
+		}
+
+		ckpt := t.TempDir()
+		part := base
+		part.TotalEpochs = 1 * ranks // stop after epoch 0
+		part.CheckpointDir = ckpt
+		part.CheckpointEvery = 1
+		if _, err := b.Run(part); err != nil {
+			t.Fatalf("ranks=%d interrupted half: %v", ranks, err)
+		}
+
+		resumed := base
+		resumed.TotalEpochs = 2 * ranks
+		resumed.CheckpointDir = ckpt
+		resumed.Resume = true
+		resumed.Continue = true
+		got, err := b.Run(resumed)
+		if err != nil {
+			t.Fatalf("ranks=%d resumed: %v", ranks, err)
+		}
+		if got.Root.ResumedFromEpoch != 0 {
+			t.Fatalf("ranks=%d resumed from epoch %d, want 0", ranks, got.Root.ResumedFromEpoch)
+		}
+		for i := range want.Ranks {
+			w, g := want.Ranks[i], got.Ranks[i]
+			if w.FinalLoss != g.FinalLoss {
+				t.Errorf("ranks=%d rank %d final loss %v (uninterrupted) vs %v (resumed)",
+					ranks, i, w.FinalLoss, g.FinalLoss)
+			}
+			if len(w.FinalWeights) != len(g.FinalWeights) {
+				t.Fatalf("ranks=%d rank %d weight count %d vs %d",
+					ranks, i, len(w.FinalWeights), len(g.FinalWeights))
+			}
+			diff := 0
+			for k := range w.FinalWeights {
+				if w.FinalWeights[k] != g.FinalWeights[k] {
+					diff++
+				}
+			}
+			if diff > 0 {
+				t.Errorf("ranks=%d rank %d: %d/%d weights differ between uninterrupted and resumed run",
+					ranks, i, diff, len(w.FinalWeights))
+			}
+		}
+	}
+}
+
+// TestElasticRestartWithF32Checkpoint: a mid-training kill on an f32
+// run with checkpointing and Elastic set must recover on the shrunken
+// world from a snapshot tagged with the f32 precision it was trained
+// at — and keep training, not silently restart fresh or at the wrong
+// dtype.
+func TestElasticRestartWithF32Checkpoint(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	const killed = 3
+	ckptDir := t.TempDir()
+	res, err := runWithDeadline(t, 60*time.Second, func() (*RunResult, error) {
+		return b.Run(RunConfig{
+			Ranks: 4, TotalEpochs: 8, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
+			DType:         "f32",
+			CheckpointDir: ckptDir, CheckpointEvery: 1,
+			// Step 8 lands in epoch 1, after the epoch-0 snapshot exists
+			// (see TestElasticRecoveryCompletesOnShrunkenWorld for the
+			// step arithmetic).
+			Faults:  mpi.NewFaultPlan().KillAt(killed, 8),
+			Elastic: true,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 1 || len(res.Ranks) != 3 {
+		t.Fatalf("restarts=%d survivors=%d, want 1 restart on 3 survivors",
+			res.Restarts, len(res.Ranks))
+	}
+	if res.Root.ResumedFromEpoch != 0 {
+		t.Fatalf("resumed from epoch %d, want 0", res.Root.ResumedFromEpoch)
+	}
+	if res.Root.Epochs == 0 || res.Root.CheckpointsSaved == 0 {
+		t.Fatalf("restarted run did not keep training: epochs=%d checkpoints=%d",
+			res.Root.Epochs, res.Root.CheckpointsSaved)
+	}
+	snap, err := checkpoint.Latest(ckptDir, b.Spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.DType != "f32" {
+		t.Fatalf("snapshot dtype tag %q, want f32", snap.DType)
+	}
+	for _, r := range res.Ranks[1:] {
+		if r.WeightsChecksum != res.Root.WeightsChecksum {
+			t.Fatalf("rank %d diverged from root after f32 recovery", r.Rank)
+		}
+	}
+}
+
+// TestRunRecordsFiredFaults: RunResult.FaultsFired carries exactly the
+// scripted faults that consumed, in spec form, and omits faults whose
+// trigger never arrives.
+func TestRunRecordsFiredFaults(t *testing.T) {
+	b, err := Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	plan := mpi.NewFaultPlan().
+		DelayAt(1, 2, time.Millisecond).    // fires during epoch 0
+		DelayAt(0, 10000, time.Millisecond) // a step no rank ever reaches
+	res, err := runWithDeadline(t, 30*time.Second, func() (*RunResult, error) {
+		return b.Run(RunConfig{
+			Ranks: 2, TotalEpochs: 2, Batch: 7, LR: 0.05, DataDir: dir, Seed: 3,
+			Faults: plan,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"delay@rank1/step2/1ms"}
+	if len(res.FaultsFired) != 1 || res.FaultsFired[0] != want[0] {
+		t.Fatalf("FaultsFired = %v, want %v", res.FaultsFired, want)
+	}
+}

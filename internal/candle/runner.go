@@ -42,13 +42,6 @@ type RunConfig struct {
 	// additionally gets its rank's communicator and the run's
 	// timeline, so each rank parses only its own byte-range shard.
 	Engine string
-	// Loader is the CSV engine for phase 1; nil means the naive
-	// (original pandas-style) reader.
-	//
-	// Deprecated: Loader predates the engine registry and shares one
-	// instance across all ranks, so it cannot carry per-rank state.
-	// Set Engine instead. Setting both is a configuration error.
-	Loader csvio.Reader
 	// CacheDir overrides where the sharded engine's binary cache
 	// files live; empty means alongside the source CSVs.
 	CacheDir string
@@ -81,6 +74,16 @@ type RunConfig struct {
 	CheckpointDir   string
 	CheckpointEvery int
 	Resume          bool
+	// Continue changes what Resume (or an elastic restart) does with
+	// TotalEpochs: instead of training the full epoch budget again on
+	// top of the restored weights (the historical behavior, which
+	// treats the checkpoint as a warm start), the run treats
+	// TotalEpochs as the global target and trains only the remaining
+	// epochs, replaying the uninterrupted run's per-epoch RNG streams
+	// and checkpoint numbering. With optimizer state in the snapshot
+	// this makes interrupted-and-resumed ≡ uninterrupted, bit for bit
+	// — the invariant candle-sim checks.
+	Continue bool
 	// ParameterServer trains with the centralized gRPC-style baseline
 	// instead of the Horovod allreduce optimizer.
 	ParameterServer bool
@@ -97,16 +100,15 @@ type RunConfig struct {
 	// checkpoint when CheckpointDir is set. Without it a rank failure
 	// aborts the run with a *mpi.RankFailedError.
 	Elastic bool
+	// KeepWeights records every rank's full final weight vector in its
+	// RankResult. Off by default: it is a full model copy per rank,
+	// wanted only by bit-identity checks like candle-sim's.
+	KeepWeights bool
 }
 
 // Validate checks the data-pipeline side of the config: Engine must
-// name a registered engine, and Engine and the deprecated Loader are
-// mutually exclusive — a config naming both has no single answer to
-// "which engine ran phase 1".
+// name a registered engine, and DType must parse.
 func (cfg *RunConfig) Validate() error {
-	if cfg.Engine != "" && cfg.Loader != nil {
-		return fmt.Errorf("candle: set Engine (%q) or the deprecated Loader (%s), not both", cfg.Engine, cfg.Loader.Name())
-	}
 	if cfg.Engine != "" {
 		if _, err := csvio.ByName(cfg.Engine); err != nil {
 			return err
@@ -120,16 +122,12 @@ func (cfg *RunConfig) Validate() error {
 	return nil
 }
 
-// engineForRank builds the rank's CSV engine. The deprecated Loader
-// is honored as-is (one shared instance, the historical behavior);
-// otherwise the registry constructs a fresh instance, and a sharded
-// streaming loader is bound to the rank's communicator with all
-// collectives deferred to the consumer goroutine — the producer must
-// stay collective-free while the test read interleaves.
+// engineForRank builds the rank's CSV engine through the registry:
+// a fresh instance per rank, and a sharded streaming loader is bound
+// to the rank's communicator with all collectives deferred to the
+// consumer goroutine — the producer must stay collective-free while
+// the test read interleaves.
 func (cfg *RunConfig) engineForRank(c *mpi.Comm, clock func() float64) (csvio.Reader, error) {
-	if cfg.Loader != nil {
-		return cfg.Loader, nil
-	}
 	name := cfg.Engine
 	if name == "" {
 		name = "naive"
@@ -182,6 +180,9 @@ type RankResult struct {
 	ResumedFromEpoch int
 	// CheckpointsSaved counts snapshots rank 0 wrote.
 	CheckpointsSaved int
+	// FinalWeights is the rank's full final weight vector, recorded
+	// only when RunConfig.KeepWeights is set.
+	FinalWeights []float64
 }
 
 // RunResult aggregates a real run.
@@ -195,6 +196,10 @@ type RunResult struct {
 	Failures []FailureRecord
 	// Restarts counts elastic restarts (len(Failures)).
 	Restarts int
+	// FaultsFired records which scripted faults actually consumed, in
+	// fire order and mpi.FaultPlan spec form ("kill@rank1/step4").
+	// Empty when no plan was attached or nothing fired.
+	FaultsFired []string
 }
 
 // Run executes the benchmark's three phases on cfg.Ranks in-process
@@ -222,11 +227,12 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 		results, err := b.runAttempt(cfg, size, len(failures) > 0)
 		if err == nil {
 			return &RunResult{
-				Config:   cfg,
-				Ranks:    results,
-				Root:     results[0],
-				Failures: failures,
-				Restarts: len(failures),
+				Config:      cfg,
+				Ranks:       results,
+				Root:        results[0],
+				Failures:    failures,
+				Restarts:    len(failures),
+				FaultsFired: cfg.Faults.Fired(),
 			}, nil
 		}
 		var rf *mpi.RankFailedError
@@ -380,6 +386,7 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 		// load the same file, so replicas start identical), then
 		// snapshot from rank 0 on schedule.
 		resumedFrom := -1
+		resumedLoss := 0.0
 		callbacks := []nn.Callback{hvd.BroadcastHook(0)}
 		var ckptCB *checkpoint.Callback
 		if cfg.CheckpointDir != "" {
@@ -391,6 +398,7 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 						return fmt.Errorf("rank %d: %w", c.Rank(), err)
 					}
 					resumedFrom = snap.Epoch
+					resumedLoss = snap.Loss
 				case errors.Is(err, checkpoint.ErrNoCheckpoint):
 					// Fresh start.
 				default:
@@ -401,19 +409,36 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 			callbacks = append(callbacks, ckptCB)
 		}
 
+		// With Continue, a restored checkpoint counts toward the epoch
+		// budget: train only the remaining epochs, globally indexed so
+		// the per-epoch RNG streams and checkpoint numbering line up
+		// with the uninterrupted run. Without it, Resume keeps its
+		// historical warm-start meaning: the full budget on top of the
+		// restored weights.
+		fitEpochs := epochsPerRank
+		epochOffset := 0
+		if cfg.Continue && resumedFrom >= 0 {
+			epochOffset = resumedFrom + 1
+			fitEpochs = epochsPerRank - epochOffset
+		}
+
 		// Phase 2: training and cross-validation.
 		trainBegin := clock()
 		trainStop := prof.Start("training")
-		hist, err := model.Fit(trX, trY, nn.FitConfig{
-			Epochs:    epochsPerRank,
-			BatchSize: batch,
-			Shuffle:   true,
-			Callbacks: callbacks,
-			ValX:      valX,
-			ValY:      valY,
-		})
-		if err != nil {
-			return fmt.Errorf("rank %d: fit: %w", c.Rank(), err)
+		hist := &nn.History{}
+		if fitEpochs > 0 {
+			hist, err = model.Fit(trX, trY, nn.FitConfig{
+				Epochs:      fitEpochs,
+				BatchSize:   batch,
+				Shuffle:     true,
+				EpochOffset: epochOffset,
+				Callbacks:   callbacks,
+				ValX:        valX,
+				ValY:        valY,
+			})
+			if err != nil {
+				return fmt.Errorf("rank %d: fit: %w", c.Rank(), err)
+			}
 		}
 		trainStop()
 		if cfg.Timeline != nil {
@@ -431,21 +456,29 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 
 		res := RankResult{
 			Rank:             c.Rank(),
-			Epochs:           epochsPerRank,
+			Epochs:           fitEpochs,
 			LoadSeconds:      prof.Total("data_loading"),
 			TrainSeconds:     prof.Total("training"),
 			EvalSeconds:      prof.Total("evaluation"),
 			TotalSeconds:     prof.Total("total"),
-			FinalLoss:        hist.Loss[len(hist.Loss)-1],
-			TrainAccuracy:    hist.Acc[len(hist.Acc)-1],
+			FinalLoss:        resumedLoss,
 			TestAccuracy:     testAcc,
 			TestLoss:         testLoss,
 			WeightsChecksum:  checksum(model.WeightsVector()),
 			ResumedFromEpoch: resumedFrom,
 		}
+		// A Continue-resume that found the budget already met trains no
+		// epochs; its "final" loss is the checkpoint's.
+		if len(hist.Loss) > 0 {
+			res.FinalLoss = hist.Loss[len(hist.Loss)-1]
+			res.TrainAccuracy = hist.Acc[len(hist.Acc)-1]
+		}
 		if len(hist.ValLoss) > 0 {
 			res.ValLoss = hist.ValLoss[len(hist.ValLoss)-1]
 			res.ValAcc = hist.ValAcc[len(hist.ValAcc)-1]
+		}
+		if cfg.KeepWeights {
+			res.FinalWeights = model.WeightsVector()
 		}
 		if dist != nil {
 			res.AllreduceCalls = dist.AllreduceCalls

@@ -47,6 +47,17 @@ type Snapshot struct {
 	DType string
 	// Weights32 is the flat parameter vector for f32 snapshots.
 	Weights32 []float32
+	// OptName names the optimizer whose internal state OptState
+	// carries (empty on snapshots saved without optimizer state —
+	// including every pre-OptState file, which gob decodes with these
+	// fields zero).
+	OptName string
+	// OptState is the optimizer's internal state in
+	// nn.StatefulOptimizer capture order (momentum velocities, Adam
+	// moments + step count, ...). Restoring it alongside the weights is
+	// what makes a resumed run continue bit-identically instead of
+	// silently resetting the optimizer.
+	OptState [][]float64
 }
 
 // DTypeOrDefault resolves the snapshot's precision, mapping pre-dtype
@@ -312,6 +323,17 @@ func Restore(m *nn.Sequential, s *Snapshot, benchmark string) error {
 	if err := m.SetWeightsVector(s.WeightsF64()); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	// Optimizer state is restored only when the live optimizer is the
+	// same kind that saved it; anything else (an inference-only model
+	// compiled with a placeholder optimizer, a pre-OptState snapshot)
+	// keeps the fresh optimizer. Weight restore never depends on it.
+	if len(s.OptState) > 0 {
+		if so, ok := m.Optimizer().(nn.StatefulOptimizer); ok && so.Name() == s.OptName {
+			if err := so.RestoreState(m.Params(), s.OptState); err != nil {
+				return fmt.Errorf("checkpoint: optimizer state: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -361,6 +383,15 @@ func (c *Callback) OnEpochEnd(m *nn.Sequential, epoch int, loss float64) {
 	} else {
 		s.DType = "f64"
 		s.Weights = m.WeightsVector()
+	}
+	// The optimizer's internal state rides along (always at f64 — it
+	// is master-precision state even for f32 models), so Restore can
+	// resume the exact trajectory instead of a fresh optimizer.
+	if so, ok := m.Optimizer().(nn.StatefulOptimizer); ok {
+		if st := so.CaptureState(m.Params()); len(st) > 0 {
+			s.OptName = so.Name()
+			s.OptState = st
+		}
 	}
 	if err := Save(FileFor(c.Dir, c.Benchmark, epoch), s); err != nil && c.Err == nil {
 		c.Err = err

@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOptStateRoundTrip: the optimizer's internal state rides through
+// Save/Load byte-exact alongside the weights, keyed by the optimizer
+// name Restore uses to decide whether the live optimizer may adopt it.
+func TestOptStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "opt.ckpt")
+	in := &Snapshot{
+		Benchmark: "NT3",
+		Epoch:     2,
+		Step:      17,
+		Loss:      0.25,
+		DType:     "f64",
+		Weights:   []float64{0.5, -1.25, 3.0},
+		OptName:   "adam",
+		OptState:  [][]float64{{0.1, 0.2, 0.3}, {0.01, 0.02, 0.03}, {4}},
+	}
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OptName != in.OptName {
+		t.Fatalf("OptName = %q, want %q", out.OptName, in.OptName)
+	}
+	if !reflect.DeepEqual(out.OptState, in.OptState) {
+		t.Fatalf("OptState = %v, want %v", out.OptState, in.OptState)
+	}
+}
+
+// TestOptStateAbsentStaysAbsent: a snapshot written without optimizer
+// state (a stateless optimizer, or a file from before OptState
+// existed) loads with empty state, which Restore treats as "keep the
+// fresh optimizer".
+func TestOptStateAbsentStaysAbsent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.ckpt")
+	in := &Snapshot{
+		Benchmark: "NT3",
+		Epoch:     0,
+		Loss:      1.0,
+		DType:     "f64",
+		Weights:   []float64{1, 2},
+	}
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OptName != "" || len(out.OptState) != 0 {
+		t.Fatalf("legacy-shaped snapshot loaded OptName=%q OptState=%v", out.OptName, out.OptState)
+	}
+}

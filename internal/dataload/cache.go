@@ -157,7 +157,13 @@ func readCache(path string, srcSize, srcMtime int64) (*tensor.Matrix, int64, err
 	}
 	rows := int(binary.LittleEndian.Uint64(raw[24:]))
 	cols := int(binary.LittleEndian.Uint64(raw[32:]))
-	if rows <= 0 || cols <= 0 || len(body) != cacheHeaderLen+8*rows*cols {
+	// Validate the dims against the payload with division, never with
+	// 8*rows*cols: the header fields are attacker-controlled bytes, and
+	// a product of two huge values can wrap around to match the payload
+	// length, sending absurd dims into the allocator below.
+	n := (len(body) - cacheHeaderLen) / 8
+	if rows <= 0 || cols <= 0 || (len(body)-cacheHeaderLen)%8 != 0 ||
+		n/rows != cols || n%rows != 0 {
 		return nil, 0, fmt.Errorf("%w: %s: %dx%d does not match %d payload bytes",
 			ErrCacheCorrupt, path, rows, cols, len(body)-cacheHeaderLen)
 	}

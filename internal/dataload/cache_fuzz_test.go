@@ -1,0 +1,119 @@
+package dataload
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"candle/internal/tensor"
+)
+
+// validCacheBytes builds a well-formed cache file image for a small
+// matrix, so the fuzzer starts from inputs that exercise the deep
+// (CRC-valid) paths rather than dying at the frame check.
+func validCacheBytes(t testing.TB, srcSize, srcMtime int64) []byte {
+	t.Helper()
+	m := tensor.New(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.5
+	}
+	path := filepath.Join(t.TempDir(), "seed.bin")
+	if err := writeCache(path, srcSize, srcMtime, m); err != nil {
+		t.Fatalf("writeCache: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read seed cache: %v", err)
+	}
+	return raw
+}
+
+// FuzzReadCache feeds arbitrary bytes through the binary-cache parser.
+// The contract under test: readCache must return nil, ErrCacheStale,
+// or ErrCacheCorrupt (or a not-exist error for a missing file) — it
+// must never panic, hang, or hand back a matrix whose dims disagree
+// with its storage, no matter how the header, payload, or footer are
+// mangled.
+func FuzzReadCache(f *testing.F) {
+	const srcSize, srcMtime = int64(1234), int64(987654321)
+	valid := validCacheBytes(f, srcSize, srcMtime)
+	f.Add(valid)
+	// Truncations at every structural boundary.
+	f.Add(valid[:0])
+	f.Add(valid[:4])
+	f.Add(valid[:cacheHeaderLen])
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(valid)-cacheFooterLen])
+	// Bad leading and trailing magic.
+	mut := append([]byte(nil), valid...)
+	mut[0] ^= 0xff
+	f.Add(append([]byte(nil), mut...))
+	mut = append([]byte(nil), valid...)
+	mut[len(mut)-1] ^= 0xff
+	f.Add(append([]byte(nil), mut...))
+	// A flipped payload bit, which only the CRC can catch.
+	mut = append([]byte(nil), valid...)
+	mut[cacheHeaderLen+5] ^= 0x01
+	f.Add(append([]byte(nil), mut...))
+	// Stale source identity.
+	mut = append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(mut[8:], uint64(srcSize+1))
+	f.Add(append([]byte(nil), mut...))
+	// Huge dims whose product wraps around — the int-overflow case the
+	// dims check must reject by division, not multiplication.
+	mut = append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(mut[24:], 1<<62)
+	binary.LittleEndian.PutUint64(mut[32:], 1<<62)
+	f.Add(append([]byte(nil), mut...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write fuzz input: %v", err)
+		}
+		m, stored, err := readCache(path, srcSize, srcMtime)
+		if err != nil {
+			if !errors.Is(err, ErrCacheStale) && !errors.Is(err, ErrCacheCorrupt) && !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("unclassified error %v for %d-byte input", err, len(data))
+			}
+			return
+		}
+		if m == nil || m.Rows <= 0 || m.Cols <= 0 || len(m.Data) != m.Rows*m.Cols {
+			t.Fatalf("accepted cache returned inconsistent matrix %+v", m)
+		}
+		if stored != int64(8*len(m.Data)) {
+			t.Fatalf("stored bytes %d disagree with %d floats", stored, len(m.Data))
+		}
+	})
+}
+
+// TestReadCacheRejectsOverflowingDims pins the overflow fix outside the
+// fuzz corpus: a header claiming 2^62 x 2^62 must be reported corrupt,
+// not multiplied into a wrapped-around payload match.
+func TestReadCacheRejectsOverflowingDims(t *testing.T) {
+	const srcSize, srcMtime = int64(1234), int64(987654321)
+	raw := validCacheBytes(t, srcSize, srcMtime)
+	binary.LittleEndian.PutUint64(raw[24:], 1<<62)
+	binary.LittleEndian.PutUint64(raw[32:], 1<<62)
+	// Re-seal so only the dims check can object.
+	reseal(raw)
+	path := filepath.Join(t.TempDir(), "overflow.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := readCache(path, srcSize, srcMtime)
+	if !errors.Is(err, ErrCacheCorrupt) {
+		t.Fatalf("got %v, want ErrCacheCorrupt", err)
+	}
+}
+
+// reseal recomputes the CRC footer after a test mutates header bytes.
+func reseal(raw []byte) {
+	body := raw[:len(raw)-cacheFooterLen]
+	binary.BigEndian.PutUint32(raw[len(raw)-cacheFooterLen:], crc32.Checksum(body, cacheCRCTable))
+	copy(raw[len(raw)-4:], cacheMagic)
+}

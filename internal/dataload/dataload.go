@@ -140,13 +140,13 @@ func (l *Loader) Open(path string) (csvio.ChunkSource, error) {
 		prefetch = DefaultPrefetch
 	}
 	s := &source{
-		l:     l,
-		path:  path,
-		rank:  l.rank(),
-		world: l.world(),
-		size:  fi.Size(),
-		mtime: fi.ModTime().UnixNano(),
-		gz:    strings.HasSuffix(path, ".gz"),
+		l:      l,
+		path:   path,
+		rank:   l.rank(),
+		world:  l.world(),
+		size:   fi.Size(),
+		mtime:  fi.ModTime().UnixNano(),
+		gz:     strings.HasSuffix(path, ".gz"),
 		blocks: make(chan *tensor.Matrix, prefetch),
 		done:   make(chan struct{}),
 		t0:     time.Now(),

@@ -213,6 +213,28 @@ func (d *DistributedOptimizer) LearningRate() float64 { return d.base.LearningRa
 // SetLearningRate implements nn.Optimizer.
 func (d *DistributedOptimizer) SetLearningRate(lr float64) { d.base.SetLearningRate(lr) }
 
+// CaptureState implements nn.StatefulOptimizer by delegating to the
+// base optimizer — the wrapper itself holds no numerical state, so a
+// checkpoint of the base state is the whole resume story.
+func (d *DistributedOptimizer) CaptureState(params []*nn.Param) [][]float64 {
+	if so, ok := d.base.(nn.StatefulOptimizer); ok {
+		return so.CaptureState(params)
+	}
+	return nil
+}
+
+// RestoreState implements nn.StatefulOptimizer by delegating to the
+// base optimizer.
+func (d *DistributedOptimizer) RestoreState(params []*nn.Param, state [][]float64) error {
+	if so, ok := d.base.(nn.StatefulOptimizer); ok {
+		return so.RestoreState(params, state)
+	}
+	if len(state) > 0 {
+		return fmt.Errorf("horovod: base optimizer %s carries no state to restore", d.base.Name())
+	}
+	return nil
+}
+
 // Step averages all parameter gradients across ranks, then delegates
 // the update to the base optimizer. It satisfies nn.Optimizer; a
 // collective failure is recorded (see Err) rather than panicking, and

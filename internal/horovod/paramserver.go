@@ -1,6 +1,8 @@
 package horovod
 
 import (
+	"fmt"
+
 	"candle/internal/nn"
 )
 
@@ -40,6 +42,29 @@ func (p *ParameterServerOptimizer) LearningRate() float64 { return p.base.Learni
 
 // SetLearningRate implements nn.Optimizer.
 func (p *ParameterServerOptimizer) SetLearningRate(lr float64) { p.base.SetLearningRate(lr) }
+
+// CaptureState implements nn.StatefulOptimizer by delegating to the
+// base optimizer. Only rank 0 applies updates in parameter-server
+// mode, so only the server's base state is meaningful — which is
+// exactly the rank the checkpoint callback saves from.
+func (p *ParameterServerOptimizer) CaptureState(params []*nn.Param) [][]float64 {
+	if so, ok := p.base.(nn.StatefulOptimizer); ok {
+		return so.CaptureState(params)
+	}
+	return nil
+}
+
+// RestoreState implements nn.StatefulOptimizer by delegating to the
+// base optimizer.
+func (p *ParameterServerOptimizer) RestoreState(params []*nn.Param, state [][]float64) error {
+	if so, ok := p.base.(nn.StatefulOptimizer); ok {
+		return so.RestoreState(params, state)
+	}
+	if len(state) > 0 {
+		return fmt.Errorf("horovod: base optimizer %s carries no state to restore", p.base.Name())
+	}
+	return nil
+}
 
 // Step implements nn.Optimizer with push-gradients / pull-weights
 // semantics. Communication failures are recorded (see Err) and freeze

@@ -3,6 +3,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -109,6 +111,8 @@ type FaultPlan struct {
 	kills     map[rankStep]bool
 	delays    map[rankStep]time.Duration
 	failSends map[link]int // remaining sends on the link before failing
+	script    []string     // every scripted fault, in spec form
+	fired     []string     // consumed faults, in fire order
 }
 
 // NewFaultPlan returns an empty plan. Methods chain:
@@ -128,6 +132,7 @@ func (p *FaultPlan) KillAt(rank, step int) *FaultPlan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.kills[rankStep{rank, step}] = true
+	p.script = append(p.script, killSpec(rank, step))
 	return p
 }
 
@@ -137,6 +142,7 @@ func (p *FaultPlan) DelayAt(rank, step int, d time.Duration) *FaultPlan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.delays[rankStep{rank, step}] = d
+	p.script = append(p.script, delaySpec(rank, step, d))
 	return p
 }
 
@@ -149,7 +155,50 @@ func (p *FaultPlan) FailSend(src, dst, nth int) *FaultPlan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.failSends[link{src, dst}] = nth
+	p.script = append(p.script, failSendSpec(src, dst, nth))
 	return p
+}
+
+// Spec strings give every scripted fault a single canonical rendering,
+// shared by String(), Fired(), and the scenario harness's repro lines.
+func killSpec(rank, step int) string {
+	return fmt.Sprintf("kill@rank%d/step%d", rank, step)
+}
+
+func delaySpec(rank, step int, d time.Duration) string {
+	return fmt.Sprintf("delay@rank%d/step%d/%s", rank, step, d)
+}
+
+func failSendSpec(src, dst, nth int) string {
+	return fmt.Sprintf("failsend@rank%d->rank%d/n%d", src, dst, nth)
+}
+
+// String renders the full scripted plan deterministically (sorted,
+// space-separated), independent of construction order and of which
+// faults have already fired. A nil plan renders as the empty string.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	specs := append([]string(nil), p.script...)
+	p.mu.Unlock()
+	sort.Strings(specs)
+	return strings.Join(specs, " ")
+}
+
+// Fired returns the faults that have actually been consumed, in fire
+// order, in the same spec form String uses (e.g. "kill@rank1/step4").
+// A scripted fault that never fires — a step past the end of the run,
+// a rank dropped by an elastic restart — never appears. Safe on a nil
+// plan.
+func (p *FaultPlan) Fired() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fired...)
 }
 
 // takeKill consumes a scripted kill for (rank, step).
@@ -161,6 +210,7 @@ func (p *FaultPlan) takeKill(rank, step int) bool {
 		return false
 	}
 	delete(p.kills, k)
+	p.fired = append(p.fired, killSpec(rank, step))
 	return true
 }
 
@@ -172,6 +222,7 @@ func (p *FaultPlan) takeDelay(rank, step int) (time.Duration, bool) {
 	d, ok := p.delays[k]
 	if ok {
 		delete(p.delays, k)
+		p.fired = append(p.fired, delaySpec(rank, step, d))
 	}
 	return d, ok
 }
@@ -192,6 +243,7 @@ func (p *FaultPlan) takeFailSend(src, dst int) bool {
 		return false
 	}
 	delete(p.failSends, l)
+	p.fired = append(p.fired, fmt.Sprintf("failsend@rank%d->rank%d", src, dst))
 	return true
 }
 

@@ -1,0 +1,66 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestFaultPlanStringIsDeterministic: String renders the scripted plan
+// in one canonical form — independent of construction order and of
+// which faults have since fired — because the scenario harness embeds
+// it in repro lines that must be stable across runs.
+func TestFaultPlanStringIsDeterministic(t *testing.T) {
+	a := NewFaultPlan().KillAt(1, 4).DelayAt(0, 2, 5*time.Millisecond).FailSend(2, 3, 7)
+	b := NewFaultPlan().FailSend(2, 3, 7).DelayAt(0, 2, 5*time.Millisecond).KillAt(1, 4)
+	want := "delay@rank0/step2/5ms failsend@rank2->rank3/n7 kill@rank1/step4"
+	if a.String() != want {
+		t.Fatalf("String() = %q, want %q", a.String(), want)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("construction order changed String: %q vs %q", a.String(), b.String())
+	}
+	if !a.takeKill(1, 4) {
+		t.Fatal("scripted kill did not consume")
+	}
+	if a.String() != want {
+		t.Fatalf("String changed after a fault fired: %q", a.String())
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.String() != "" {
+		t.Fatalf("nil plan String() = %q, want empty", nilPlan.String())
+	}
+}
+
+// TestFaultPlanFiredTracksConsumption: Fired reports exactly the
+// consumed faults, in fire order, in spec form; unconsumed scripts
+// never appear, and each fault fires at most once.
+func TestFaultPlanFiredTracksConsumption(t *testing.T) {
+	p := NewFaultPlan().KillAt(1, 4).DelayAt(0, 2, 5*time.Millisecond).FailSend(0, 1, 2)
+	if got := p.Fired(); len(got) != 0 {
+		t.Fatalf("fresh plan Fired() = %v", got)
+	}
+	if d, ok := p.takeDelay(0, 2); !ok || d != 5*time.Millisecond {
+		t.Fatalf("takeDelay = %v, %v", d, ok)
+	}
+	if p.takeFailSend(0, 1) {
+		t.Fatal("first send on the link failed; scripted for the 2nd")
+	}
+	if !p.takeFailSend(0, 1) {
+		t.Fatal("second send on the link did not fail")
+	}
+	if !p.takeKill(1, 4) {
+		t.Fatal("kill did not consume")
+	}
+	if p.takeKill(1, 4) {
+		t.Fatal("kill fired twice")
+	}
+	want := []string{"delay@rank0/step2/5ms", "failsend@rank0->rank1", "kill@rank1/step4"}
+	if got := p.Fired(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fired() = %v, want %v", got, want)
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.Fired() != nil {
+		t.Fatal("nil plan Fired() should be nil")
+	}
+}

@@ -14,16 +14,21 @@ type Sequential struct {
 	ModelName string
 	Layers    []Layer
 
-	loss     Loss
-	opt      Optimizer
-	rng      *rand.Rand
-	built    bool
-	dtype    tensor.DType
-	inDim    int
-	outDim   int
-	params   []*Param
-	stepCnt  int
-	layerOut map[Layer]int // per-layer output width, for Summary
+	loss Loss
+	opt  Optimizer
+	rng  *rand.Rand
+	seed int64
+	// epochsSeen counts epochs across Fit calls; it anchors the global
+	// epoch index when FitConfig.EpochOffset is unset, so successive
+	// Fit calls on one model keep drawing fresh shuffle orders.
+	epochsSeen int
+	built      bool
+	dtype      tensor.DType
+	inDim      int
+	outDim     int
+	params     []*Param
+	stepCnt    int
+	layerOut   map[Layer]int // per-layer output width, for Summary
 	// layerParams caches each layer's Params() so Backward can notify
 	// the GradSink without per-step slice allocations.
 	layerParams [][]*Param
@@ -99,6 +104,7 @@ func (s *Sequential) Compile(inDim int, loss Loss, opt Optimizer, seed int64) er
 		return errors.New("nn: Compile needs a loss and an optimizer")
 	}
 	s.rng = rand.New(rand.NewSource(seed))
+	s.seed = seed
 	s.layerOut = make(map[Layer]int, len(s.Layers))
 	if s.dtype == tensor.F32 {
 		// Fusion pass: a Dense directly followed by a pointwise
@@ -265,6 +271,15 @@ type FitConfig struct {
 	BatchSize int
 	// Shuffle reshuffles sample order each epoch using the model RNG.
 	Shuffle bool
+	// EpochOffset, when > 0, sets the global index of the first epoch
+	// this Fit call trains. Epoch-indexed behavior — the per-epoch RNG
+	// stream, callback epoch arguments, checkpoint file numbering —
+	// follows the global index, so a run restored from a checkpoint at
+	// epoch k-1 and fitted with EpochOffset k replays exactly the
+	// shuffle orders and dropout masks the uninterrupted run would
+	// have used. 0 continues from the epochs this model has already
+	// trained.
+	EpochOffset int
 	// Callbacks observe training; Horovod's broadcast hook is one.
 	Callbacks []Callback
 	// ValX/ValY, when non-nil, are evaluated at each epoch end.
@@ -315,11 +330,31 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 	}
 	bx := tensor.New(bs, x.Cols)
 	by := tensor.New(bs, y.Cols)
+	base := s.epochsSeen
+	if cfg.EpochOffset > 0 {
+		base = cfg.EpochOffset
+	}
 	for e := 0; e < cfg.Epochs; e++ {
+		g := base + e // global epoch index
+		// Re-synchronize the model RNG at every epoch boundary from
+		// (compile seed, global epoch): shuffle order and dropout masks
+		// become a function of the epoch index rather than of how many
+		// draws preceded them, which is what lets a checkpoint-resumed
+		// run replay the exact stream of the uninterrupted one.
+		s.rng.Seed(epochSeed(s.seed, g))
+		s.epochsSeen = g + 1
 		for _, cb := range cfg.Callbacks {
-			cb.OnEpochBegin(s, e)
+			cb.OnEpochBegin(s, g)
 		}
 		if cfg.Shuffle {
+			// Re-derive the order from identity each epoch: shuffling the
+			// previous epoch's order in place would make epoch g's sample
+			// order depend on every epoch trained in this Fit call, and a
+			// checkpoint-resumed run (which starts its Fit at g) could
+			// never replay it.
+			for i := range order {
+				order[i] = i
+			}
 			s.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		epochLoss := 0.0
@@ -332,12 +367,12 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 			l := s.TrainBatch(bx, by)
 			epochLoss += l
 			for _, cb := range cfg.Callbacks {
-				cb.OnBatchEnd(s, e, step, l)
+				cb.OnBatchEnd(s, g, step, l)
 			}
 			// A distributed optimizer whose collective aborted cannot
 			// make progress; surface the failure immediately.
 			if err := trainingFailure(s.opt, cfg.Callbacks); err != nil {
-				return hist, fmt.Errorf("nn: training aborted at epoch %d step %d: %w", e, step, err)
+				return hist, fmt.Errorf("nn: training aborted at epoch %d step %d: %w", g, step, err)
 			}
 		}
 		epochLoss /= float64(steps)
@@ -350,7 +385,7 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 			hist.ValAcc = append(hist.ValAcc, va)
 		}
 		for _, cb := range cfg.Callbacks {
-			cb.OnEpochEnd(s, e, epochLoss)
+			cb.OnEpochEnd(s, g, epochLoss)
 		}
 		stop := false
 		for _, cb := range cfg.Callbacks {
@@ -366,6 +401,16 @@ func (s *Sequential) Fit(x, y *tensor.Matrix, cfg FitConfig) (*History, error) {
 		cb.OnTrainEnd(s)
 	}
 	return hist, nil
+}
+
+// epochSeed mixes the compile seed with a global epoch index
+// (splitmix64 finalizer) so neighboring epochs get decorrelated RNG
+// streams while the mapping stays a pure function of (seed, epoch).
+func epochSeed(seed int64, epoch int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(epoch+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // Failer is implemented by optimizers and callbacks whose work can

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"candle/internal/tensor"
@@ -15,6 +16,26 @@ type Optimizer interface {
 	LearningRate() float64
 	SetLearningRate(lr float64)
 	Step(params []*Param)
+}
+
+// StatefulOptimizer is implemented by optimizers that accumulate
+// internal per-parameter state across steps — momentum velocities,
+// Adam's moment estimates and step count, RMSprop's squared-gradient
+// average. Checkpoints capture that state alongside the weights so a
+// resumed run continues bit-identically to an uninterrupted one;
+// restoring weights alone would silently reset the optimizer and fork
+// the trajectory.
+type StatefulOptimizer interface {
+	Optimizer
+	// CaptureState flattens the optimizer's internal state for params
+	// (in the given order) into vectors. Scalar state (Adam's step
+	// count) travels in its own vector. A configuration with no state
+	// (e.g. momentum-free SGD) returns nil.
+	CaptureState(params []*Param) [][]float64
+	// RestoreState installs state previously captured over the same
+	// parameter list in the same order. nil or empty state resets the
+	// optimizer to fresh; a shape mismatch is an error.
+	RestoreState(params []*Param, state [][]float64) error
 }
 
 // SGD is stochastic gradient descent with optional classical momentum,
@@ -61,6 +82,45 @@ func (s *SGD) Step(params []*Param) {
 		v.Scale(s.Momentum).AXPY(-s.LR, p.Grad)
 		p.Value.Add(v)
 	}
+}
+
+// CaptureState implements StatefulOptimizer: one velocity vector per
+// parameter, or nil when momentum is off.
+func (s *SGD) CaptureState(params []*Param) [][]float64 {
+	if s.Momentum == 0 {
+		return nil
+	}
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		vec := make([]float64, len(p.Value.Data))
+		if v, ok := s.vel[p]; ok {
+			copy(vec, v.Data)
+		}
+		out[i] = vec
+	}
+	return out
+}
+
+// RestoreState implements StatefulOptimizer.
+func (s *SGD) RestoreState(params []*Param, state [][]float64) error {
+	if len(state) == 0 {
+		s.vel = nil
+		return nil
+	}
+	if len(state) != len(params) {
+		return fmt.Errorf("nn: sgd state has %d vectors, want %d", len(state), len(params))
+	}
+	vel := make(map[*Param]*tensor.Matrix, len(params))
+	for i, p := range params {
+		if len(state[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: sgd state[%d] has %d elems, param has %d", i, len(state[i]), len(p.Value.Data))
+		}
+		v := tensor.New(p.Value.Rows, p.Value.Cols)
+		copy(v.Data, state[i])
+		vel[p] = v
+	}
+	s.vel = vel
+	return nil
 }
 
 // Adam is adaptive moment estimation, matching the Keras "adam"
@@ -116,6 +176,52 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// CaptureState implements StatefulOptimizer: the step count in its own
+// vector, then interleaved (m, v) moment vectors per parameter.
+func (a *Adam) CaptureState(params []*Param) [][]float64 {
+	out := make([][]float64, 0, 1+2*len(params))
+	out = append(out, []float64{float64(a.t)})
+	for _, p := range params {
+		m := make([]float64, len(p.Value.Data))
+		v := make([]float64, len(p.Value.Data))
+		if mm, ok := a.m[p]; ok {
+			copy(m, mm.Data)
+		}
+		if vv, ok := a.v[p]; ok {
+			copy(v, vv.Data)
+		}
+		out = append(out, m, v)
+	}
+	return out
+}
+
+// RestoreState implements StatefulOptimizer.
+func (a *Adam) RestoreState(params []*Param, state [][]float64) error {
+	if len(state) == 0 {
+		a.t, a.m, a.v = 0, nil, nil
+		return nil
+	}
+	if len(state) != 1+2*len(params) || len(state[0]) != 1 {
+		return fmt.Errorf("nn: adam state has %d vectors, want %d", len(state), 1+2*len(params))
+	}
+	m := make(map[*Param]*tensor.Matrix, len(params))
+	v := make(map[*Param]*tensor.Matrix, len(params))
+	for i, p := range params {
+		ms, vs := state[1+2*i], state[2+2*i]
+		if len(ms) != len(p.Value.Data) || len(vs) != len(p.Value.Data) {
+			return fmt.Errorf("nn: adam state for param %d has %d/%d elems, want %d", i, len(ms), len(vs), len(p.Value.Data))
+		}
+		mm := tensor.New(p.Value.Rows, p.Value.Cols)
+		vv := tensor.New(p.Value.Rows, p.Value.Cols)
+		copy(mm.Data, ms)
+		copy(vv.Data, vs)
+		m[p], v[p] = mm, vv
+	}
+	a.t = int(state[0][0])
+	a.m, a.v = m, v
+	return nil
+}
+
 // RMSprop is root-mean-square propagation, matching the Keras
 // "rmsprop" optimizer used by P1B2.
 type RMSprop struct {
@@ -156,6 +262,42 @@ func (r *RMSprop) Step(params []*Param) {
 			p.Value.Data[i] -= r.LR * g / (math.Sqrt(v.Data[i]) + r.Epsilon)
 		}
 	}
+}
+
+// CaptureState implements StatefulOptimizer: one squared-gradient
+// average vector per parameter.
+func (r *RMSprop) CaptureState(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		vec := make([]float64, len(p.Value.Data))
+		if v, ok := r.v[p]; ok {
+			copy(vec, v.Data)
+		}
+		out[i] = vec
+	}
+	return out
+}
+
+// RestoreState implements StatefulOptimizer.
+func (r *RMSprop) RestoreState(params []*Param, state [][]float64) error {
+	if len(state) == 0 {
+		r.v = nil
+		return nil
+	}
+	if len(state) != len(params) {
+		return fmt.Errorf("nn: rmsprop state has %d vectors, want %d", len(state), len(params))
+	}
+	v := make(map[*Param]*tensor.Matrix, len(params))
+	for i, p := range params {
+		if len(state[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: rmsprop state[%d] has %d elems, param has %d", i, len(state[i]), len(p.Value.Data))
+		}
+		vv := tensor.New(p.Value.Rows, p.Value.Cols)
+		copy(vv.Data, state[i])
+		v[p] = vv
+	}
+	r.v = v
+	return nil
 }
 
 // NewOptimizer constructs the optimizer a CANDLE config names:

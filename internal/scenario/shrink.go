@@ -1,0 +1,32 @@
+package scenario
+
+// ShrinkFaults minimizes a failing scenario's fault plan: starting
+// from a scenario that violates an invariant, it repeatedly re-runs
+// the same invariant suite with one scripted fault removed, keeping
+// any reduction that still fails, until no single fault can be
+// dropped. For the plan sizes the sampler draws (≤ 4 faults) this
+// greedy delta-debugging converges in a handful of runs and returns
+// the minimal failing plan plus its violation.
+//
+// If the scenario does not fail at all, the original scenario and a
+// nil error are returned.
+func (h *Harness) ShrinkFaults(sc Scenario, checks Checks) (Scenario, error) {
+	err := h.Check(sc, checks)
+	if err == nil {
+		return sc, nil
+	}
+	best, bestErr := sc, err
+	for changed := true; changed && len(best.Faults) > 0; {
+		changed = false
+		for i := range best.Faults {
+			cand := best
+			cand.Faults = append(append([]FaultSpec(nil), best.Faults[:i]...), best.Faults[i+1:]...)
+			h.logf("shrink: retrying without %s (%d faults left)", best.Faults[i], len(cand.Faults))
+			if e := h.Check(cand, checks); e != nil {
+				best, bestErr, changed = cand, e, true
+				break
+			}
+		}
+	}
+	return best, bestErr
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNameSequenceFiltersAndOrders: the sequence is one TID's event
+// names in start-time order, optionally restricted by an accept
+// function — the shape the scenario harness compares between twin
+// runs, where names must line up even though every timestamp differs.
+func TestNameSequenceFiltersAndOrders(t *testing.T) {
+	tl := NewTimeline()
+	tl.Complete("second", "train", 0, 1, 2.0, 0.5)
+	tl.Complete("first", "train", 0, 1, 1.0, 0.5)
+	tl.Complete("other-tid", "train", 0, 2, 0.5, 0.5)
+	tl.Complete("third", "comm", 0, 1, 3.0, 0.5)
+
+	got := tl.NameSequence(1, nil)
+	want := []string{"first", "second", "third"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NameSequence(1, nil) = %v, want %v", got, want)
+	}
+
+	onlyTrainNames := map[string]bool{"first": true, "second": true}
+	got = tl.NameSequence(1, func(name string) bool { return onlyTrainNames[name] })
+	want = []string{"first", "second"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered NameSequence = %v, want %v", got, want)
+	}
+
+	if got := tl.NameSequence(9, nil); len(got) != 0 {
+		t.Fatalf("NameSequence for an unknown TID = %v, want empty", got)
+	}
+}
+
+// TestNameSequenceBreaksTiesByInsertion: events sharing a start time
+// keep insertion order, so single-goroutine spans reflect program
+// order deterministically.
+func TestNameSequenceBreaksTiesByInsertion(t *testing.T) {
+	tl := NewTimeline()
+	tl.Complete("a", "c", 0, 1, 1.0, 0)
+	tl.Complete("b", "c", 0, 1, 1.0, 0)
+	tl.Complete("c", "c", 0, 1, 1.0, 0)
+	want := []string{"a", "b", "c"}
+	if got := tl.NameSequence(1, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tied starts = %v, want %v", got, want)
+	}
+}

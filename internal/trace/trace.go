@@ -88,6 +88,27 @@ func (t *Timeline) FilterCat(cat string) []Event {
 	return out
 }
 
+// NameSequence returns the ordered event-name sequence for one TID,
+// restricted to the names accept admits (nil accepts everything).
+// Events are ordered by start time with insertion order breaking ties,
+// so for spans emitted by a single goroutine the sequence reflects
+// program order. This is the shape the scenario harness compares: two
+// runs of the same seed must produce identical per-rank sequences even
+// though every wall-clock timestamp differs.
+func (t *Timeline) NameSequence(tid int, accept func(name string) bool) []string {
+	var out []string
+	for _, e := range t.Events() {
+		if e.TID != tid {
+			continue
+		}
+		if accept != nil && !accept(e.Name) {
+			continue
+		}
+		out = append(out, e.Name)
+	}
+	return out
+}
+
 // TotalDuration sums the duration of all events with the given name.
 func (t *Timeline) TotalDuration(name string) float64 {
 	sum := 0.0
