@@ -1,7 +1,8 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load ci \
-	sim-smoke sim-multi-seed sim-nondeterminism sim-import-export
+.PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load \
+	bench-transport launch-smoke ci \
+	sim-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-transport
 
 build:
 	$(GO) build ./...
@@ -12,10 +13,12 @@ test:
 # Race-check the packages where goroutines share state: the kernel
 # worker pool, the layers that reuse forward/backward buffers, the MPI
 # substrate's abort/fault machinery, the Horovod layer, the multi-rank
-# runner that drives them all concurrently, and the streaming sharded
-# loader's producer/consumer handoff.
+# runner that drives them all concurrently, the streaming sharded
+# loader's producer/consumer handoff, and the wire transport + launch
+# rendezvous (writer/reader goroutines per link, concurrent mesh
+# handshakes).
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve ./internal/dataload
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve ./internal/dataload ./internal/transport ./internal/launch
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +45,17 @@ bench-serve:
 # binary cache; regenerates BENCH_load.json.
 bench-load:
 	BENCH_LOAD_OUT=$(CURDIR)/BENCH_load.json $(GO) test -count=1 -run TestWriteLoadBench -v ./internal/dataload
+
+# Ring-allreduce latency/bandwidth across the rank-link transports
+# (in-process channels vs Unix sockets vs loopback TCP, 2 procs x 2
+# ranks) at three payload sizes; regenerates BENCH_transport.json.
+bench-transport:
+	BENCH_TRANSPORT_OUT=$(CURDIR)/BENCH_transport.json $(GO) test -count=1 -run TestWriteTransportBench -v ./internal/launch
+
+# Multi-process smoke: 2 spawned worker processes x 2 ranks over unix
+# sockets, pinned seed, bit-identical to the 4-rank in-process run.
+launch-smoke:
+	$(GO) test -count=1 -run TestLaunchSmokeBitIdentical -v ./cmd/candle-launch
 
 # Seeded scenario simulation (cmd/candle-sim): each seed draws a full
 # run configuration — pilot, ranks, engine, precision, overlap, fault
@@ -70,4 +84,7 @@ sim-nondeterminism:
 sim-import-export:
 	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED) -check import-export
 
-ci: build test race vet sim-smoke
+sim-transport:
+	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED) -check transport
+
+ci: build test race vet sim-smoke launch-smoke

@@ -1,0 +1,519 @@
+// candle-launch runs one CANDLE benchmark across several OS processes:
+// it serves the rendezvous round, spawns N workers (re-executions of
+// itself) that each host a contiguous slice of the world's ranks, and
+// aggregates their results. With -elastic, a worker lost to a rank
+// failure — or to a plain SIGKILL of its process — costs its ranks:
+// the survivors are respawned as the next world generation, resuming
+// from the checkpoint directory.
+//
+// Examples:
+//
+//	candle-launch -bench NT3 -procs 2 -ranks 4 -epochs 16
+//	candle-launch -bench NT3 -procs 2 -ranks 4 -transport tcp -elastic \
+//	    -checkpoint-dir /tmp/ckpt -inject-fault 3@8
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"candle/internal/candle"
+	"candle/internal/launch"
+	"candle/internal/mpi"
+)
+
+// workerEnvConfig carries the JSON worker config into re-executed
+// worker processes; its presence selects the worker role.
+const workerEnvConfig = "CANDLE_LAUNCH_CONFIG"
+
+// workerEnvExec overrides the executable spawned for workers; tests
+// point it at the test binary, whose TestMain dispatches to workerMain.
+const workerEnvExec = "CANDLE_LAUNCH_WORKER_EXEC"
+
+// exitRankFailed is the worker exit code for a typed rank failure —
+// the launcher's signal that elastic recovery applies (EX_TEMPFAIL).
+const exitRankFailed = 75
+
+func main() {
+	if cfg := os.Getenv(workerEnvConfig); cfg != "" {
+		os.Exit(workerMain(cfg, os.Stdout, os.Stderr))
+	}
+	opts := parseFlags(os.Args[1:], os.Stderr)
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := runMain(opts, os.Stdout, os.Stderr, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-launch:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the launcher's parsed command line.
+type options struct {
+	Bench      string
+	SampleDiv  int
+	FeatureDiv int
+	Procs      int
+	Ranks      int
+	Epochs     int
+	Batch      int
+	LR         float64
+	Seed       int64
+	Loader     string
+	Transport  string
+	DataDir    string
+	CkptDir    string
+	Elastic    bool
+	Fault      string
+	ChaosKill  int
+	Out        string
+	Timeout    time.Duration
+}
+
+func parseFlags(args []string, stderr io.Writer) options {
+	fs := flag.NewFlagSet("candle-launch", flag.ExitOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.Bench, "bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+	fs.IntVar(&o.SampleDiv, "sample-div", candle.DefaultSampleDiv, "dataset sample divisor (1 = the paper's full shape)")
+	fs.IntVar(&o.FeatureDiv, "feature-div", candle.DefaultFeatureDiv, "dataset feature divisor (1 = the paper's full shape)")
+	fs.IntVar(&o.Procs, "procs", 2, "worker processes to spawn")
+	fs.IntVar(&o.Ranks, "ranks", 4, "total ranks across all processes (must divide evenly)")
+	fs.IntVar(&o.Epochs, "epochs", 16, "total epochs (strong scaling)")
+	fs.IntVar(&o.Batch, "batch", 0, "batch size; 0 = benchmark default")
+	fs.Float64Var(&o.LR, "lr", 0, "learning rate; 0 = benchmark default")
+	fs.Int64Var(&o.Seed, "seed", 42, "data/init seed")
+	fs.StringVar(&o.Loader, "loader", "naive", "data engine (csvio registry name)")
+	fs.StringVar(&o.Transport, "transport", "unix", "cross-process link transport: unix or tcp")
+	fs.StringVar(&o.DataDir, "data-dir", "", "shared CSV directory; empty = temp dir")
+	fs.StringVar(&o.CkptDir, "checkpoint-dir", "", "checkpoint directory; elastic generations resume from it")
+	fs.BoolVar(&o.Elastic, "elastic", false, "respawn survivors as a new generation when a process or rank dies")
+	fs.StringVar(&o.Fault, "inject-fault", "", "kill a rank at a collective step, as rank@step (first generation only)")
+	fs.IntVar(&o.ChaosKill, "chaos-kill", -1, "SIGKILL this worker process once the first checkpoint lands (-1 = off)")
+	fs.StringVar(&o.Out, "out", "", "write the aggregated result JSON here")
+	fs.DurationVar(&o.Timeout, "timeout", 5*time.Minute, "per-generation deadline")
+	fs.Parse(args)
+	return o
+}
+
+// workerConfig is the contract between launcher and worker, shipped as
+// JSON through the environment.
+type workerConfig struct {
+	Bench      string  `json:"bench"`
+	SampleDiv  int     `json:"sample_div"`
+	FeatureDiv int     `json:"feature_div"`
+	DataDir    string  `json:"data_dir"`
+	CkptDir    string  `json:"ckpt_dir,omitempty"`
+	Seed       int64   `json:"seed"`
+	Epochs     int     `json:"epochs"`
+	Batch      int     `json:"batch,omitempty"`
+	LR         float64 `json:"lr,omitempty"`
+	Loader     string  `json:"loader"`
+	Transport  string  `json:"transport"`
+	Rendezvous string  `json:"rendezvous"`
+	Network    string  `json:"network"`
+	WorldRanks int     `json:"world_ranks"`
+	LocalRanks int     `json:"local_ranks"`
+	Proc       int     `json:"proc"`
+	Gen        int     `json:"gen"`
+	Fault      string  `json:"fault,omitempty"`
+	ResultPath string  `json:"result_path"`
+}
+
+// rankSummary is one rank's result as reported across the process
+// boundary.
+type rankSummary struct {
+	Rank             int     `json:"rank"`
+	Epochs           int     `json:"epochs"`
+	FinalLoss        float64 `json:"final_loss"`
+	TrainAccuracy    float64 `json:"train_accuracy"`
+	TestAccuracy     float64 `json:"test_accuracy"`
+	WeightsChecksum  float64 `json:"weights_checksum"`
+	AllreduceCalls   int     `json:"allreduce_calls"`
+	ResumedFromEpoch int     `json:"resumed_from_epoch"`
+}
+
+// workerResult is what a worker writes to its result file before
+// exiting; on a rank failure only the failure fields are populated.
+type workerResult struct {
+	Proc       int           `json:"proc"`
+	Gen        int           `json:"gen"`
+	Ranks      []rankSummary `json:"ranks,omitempty"`
+	FailedRank int           `json:"failed_rank"`
+	FailedOp   string        `json:"failed_op,omitempty"`
+	Err        string        `json:"err,omitempty"`
+}
+
+// workerMain is the re-executed worker role: join the rendezvous named
+// in the env config, run the local rank slice, report through the
+// result file and the exit code.
+func workerMain(cfgJSON string, stdout, stderr io.Writer) int {
+	var wc workerConfig
+	if err := json.Unmarshal([]byte(cfgJSON), &wc); err != nil {
+		fmt.Fprintln(stderr, "candle-launch worker: bad config:", err)
+		return 1
+	}
+	res := workerResult{Proc: wc.Proc, Gen: wc.Gen, FailedRank: -1}
+	code := 0
+	if err := runWorker(wc, &res); err != nil {
+		res.Err = err.Error()
+		var rf *mpi.RankFailedError
+		if errors.As(err, &rf) {
+			res.FailedRank, res.FailedOp = rf.Rank, rf.Op
+			code = exitRankFailed
+		} else {
+			code = 1
+		}
+		fmt.Fprintf(stderr, "candle-launch worker %d (gen %d): %v\n", wc.Proc, wc.Gen, err)
+	}
+	if wc.ResultPath != "" {
+		b, _ := json.Marshal(res)
+		if err := os.WriteFile(wc.ResultPath, b, 0o644); err != nil {
+			fmt.Fprintln(stderr, "candle-launch worker: result write:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
+}
+
+func runWorker(wc workerConfig, res *workerResult) error {
+	b, err := candle.Scaled(wc.Bench, wc.SampleDiv, wc.FeatureDiv)
+	if err != nil {
+		return err
+	}
+	var faults *mpi.FaultPlan
+	if wc.Fault != "" {
+		if faults, err = parseFault(wc.Fault); err != nil {
+			return err
+		}
+	}
+	cfg := candle.RunConfig{
+		Ranks: wc.WorldRanks, TotalEpochs: wc.Epochs, Batch: wc.Batch, LR: wc.LR,
+		Engine: wc.Loader, DataDir: wc.DataDir, Seed: wc.Seed,
+		CheckpointDir: wc.CkptDir, CheckpointEvery: 1,
+		Resume: wc.CkptDir != "" && wc.Gen > 0,
+		Faults: faults,
+		Transport: wc.Transport, Rendezvous: wc.Rendezvous, RendezvousNetwork: wc.Network,
+		LocalRanks: wc.LocalRanks, ProcIndex: wc.Proc, Generation: wc.Gen,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	out, err := b.Run(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range out.Ranks {
+		res.Ranks = append(res.Ranks, rankSummary{
+			Rank: r.Rank, Epochs: r.Epochs,
+			FinalLoss: r.FinalLoss, TrainAccuracy: r.TrainAccuracy, TestAccuracy: r.TestAccuracy,
+			WeightsChecksum: r.WeightsChecksum, AllreduceCalls: r.AllreduceCalls,
+			ResumedFromEpoch: r.ResumedFromEpoch,
+		})
+	}
+	return nil
+}
+
+// parseFault parses "rank@step" into a kill plan (candle-run syntax).
+func parseFault(s string) (*mpi.FaultPlan, error) {
+	at := strings.SplitN(s, "@", 2)
+	if len(at) != 2 {
+		return nil, fmt.Errorf("bad -inject-fault %q, want rank@step", s)
+	}
+	rank, err := strconv.Atoi(at[0])
+	if err != nil || rank < 0 {
+		return nil, fmt.Errorf("bad -inject-fault rank %q", at[0])
+	}
+	step, err := strconv.Atoi(at[1])
+	if err != nil || step < 0 {
+		return nil, fmt.Errorf("bad -inject-fault step %q", at[1])
+	}
+	return mpi.NewFaultPlan().KillAt(rank, step), nil
+}
+
+// launchResult is the aggregated run the launcher prints and writes.
+type launchResult struct {
+	Bench       string        `json:"bench"`
+	WorldRanks  int           `json:"world_ranks"`
+	Procs       int           `json:"procs"`
+	Transport   string        `json:"transport"`
+	Generations int           `json:"generations"`
+	Failures    []failureInfo `json:"failures,omitempty"`
+	Ranks       []rankSummary `json:"ranks"`
+}
+
+type failureInfo struct {
+	Rank      int    `json:"rank"`
+	Proc      int    `json:"proc"`
+	WorldSize int    `json:"world_size"`
+	Op        string `json:"op,omitempty"`
+}
+
+func runMain(o options, stdout, stderr io.Writer, stop <-chan struct{}) error {
+	if o.Procs <= 0 || o.Ranks <= 0 || o.Ranks%o.Procs != 0 {
+		return fmt.Errorf("%d ranks do not divide evenly over %d procs", o.Ranks, o.Procs)
+	}
+	if o.Transport != "unix" && o.Transport != "tcp" {
+		return fmt.Errorf("transport %q: multi-process launch needs unix or tcp", o.Transport)
+	}
+	if o.ChaosKill >= o.Procs {
+		return fmt.Errorf("chaos-kill proc %d outside [0,%d)", o.ChaosKill, o.Procs)
+	}
+	b, err := candle.Scaled(o.Bench, o.SampleDiv, o.FeatureDiv)
+	if err != nil {
+		return err
+	}
+	if o.DataDir == "" {
+		dir, err := os.MkdirTemp("", "candle-launch-data-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		o.DataDir = dir
+	}
+	// The launcher prepares the shared dataset once; workers only read.
+	if _, _, err := b.PrepareData(o.DataDir, o.Seed); err != nil {
+		return err
+	}
+	exe := os.Getenv(workerEnvExec)
+	if exe == "" {
+		if exe, err = os.Executable(); err != nil {
+			return err
+		}
+	}
+	scratch, err := os.MkdirTemp("", "candle-launch-res-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	ranksPerProc := o.Ranks / o.Procs
+	network := "unix"
+	if o.Transport == "tcp" {
+		network = "tcp"
+	}
+	// alive maps generation proc indices to original proc identities.
+	alive := make([]int, o.Procs)
+	for i := range alive {
+		alive[i] = i
+	}
+	gen := 0
+	var failures []failureInfo
+	for {
+		world := len(alive) * ranksPerProc
+		results, killedRank, err := runGeneration(o, b, exe, scratch, network, alive, world, ranksPerProc, gen, stdout, stderr, stop)
+		if err == nil {
+			sort.Slice(results, func(i, j int) bool { return results[i].Rank < results[j].Rank })
+			return report(o, results, gen+1, failures, stdout)
+		}
+		if !o.Elastic || killedRank < 0 {
+			return err
+		}
+		pos := killedRank / ranksPerProc
+		if pos >= len(alive) {
+			return fmt.Errorf("failed rank %d outside the %d-rank world: %w", killedRank, world, err)
+		}
+		fmt.Fprintf(stdout, "generation %d: rank %d (proc %d) failed; respawning %d survivors\n",
+			gen, killedRank, alive[pos], len(alive)-1)
+		failures = append(failures, failureInfo{Rank: killedRank, Proc: alive[pos], WorldSize: world})
+		alive = append(alive[:pos:pos], alive[pos+1:]...)
+		gen++
+		if len(alive) == 0 {
+			return fmt.Errorf("elastic recovery exhausted all procs: %w", err)
+		}
+		// Scripted faults were consumed by the dead generation; chaos
+		// strikes only once.
+		o.Fault = ""
+		o.ChaosKill = -1
+	}
+}
+
+// runGeneration serves one rendezvous round and shepherds one set of
+// worker processes through it. On a rank failure it returns the failed
+// rank (≥0) so the elastic loop can drop the hosting proc.
+func runGeneration(o options, b *candle.Benchmark, exe, scratch, network string, alive []int, world, ranksPerProc, gen int, stdout, stderr io.Writer, stop <-chan struct{}) ([]rankSummary, int, error) {
+	srv, err := launch.Serve(launch.ServerConfig{Network: network, Procs: len(alive), Gen: gen, Timeout: o.Timeout})
+	if err != nil {
+		return nil, -1, err
+	}
+	defer srv.Close()
+
+	type done struct {
+		proc int
+		err  error
+	}
+	cmds := make([]*exec.Cmd, len(alive))
+	resPaths := make([]string, len(alive))
+	doneCh := make(chan done, len(alive))
+	for p := range alive {
+		resPaths[p] = filepath.Join(scratch, fmt.Sprintf("gen%d-proc%d.json", gen, p))
+		wc := workerConfig{
+			Bench: o.Bench, SampleDiv: o.SampleDiv, FeatureDiv: o.FeatureDiv,
+			DataDir: o.DataDir, CkptDir: o.CkptDir,
+			Seed: o.Seed, Epochs: o.Epochs, Batch: o.Batch, LR: o.LR, Loader: o.Loader,
+			Transport: o.Transport, Rendezvous: srv.Addr(), Network: network,
+			WorldRanks: world, LocalRanks: ranksPerProc, Proc: p, Gen: gen,
+			Fault: o.Fault, ResultPath: resPaths[p],
+		}
+		cfgJSON, err := json.Marshal(wc)
+		if err != nil {
+			return nil, -1, err
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), workerEnvConfig+"="+string(cfgJSON))
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:p] {
+				if c != nil {
+					c.Process.Kill()
+				}
+			}
+			return nil, -1, fmt.Errorf("spawn worker %d: %w", p, err)
+		}
+		cmds[p] = cmd
+		go func(p int, cmd *exec.Cmd) { doneCh <- done{p, cmd.Wait()} }(p, cmd)
+	}
+
+	if o.ChaosKill >= 0 && o.ChaosKill < len(alive) {
+		go chaosKill(cmds[o.ChaosKill], o.CkptDir, stop)
+	}
+
+	// Collect every worker; remember the first rank failure.
+	var firstErr error
+	failedRank := -1
+	for n := 0; n < len(alive); n++ {
+		select {
+		case d := <-doneCh:
+			if d.err == nil {
+				continue
+			}
+			var xe *exec.ExitError
+			if errors.As(d.err, &xe) && xe.ExitCode() == exitRankFailed {
+				if wr := readResult(resPaths[d.proc]); wr != nil && wr.FailedRank >= 0 && failedRank < 0 {
+					failedRank = wr.FailedRank
+					firstErr = fmt.Errorf("generation %d: rank %d failed in %s: %s", gen, wr.FailedRank, wr.FailedOp, wr.Err)
+				}
+				continue
+			}
+			// A process that died without reporting (SIGKILL chaos, OOM)
+			// shows up through its survivors' peer-loss reports instead.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("generation %d: worker %d: %w", gen, d.proc, d.err)
+			}
+		case <-stop:
+			// SIGTERM: drain the rendezvous so joining workers unblock,
+			// then put the generation down.
+			srv.Close()
+			for _, c := range cmds {
+				if c != nil && c.Process != nil {
+					c.Process.Kill()
+				}
+			}
+			for ; n < len(alive); n++ {
+				<-doneCh
+			}
+			return nil, -1, errors.New("terminated by signal during launch")
+		}
+	}
+	if firstErr != nil {
+		return nil, failedRank, firstErr
+	}
+	var all []rankSummary
+	for p := range alive {
+		wr := readResult(resPaths[p])
+		if wr == nil {
+			return nil, -1, fmt.Errorf("generation %d: worker %d exited clean but left no result", gen, p)
+		}
+		all = append(all, wr.Ranks...)
+	}
+	return all, -1, nil
+}
+
+// chaosKill SIGKILLs one worker process mid-run: once the first
+// checkpoint lands when checkpointing is on (so elastic recovery has
+// something to resume from), or after a short grace period otherwise.
+func chaosKill(cmd *exec.Cmd, ckptDir string, stop <-chan struct{}) {
+	deadline := time.Now().Add(2 * time.Minute)
+	waited := time.Duration(0)
+	for time.Now().Before(deadline) {
+		select {
+		case <-stop:
+			return
+		case <-time.After(5 * time.Millisecond):
+			waited += 5 * time.Millisecond
+		}
+		if ckptDir == "" {
+			// No checkpoint to watch: give the world time to form, then
+			// strike mid-training.
+			if waited >= 500*time.Millisecond {
+				break
+			}
+			continue
+		}
+		if ents, err := os.ReadDir(ckptDir); err == nil && len(ents) > 0 {
+			break
+		}
+	}
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+}
+
+func readResult(path string) *workerResult {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var wr workerResult
+	if err := json.Unmarshal(b, &wr); err != nil {
+		return nil
+	}
+	return &wr
+}
+
+func report(o options, ranks []rankSummary, gens int, failures []failureInfo, stdout io.Writer) error {
+	res := launchResult{
+		Bench: o.Bench, WorldRanks: o.Ranks, Procs: o.Procs, Transport: o.Transport,
+		Generations: gens, Failures: failures, Ranks: ranks,
+	}
+	fmt.Fprintf(stdout, "%s: %d ranks over %d procs (%s), %d generation(s)\n",
+		o.Bench, o.Ranks, o.Procs, o.Transport, gens)
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "  rank %d (proc %d) lost from a %d-rank world\n", f.Rank, f.Proc, f.WorldSize)
+	}
+	if len(ranks) > 0 {
+		r := ranks[0]
+		fmt.Fprintf(stdout, "  root: %d epochs, loss %.4f, train acc %.3f, weights checksum %.6f\n",
+			r.Epochs, r.FinalLoss, r.TrainAccuracy, r.WeightsChecksum)
+	}
+	if o.Out != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.Out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  result -> %s\n", o.Out)
+	}
+	return nil
+}

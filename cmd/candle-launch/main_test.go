@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"candle/internal/candle"
+)
+
+// TestMain doubles as the worker entry point: the launcher re-executes
+// this test binary with the worker config in the environment, exactly
+// the way the shipped binary re-executes itself.
+func TestMain(m *testing.M) {
+	if cfg := os.Getenv(workerEnvConfig); cfg != "" {
+		os.Exit(workerMain(cfg, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// smokeOpts is the pinned-seed 2-process × 2-rank NT3 configuration
+// the launch-smoke CI target runs.
+func smokeOpts(t *testing.T) options {
+	return options{
+		Bench: "NT3", SampleDiv: 40, FeatureDiv: 1500,
+		Procs: 2, Ranks: 4, Epochs: 8, Batch: 7, LR: 0.05, Seed: 11,
+		Loader: "naive", Transport: "unix",
+		Out:     t.TempDir() + "/launch.json",
+		Timeout: 2 * time.Minute, ChaosKill: -1,
+	}
+}
+
+func launchAndRead(t *testing.T, o options) *launchResult {
+	t.Helper()
+	var out bytes.Buffer
+	if err := runMain(o, &out, os.Stderr, make(chan struct{})); err != nil {
+		t.Fatalf("launch failed: %v\noutput:\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(o.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res launchResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	return &res
+}
+
+// TestLaunchSmokeBitIdentical is the ISSUE acceptance run as real OS
+// processes: 2 procs × 2 ranks over unix sockets must match the 4-rank
+// in-process run of the same pinned seed, weight checksum for weight
+// checksum.
+func TestLaunchSmokeBitIdentical(t *testing.T) {
+	b, err := candle.Scaled("NT3", 40, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := b.PrepareData(dir, 11); err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Run(candle.RunConfig{
+		Ranks: 4, TotalEpochs: 8, Batch: 7, LR: 0.05, DataDir: dir, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := launchAndRead(t, smokeOpts(t))
+	if res.Generations != 1 || len(res.Failures) != 0 {
+		t.Fatalf("clean launch reports %d generations, %d failures", res.Generations, len(res.Failures))
+	}
+	if len(res.Ranks) != 4 {
+		t.Fatalf("launch returned %d ranks, want 4", len(res.Ranks))
+	}
+	for i, r := range res.Ranks {
+		w := want.Ranks[i]
+		if r.Rank != w.Rank {
+			t.Fatalf("rank order mismatch at %d: %d vs %d", i, r.Rank, w.Rank)
+		}
+		if r.WeightsChecksum != w.WeightsChecksum {
+			t.Fatalf("rank %d checksum %v != in-process %v (not bit-identical)", r.Rank, r.WeightsChecksum, w.WeightsChecksum)
+		}
+		if r.FinalLoss != w.FinalLoss || r.TrainAccuracy != w.TrainAccuracy {
+			t.Fatalf("rank %d metrics (%v, %v) != (%v, %v)", r.Rank, r.FinalLoss, r.TrainAccuracy, w.FinalLoss, w.TrainAccuracy)
+		}
+	}
+}
+
+// TestLaunchProcessKillSurfacesRankFailure: SIGKILL one worker process
+// mid-run without -elastic; the launcher must report a rank failure
+// naming a rank the dead process hosted, fed by the survivors' typed
+// *mpi.RankFailedError.
+func TestLaunchProcessKillSurfacesRankFailure(t *testing.T) {
+	o := smokeOpts(t)
+	o.Epochs = 40
+	o.CkptDir = t.TempDir()
+	o.ChaosKill = 1
+	var out bytes.Buffer
+	err := runMain(o, &out, os.Stderr, make(chan struct{}))
+	if err == nil {
+		t.Fatalf("launch survived a killed worker without -elastic\noutput:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "rank 2 failed") && !strings.Contains(err.Error(), "rank 3 failed") {
+		t.Fatalf("error %q does not name a rank of the killed proc", err)
+	}
+}
+
+// TestLaunchElasticSurvivesProcessKill: same SIGKILL, but with
+// -elastic the survivors respawn as generation 1, resume from the
+// checkpoint, and finish in sync on the shrunken world.
+func TestLaunchElasticSurvivesProcessKill(t *testing.T) {
+	o := smokeOpts(t)
+	o.Epochs = 40
+	o.CkptDir = t.TempDir()
+	o.ChaosKill = 1
+	o.Elastic = true
+	res := launchAndRead(t, o)
+	if res.Generations != 2 || len(res.Failures) != 1 {
+		t.Fatalf("generations = %d, failures = %d, want 2 and 1", res.Generations, len(res.Failures))
+	}
+	f := res.Failures[0]
+	if f.Proc != 1 || f.WorldSize != 4 || f.Rank/2 != 1 {
+		t.Fatalf("failure record %+v, want a rank of proc 1 on a 4-rank world", f)
+	}
+	if len(res.Ranks) != 2 || res.Ranks[0].Rank != 0 || res.Ranks[1].Rank != 1 {
+		t.Fatalf("survivors = %+v, want ranks 0 and 1", res.Ranks)
+	}
+	if res.Ranks[0].WeightsChecksum != res.Ranks[1].WeightsChecksum {
+		t.Fatal("survivors diverged after elastic recovery")
+	}
+	if res.Ranks[0].ResumedFromEpoch < 0 {
+		t.Fatalf("generation 1 started fresh (resumed epoch %d), want a checkpoint resume", res.Ranks[0].ResumedFromEpoch)
+	}
+}
+
+// TestLaunchInjectFaultElastic: the scripted in-process kill (the same
+// -inject-fault candle-run takes) also drives the launcher's elastic
+// loop — the fault fires inside the worker hosting the rank, crosses
+// the socket links, and the next generation drops that proc.
+func TestLaunchInjectFaultElastic(t *testing.T) {
+	o := smokeOpts(t)
+	o.CkptDir = t.TempDir()
+	o.Fault = "3@8"
+	o.Elastic = true
+	res := launchAndRead(t, o)
+	if res.Generations != 2 || len(res.Failures) != 1 || res.Failures[0].Rank != 3 {
+		t.Fatalf("generations = %d, failures = %+v, want gen 2 after rank 3 died", res.Generations, res.Failures)
+	}
+	if len(res.Ranks) != 2 {
+		t.Fatalf("survivors = %d ranks, want 2", len(res.Ranks))
+	}
+}
+
+// TestLaunchSigtermDrains: SIGTERM mid-rendezvous kills the workers
+// and returns promptly instead of hanging on the round.
+func TestLaunchSigtermDrains(t *testing.T) {
+	o := smokeOpts(t)
+	o.Epochs = 400 // long enough that the signal lands mid-run
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(stop)
+	}()
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() { done <- runMain(o, &out, os.Stderr, stop) }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "terminated") {
+			t.Fatalf("terminated launch returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("launcher did not drain after stop signal")
+	}
+}
+
+// TestLaunchArgValidation covers the flag combinations runMain rejects
+// before spawning anything.
+func TestLaunchArgValidation(t *testing.T) {
+	o := smokeOpts(t)
+	o.Ranks = 3
+	if err := runMain(o, os.Stdout, os.Stderr, make(chan struct{})); err == nil {
+		t.Error("3 ranks over 2 procs accepted")
+	}
+	o = smokeOpts(t)
+	o.Transport = "inproc"
+	if err := runMain(o, os.Stdout, os.Stderr, make(chan struct{})); err == nil {
+		t.Error("inproc transport accepted for multi-process launch")
+	}
+	o = smokeOpts(t)
+	o.ChaosKill = 5
+	if err := runMain(o, os.Stdout, os.Stderr, make(chan struct{})); err == nil {
+		t.Error("chaos-kill outside the proc range accepted")
+	}
+	o = smokeOpts(t)
+	o.Bench = "NT99"
+	if err := runMain(o, os.Stdout, os.Stderr, make(chan struct{})); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"candle/internal/candle"
 	"candle/internal/csvio"
 	"candle/internal/hpc"
+	"candle/internal/launch"
 	"candle/internal/mpi"
 	"candle/internal/sim"
 	"candle/internal/trace"
@@ -51,6 +52,20 @@ var cacheDir string
 // empty = f64 reference path).
 var dtypeMode string
 
+// Distributed-mode settings (real mode): transportName picks the rank
+// link layer, and a non-empty rendezvous address turns this process
+// into one worker of a multi-process world (normally under
+// candle-launch, which sets the rest).
+var (
+	transportName  string
+	rendezvousAddr string
+	rendezvousNet  string
+	localRanks     int
+	procIndex      int
+	generation     int
+	serveRdv       bool
+)
+
 func main() {
 	var (
 		bench   = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
@@ -72,6 +87,13 @@ func main() {
 		ckpt    = flag.String("checkpoint-dir", "", "checkpoint directory (real mode); elastic recovery resumes from it")
 		overlap = flag.Bool("overlap", false, "overlap gradient allreduce with backward compute (real mode)")
 		dtype   = flag.String("dtype", "f64", "compute precision: f32 (packed float32 kernels, fused layers) or f64 (real mode)")
+		transp  = flag.String("transport", "", "rank link layer: inproc (default), unix, or tcp (real mode)")
+		rdv     = flag.String("rendezvous", "", "rendezvous address: join a multi-process world as one worker (real mode; -ranks is then the total world size)")
+		rdvNet  = flag.String("rendezvous-network", "", "rendezvous socket family: unix or tcp; empty derives it from -transport")
+		lranks  = flag.Int("local-ranks", 0, "ranks this worker process hosts (distributed real mode)")
+		procIdx = flag.Int("proc-index", 0, "this worker's index in the launch group (distributed real mode)")
+		gen     = flag.Int("generation", 0, "elastic world generation stamp from the launcher (distributed real mode)")
+		srvRdv  = flag.Bool("serve-rendezvous", false, "also host the rendezvous round at -rendezvous (the hand-run form: set on exactly one worker)")
 	)
 	flag.Parse()
 	psMode = *ps
@@ -81,6 +103,13 @@ func main() {
 	elastic = *elast
 	ckptDir = *ckpt
 	overlapMode = *overlap
+	transportName = *transp
+	rendezvousAddr = *rdv
+	rendezvousNet = *rdvNet
+	localRanks = *lranks
+	procIndex = *procIdx
+	generation = *gen
+	serveRdv = *srvRdv
 	if *fault != "" {
 		plan, err := parseFault(*fault)
 		if err != nil {
@@ -197,15 +226,45 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 	if timelineOut != "" {
 		tl = trace.NewTimeline()
 	}
-	res, err := b.Run(candle.RunConfig{
+	cfg := candle.RunConfig{
 		Ranks: ranks, TotalEpochs: epochs, WeakScaling: weak, Batch: batch,
 		DType:  dtypeMode,
 		Engine: loader, CacheDir: cacheDir,
 		DataDir: dataDir, Seed: seed, ScaleLR: scaleLR,
 		ParameterServer: psMode, Timeline: tl, Overlap: overlapMode,
 		Faults: injectFault, Elastic: elastic,
-		CheckpointDir: ckptDir, Resume: ckptDir != "" && elastic,
-	})
+		CheckpointDir: ckptDir, Resume: ckptDir != "" && (elastic || generation > 0),
+		Transport: transportName, Rendezvous: rendezvousAddr,
+		RendezvousNetwork: rendezvousNet, LocalRanks: localRanks,
+		ProcIndex: procIndex, Generation: generation,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if serveRdv {
+		// The hand-run two-terminal form: this worker also hosts the
+		// rendezvous round the others (and itself) join. Under
+		// candle-launch the launcher serves instead.
+		if rendezvousAddr == "" {
+			return fmt.Errorf("-serve-rendezvous needs -rendezvous")
+		}
+		if localRanks <= 0 || ranks%localRanks != 0 {
+			return fmt.Errorf("-serve-rendezvous derives the proc count from -ranks/-local-ranks; %d ranks do not split into %d-rank workers", ranks, localRanks)
+		}
+		network := rendezvousNet
+		if network == "" {
+			network = transportName
+		}
+		srv, err := launch.Serve(launch.ServerConfig{
+			Network: network, Addr: rendezvousAddr,
+			Procs: ranks / localRanks, Gen: generation,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+	res, err := b.Run(cfg)
 	if err != nil {
 		return err
 	}
@@ -228,6 +287,11 @@ func runReal(bench string, ranks, epochs, batch int, loader string, weak, scaleL
 		fmt.Printf("timeline: %d events -> %s\n", tl.Len(), timelineOut)
 	}
 	r := res.Root
+	if rendezvousAddr != "" {
+		lo := res.Ranks[0].Rank
+		fmt.Printf("worker %d: ranks %d..%d of a %d-rank world over %s\n",
+			procIndex, lo, lo+len(res.Ranks)-1, ranks, transportName)
+	}
 	fmt.Printf("%s (real, scaled dataset %dx%d), %d ranks, %d epochs/rank, %s loader\n",
 		bench, b.Spec.TrainSamples, b.Spec.Features, len(res.Ranks), r.Epochs, reader.Name())
 	fmt.Printf("  data loading   %8.4f s\n", r.LoadSeconds)

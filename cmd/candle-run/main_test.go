@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"candle/internal/candle"
+)
 
 func TestRunSimMode(t *testing.T) {
 	if err := runMain("NT3", "sim", "summit", 48, 0, 0, "chunked", false, false, 1, ""); err != nil {
@@ -16,6 +21,45 @@ func TestRunSimMode(t *testing.T) {
 
 func TestRunRealMode(t *testing.T) {
 	if err := runMain("NT3", "real", "", 2, 4, 7, "chunked", false, true, 3, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRealServeRendezvous exercises the hand-run two-terminal form
+// the README documents: -serve-rendezvous makes worker 0 host the
+// round at the agreed address while a second worker (here driven
+// through the candle API, standing in for the other terminal) joins
+// the same address.
+func TestRunRealServeRendezvous(t *testing.T) {
+	dir := t.TempDir()
+	addr := filepath.Join(dir, "rdv.sock")
+	t.Cleanup(func() {
+		transportName, rendezvousAddr, localRanks, procIndex, serveRdv = "", "", 0, 0, false
+	})
+	transportName, rendezvousAddr = "unix", addr
+	localRanks, procIndex, serveRdv = 1, 0, true
+
+	// The peer mirrors runReal exactly (same benchmark scale, same
+	// config); the host prepares the shared CSVs before it serves the
+	// round, and the peer only reads them after the round completes.
+	b, err := candle.Default("NT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	peerErr := make(chan error, 1)
+	go func() {
+		_, err := b.Run(candle.RunConfig{
+			Ranks: 2, TotalEpochs: 2, Batch: 7, Seed: 3, ScaleLR: true,
+			DataDir: dataDir, Transport: "unix", Rendezvous: addr,
+			LocalRanks: 1, ProcIndex: 1,
+		})
+		peerErr <- err
+	}()
+	if err := runMain("NT3", "real", "", 2, 2, 7, "chunked", false, true, 3, dataDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-peerErr; err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,8 +2,9 @@
 // run configuration from a seed — pilot, ranks, engine, precision,
 // overlap, parameter server, fault plan, checkpoint cadence — executes
 // it under a deadlock watchdog, and checks machine-verified invariants
-// (determinism, checkpoint import/export, fault outcomes, overlap and
-// dtype equivalences). Every failure prints a one-line repro.
+// (determinism, checkpoint import/export, fault outcomes, and the
+// overlap, dtype, and transport equivalences). Every failure prints a
+// one-line repro.
 //
 //	candle-sim -seed 42 -verbose          # replay one seed, narrated
 //	candle-sim -seeds 25                  # sweep seeds 1..25, fail fast
@@ -33,7 +34,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "scenario seed to check")
 	seeds := fs.Int("seeds", 0, "sweep this many consecutive seeds starting at -start-seed (0 = just -seed)")
 	startSeed := fs.Int64("start-seed", 1, "first seed of a -seeds sweep")
-	check := fs.String("check", "all", "invariant selection: all, determinism, overlap, dtype, import-export, faults")
+	check := fs.String("check", "all", "invariant selection: all, determinism, overlap, dtype, import-export, transport, faults")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-run watchdog timeout before declaring a deadlock")
 	shrink := fs.Bool("shrink", false, "on failure, bisect the fault plan to a minimal failing scenario")
 	verbose := fs.Bool("verbose", false, "narrate every run")

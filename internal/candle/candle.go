@@ -37,12 +37,14 @@ type Benchmark struct {
 	Loss nn.Loss
 }
 
-// scaleDiv values give real-mode datasets that train in milliseconds
-// per epoch while keeping every structural property (wide rows for
-// NT3/P1B1/P1B2, many narrow rows for P1B3).
+// DefaultSampleDiv and DefaultFeatureDiv give real-mode datasets that
+// train in milliseconds per epoch while keeping every structural
+// property (wide rows for NT3/P1B1/P1B2, many narrow rows for P1B3).
+// Default uses them; CLIs that expose scale flags should default to
+// them too — a divisor of 1 is the paper's full shape.
 const (
-	defaultSampleDiv  = 8
-	defaultFeatureDiv = 150
+	DefaultSampleDiv  = 8
+	DefaultFeatureDiv = 150
 )
 
 // NT3 returns the NT3 benchmark (1-D convolutional classifier of
@@ -149,7 +151,7 @@ func P1B3(sampleDiv, featureDiv int) *Benchmark {
 
 // Default returns the named benchmark at the default real-mode scale.
 func Default(name string) (*Benchmark, error) {
-	return Scaled(name, defaultSampleDiv, defaultFeatureDiv)
+	return Scaled(name, DefaultSampleDiv, DefaultFeatureDiv)
 }
 
 // Scaled returns the named benchmark at the given scale divisors.

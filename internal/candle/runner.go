@@ -16,6 +16,7 @@ import (
 	"candle/internal/nn"
 	"candle/internal/tensor"
 	"candle/internal/trace"
+	"candle/internal/transport"
 )
 
 // RunConfig controls one real-mode benchmark run.
@@ -98,16 +99,44 @@ type RunConfig struct {
 	// Elastic turns rank failures into restarts: the run resumes on a
 	// world shrunk by the failed ranks, restoring from the latest
 	// checkpoint when CheckpointDir is set. Without it a rank failure
-	// aborts the run with a *mpi.RankFailedError.
+	// aborts the run with a *mpi.RankFailedError. In distributed mode
+	// (Rendezvous set) elasticity belongs to the launcher, which
+	// respawns a new generation; Validate rejects the combination.
 	Elastic bool
+	// Transport selects the rank link layer: "" or "inproc" hosts
+	// every rank in this process over channels; "unix" or "tcp" makes
+	// this process one worker of a multi-process world whose
+	// cross-process links run over internal/transport connections.
+	Transport string
+	// Rendezvous is the control-plane address of the candle-launch
+	// rendezvous server. Setting it switches Run into distributed
+	// worker mode: Ranks is then the expected total world size and
+	// LocalRanks the share this process hosts.
+	Rendezvous string
+	// RendezvousNetwork is the control-plane socket family; empty
+	// derives it from the transport ("tcp" for tcp, "unix" otherwise).
+	RendezvousNetwork string
+	// LocalRanks is how many of the world's ranks this process hosts
+	// (distributed mode only).
+	LocalRanks int
+	// ProcIndex is this process's index in the launch group; rank
+	// ranges are assigned in proc order.
+	ProcIndex int
+	// Generation is the elastic generation stamp from the launcher;
+	// stale workers from a previous generation are rejected at
+	// rendezvous and hello time.
+	Generation int
 	// KeepWeights records every rank's full final weight vector in its
 	// RankResult. Off by default: it is a full model copy per rank,
 	// wanted only by bit-identity checks like candle-sim's.
 	KeepWeights bool
 }
 
-// Validate checks the data-pipeline side of the config: Engine must
-// name a registered engine, and DType must parse.
+// Validate checks the static side of the config: Engine must name a
+// registered engine, DType must parse, and the transport/rendezvous
+// fields must form a coherent mode — a distributed transport without a
+// rendezvous address (or vice versa for the per-process fields) is
+// rejected here rather than hanging at join time.
 func (cfg *RunConfig) Validate() error {
 	if cfg.Engine != "" {
 		if _, err := csvio.ByName(cfg.Engine); err != nil {
@@ -119,7 +148,51 @@ func (cfg *RunConfig) Validate() error {
 			return err
 		}
 	}
+	if cfg.Transport != "" {
+		if _, err := transport.ByName(cfg.Transport); err != nil {
+			return err
+		}
+	}
+	distributed := cfg.Transport != "" && cfg.Transport != "inproc"
+	if distributed && cfg.Rendezvous == "" {
+		return fmt.Errorf("candle: transport %q needs a rendezvous address", cfg.Transport)
+	}
+	if cfg.Rendezvous != "" {
+		if cfg.LocalRanks <= 0 {
+			return fmt.Errorf("candle: distributed mode needs local ranks > 0, got %d", cfg.LocalRanks)
+		}
+		if cfg.Ranks > 0 && cfg.LocalRanks > cfg.Ranks {
+			return fmt.Errorf("candle: local ranks %d exceed world size %d", cfg.LocalRanks, cfg.Ranks)
+		}
+		if cfg.ProcIndex < 0 {
+			return fmt.Errorf("candle: proc index must be non-negative, got %d", cfg.ProcIndex)
+		}
+		if cfg.Elastic {
+			return fmt.Errorf("candle: elastic restarts in distributed mode belong to the launcher; run candle-launch -elastic instead")
+		}
+	} else {
+		if cfg.LocalRanks > 0 {
+			return fmt.Errorf("candle: local ranks set without a rendezvous address")
+		}
+		if cfg.ProcIndex != 0 {
+			return fmt.Errorf("candle: proc index set without a rendezvous address")
+		}
+		if cfg.Generation != 0 {
+			return fmt.Errorf("candle: generation set without a rendezvous address")
+		}
+	}
 	return nil
+}
+
+// rendezvousNetwork resolves the control-plane socket family.
+func (cfg *RunConfig) rendezvousNetwork() string {
+	if cfg.RendezvousNetwork != "" {
+		return cfg.RendezvousNetwork
+	}
+	if cfg.Transport == "tcp" {
+		return "tcp"
+	}
+	return "unix"
 }
 
 // engineForRank builds the rank's CSV engine through the registry:
@@ -221,6 +294,9 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Rendezvous != "" {
+		return b.runDistributed(cfg)
+	}
 	size := cfg.Ranks
 	var failures []FailureRecord
 	for {
@@ -253,6 +329,25 @@ func (b *Benchmark) Run(cfg RunConfig) (*RunResult, error) {
 // on `ranks` in-process workers. forceResume restores from the latest
 // checkpoint regardless of cfg.Resume — the elastic restart path.
 func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]RankResult, error) {
+	world := mpi.NewWorld(ranks)
+	if cfg.Faults != nil {
+		world.InjectFaults(cfg.Faults)
+	}
+	return b.runOnWorld(cfg, world, forceResume, true)
+}
+
+// runOnWorld runs the three benchmark phases on an already-built world
+// — complete (the in-process path) or partial (one worker process of a
+// distributed run). The schedule depends only on global quantities
+// (world size, rank, seed), so the same config produces bit-identical
+// weights whether the world lives in one process or several. It
+// returns results for the locally hosted ranks, ascending.
+// setWorkers=false leaves the tensor worker budget alone, for callers
+// hosting several worlds in one process (RunMultiProc) that set a
+// process-wide budget themselves.
+func (b *Benchmark) runOnWorld(cfg RunConfig, world *mpi.World, forceResume, setWorkers bool) ([]RankResult, error) {
+	ranks := world.Size()
+	locals := world.LocalRanks()
 	batch := cfg.Batch
 	if batch <= 0 {
 		batch = b.Cal.DefaultBatch
@@ -263,18 +358,16 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 	}
 	trainPath, testPath := b.Files(cfg.DataDir)
 
-	// Each rank is one goroutine driving tensor kernels; divide the
-	// machine between them instead of letting R ranks each fan out to
-	// GOMAXPROCS kernel goroutines — the oversubscription the paper
+	// Each local rank is one goroutine driving tensor kernels; divide
+	// the machine between them instead of letting R ranks each fan out
+	// to GOMAXPROCS kernel goroutines — the oversubscription the paper
 	// flags on shared nodes. The budget is global and restored on
 	// return so nested or subsequent runs see the caller's setting.
-	prevWorkers := tensor.SetWorkers(max(1, runtime.GOMAXPROCS(0)/ranks))
-	defer tensor.SetWorkers(prevWorkers)
-
-	world := mpi.NewWorld(ranks)
-	if cfg.Faults != nil {
-		world.InjectFaults(cfg.Faults)
+	if setWorkers {
+		prevWorkers := tensor.SetWorkers(max(1, runtime.GOMAXPROCS(0)/len(locals)))
+		defer tensor.SetWorkers(prevWorkers)
 	}
+
 	results := make([]RankResult, ranks)
 	var mu sync.Mutex
 	runStart := time.Now()
@@ -494,7 +587,11 @@ func (b *Benchmark) runAttempt(cfg RunConfig, ranks int, forceResume bool) ([]Ra
 	if err != nil {
 		return nil, err
 	}
-	return results, nil
+	out := make([]RankResult, 0, len(locals))
+	for _, r := range locals {
+		out = append(out, results[r])
+	}
+	return out, nil
 }
 
 func lrOrDefault(lr float64) float64 {

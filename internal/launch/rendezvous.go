@@ -1,0 +1,314 @@
+// Package launch coordinates multi-process training: a rendezvous
+// server that worker processes register with, rank assignment, and the
+// full-mesh data-plane handshake that turns a set of processes into
+// one mpi world (via mpi.NewPartialWorld).
+//
+// The control plane is deliberately simple — JSON lines over a Unix or
+// TCP socket:
+//
+//	worker → server  {"type":"join","proc":0,"ranks":2,"addr":"...","transport":"unix"}
+//	server → worker  {"type":"assign","world":4,"rank_lo":0,"rank_hi":2,"gen":0,"peers":[...]}
+//	server → worker  {"type":"error","code":"duplicate","msg":"..."}
+//
+// Once assigned, workers open the data plane themselves: one
+// internal/transport connection per ordered rank pair that crosses a
+// process boundary, identified by a hello frame (src, dst, generation),
+// dialed by the source side. The rendezvous server is not involved in
+// data transfer and can exit once every round is assigned.
+package launch
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Typed rendezvous failures, mapped across the wire via error codes.
+var (
+	// ErrDuplicateProc reports a second join with an already-registered
+	// proc index.
+	ErrDuplicateProc = errors.New("launch: duplicate proc registration")
+	// ErrRendezvousTimeout reports a round that never completed: some
+	// procs joined, the rest never arrived.
+	ErrRendezvousTimeout = errors.New("launch: rendezvous timed out waiting for procs")
+	// ErrRendezvousClosed reports a server shut down (e.g. the launcher
+	// caught SIGTERM) while workers were still waiting.
+	ErrRendezvousClosed = errors.New("launch: rendezvous closed")
+)
+
+// errCode maps a typed failure to its wire code and back.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrDuplicateProc):
+		return "duplicate"
+	case errors.Is(err, ErrRendezvousTimeout):
+		return "timeout"
+	case errors.Is(err, ErrRendezvousClosed):
+		return "closed"
+	}
+	return "error"
+}
+
+func codeErr(code, msg string) error {
+	var base error
+	switch code {
+	case "duplicate":
+		base = ErrDuplicateProc
+	case "timeout":
+		base = ErrRendezvousTimeout
+	case "closed":
+		base = ErrRendezvousClosed
+	default:
+		return fmt.Errorf("launch: rendezvous error: %s", msg)
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// wireMsg is every control-plane message; Type selects the fields.
+type wireMsg struct {
+	Type      string     `json:"type"`
+	Proc      int        `json:"proc,omitempty"`
+	Ranks     int        `json:"ranks,omitempty"`
+	Addr      string     `json:"addr,omitempty"`
+	Transport string     `json:"transport,omitempty"`
+	World     int        `json:"world,omitempty"`
+	RankLo    int        `json:"rank_lo,omitempty"`
+	RankHi    int        `json:"rank_hi,omitempty"`
+	Gen       int        `json:"gen,omitempty"`
+	Peers     []peerInfo `json:"peers,omitempty"`
+	Code      string     `json:"code,omitempty"`
+	Msg       string     `json:"msg,omitempty"`
+}
+
+// peerInfo describes one assigned process to the others.
+type peerInfo struct {
+	Proc   int    `json:"proc"`
+	RankLo int    `json:"rank_lo"`
+	RankHi int    `json:"rank_hi"`
+	Addr   string `json:"addr"`
+}
+
+// ServerConfig configures a rendezvous round.
+type ServerConfig struct {
+	// Network is the control-plane socket family: "unix" or "tcp".
+	Network string
+	// Addr is the listen address; empty mints one (a temp-dir socket
+	// path for unix, a loopback ephemeral port for tcp).
+	Addr string
+	// Procs is the number of worker processes the round waits for.
+	Procs int
+	// Gen is the world generation, stamped into assignments so stale
+	// workers from a previous elastic generation are rejected by peers.
+	Gen int
+	// Timeout bounds the whole round; 0 means no timeout.
+	Timeout time.Duration
+}
+
+// Server runs one rendezvous round: it collects Procs joins, assigns
+// contiguous rank ranges in proc-index order, and replies to every
+// worker with the full peer map.
+type Server struct {
+	cfg     ServerConfig
+	ln      net.Listener
+	cleanup string
+
+	joins     chan joinConn
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      chan struct{}
+	err       error
+}
+
+type joinConn struct {
+	conn net.Conn
+	msg  wireMsg
+}
+
+// Serve binds the control socket and starts the round.
+func Serve(cfg ServerConfig) (*Server, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("launch: rendezvous needs a positive proc count, got %d", cfg.Procs)
+	}
+	if cfg.Network == "" {
+		cfg.Network = "unix"
+	}
+	addr, cleanup := cfg.Addr, ""
+	if addr == "" {
+		if cfg.Network == "tcp" {
+			addr = "127.0.0.1:0"
+		} else {
+			dir, err := os.MkdirTemp("", "candle-rdv-")
+			if err != nil {
+				return nil, fmt.Errorf("launch: rendezvous socket dir: %w", err)
+			}
+			addr = filepath.Join(dir, "rdv.sock")
+			cleanup = dir
+		}
+	}
+	ln, err := net.Listen(cfg.Network, addr)
+	if err != nil {
+		if cleanup != "" {
+			os.RemoveAll(cleanup)
+		}
+		return nil, fmt.Errorf("launch: rendezvous listen %s %q: %w", cfg.Network, addr, err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		cleanup: cleanup,
+		joins:   make(chan joinConn),
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.acceptLoop()
+	go s.coordinate()
+	return s, nil
+}
+
+// Addr returns the control-plane address workers join.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Network returns the control-plane socket family.
+func (s *Server) Network() string { return s.cfg.Network }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func(c net.Conn) {
+			var msg wireMsg
+			if s.cfg.Timeout > 0 {
+				c.SetReadDeadline(time.Now().Add(s.cfg.Timeout))
+			}
+			if err := json.NewDecoder(bufio.NewReader(c)).Decode(&msg); err != nil || msg.Type != "join" {
+				c.Close()
+				return
+			}
+			c.SetReadDeadline(time.Time{})
+			select {
+			case s.joins <- joinConn{conn: c, msg: msg}:
+			case <-s.closed:
+				writeMsg(c, wireMsg{Type: "error", Code: errCode(ErrRendezvousClosed), Msg: "rendezvous closed"})
+				c.Close()
+			case <-s.done:
+				writeMsg(c, wireMsg{Type: "error", Code: "error", Msg: "rendezvous round already completed"})
+				c.Close()
+			}
+		}(c)
+	}
+}
+
+// coordinate collects joins until the round is complete, times out, or
+// the server closes, then answers every joined worker.
+func (s *Server) coordinate() {
+	defer close(s.done)
+	defer func() {
+		s.ln.Close()
+		if s.cleanup != "" {
+			os.RemoveAll(s.cleanup)
+		}
+	}()
+	var timeout <-chan time.Time
+	if s.cfg.Timeout > 0 {
+		tm := time.NewTimer(s.cfg.Timeout)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	joined := make(map[int]joinConn)
+	fail := func(err error, detail string) {
+		s.err = err
+		for _, j := range joined {
+			writeMsg(j.conn, wireMsg{Type: "error", Code: errCode(err), Msg: detail})
+			j.conn.Close()
+		}
+	}
+	for len(joined) < s.cfg.Procs {
+		select {
+		case j := <-s.joins:
+			if j.msg.Proc < 0 || j.msg.Proc >= s.cfg.Procs {
+				writeMsg(j.conn, wireMsg{Type: "error", Code: "error",
+					Msg: fmt.Sprintf("proc index %d outside [0,%d)", j.msg.Proc, s.cfg.Procs)})
+				j.conn.Close()
+				continue
+			}
+			if _, dup := joined[j.msg.Proc]; dup {
+				// The round keeps the first registration; the imposter
+				// gets the typed rejection.
+				writeMsg(j.conn, wireMsg{Type: "error", Code: errCode(ErrDuplicateProc),
+					Msg: fmt.Sprintf("proc %d already registered", j.msg.Proc)})
+				j.conn.Close()
+				continue
+			}
+			if j.msg.Ranks <= 0 {
+				writeMsg(j.conn, wireMsg{Type: "error", Code: "error",
+					Msg: fmt.Sprintf("proc %d declared %d ranks", j.msg.Proc, j.msg.Ranks)})
+				j.conn.Close()
+				continue
+			}
+			joined[j.msg.Proc] = j
+		case <-timeout:
+			fail(ErrRendezvousTimeout, fmt.Sprintf("%d of %d procs joined within %v", len(joined), s.cfg.Procs, s.cfg.Timeout))
+			return
+		case <-s.closed:
+			fail(ErrRendezvousClosed, "launcher shut down mid-rendezvous")
+			return
+		}
+	}
+
+	// Assign contiguous rank ranges in proc-index order.
+	procs := make([]int, 0, len(joined))
+	for p := range joined {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	peers := make([]peerInfo, len(procs))
+	lo := 0
+	for i, p := range procs {
+		j := joined[p]
+		peers[i] = peerInfo{Proc: p, RankLo: lo, RankHi: lo + j.msg.Ranks, Addr: j.msg.Addr}
+		lo += j.msg.Ranks
+	}
+	for i, p := range procs {
+		j := joined[p]
+		writeMsg(j.conn, wireMsg{
+			Type: "assign", World: lo, Gen: s.cfg.Gen,
+			RankLo: peers[i].RankLo, RankHi: peers[i].RankHi,
+			Peers: peers,
+		})
+		j.conn.Close()
+	}
+}
+
+// Wait blocks until the round completes (nil) or fails (the typed
+// error the workers were also given).
+func (s *Server) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Close shuts the round down. Workers still waiting are drained with
+// ErrRendezvousClosed; a round that already completed is unaffected.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.done
+	return nil
+}
+
+func writeMsg(c net.Conn, m wireMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err = c.Write(append(b, '\n'))
+	return err
+}

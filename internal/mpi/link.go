@@ -1,0 +1,391 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"candle/internal/transport"
+)
+
+// This file is the link layer under World: every ordered (src, dst)
+// rank pair communicates over a rankLink. Pairs hosted by one process
+// use chanLink — a buffered Go channel with exactly the semantics the
+// substrate has always had, so the in-process fast path stays
+// zero-alloc and select-based. Pairs that cross a process boundary use
+// an outLink/inLink pair built over a transport.Conn: the sending side
+// runs a writer goroutine that frames packets onto the wire (coalescing
+// bursts into one flush), the receiving side runs a reader goroutine
+// that decodes frames into a slab ring and feeds a channel with the
+// same capacity as a local link. Failure semantics carry across the
+// boundary: a world abort turns into an abort frame on every outgoing
+// link, an unexpected EOF (peer process died) turns into a local Abort
+// with ErrPeerLost, so a killed OS process surfaces to every peer as
+// the same typed *RankFailedError an in-process kill produces.
+
+// ErrPeerLost is the cause recorded when a cross-process link drops
+// without the clean done handshake — the peer process crashed or was
+// killed.
+var ErrPeerLost = errors.New("mpi: peer process lost")
+
+// rankLink is one ordered rank-pair link. send enqueues a packet unless
+// the world aborts first; recv dequeues the next packet, preferring
+// already-delivered packets over a concurrent abort (drain preference)
+// so in-flight protocol steps complete.
+type rankLink interface {
+	send(p packet, done <-chan struct{}) bool
+	recv(done <-chan struct{}) (packet, bool)
+}
+
+// chanLink is the in-process link: a buffered channel, FIFO per pair.
+type chanLink struct {
+	ch chan packet
+}
+
+func (l chanLink) send(p packet, done <-chan struct{}) bool {
+	select {
+	case l.ch <- p:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+func (l chanLink) recv(done <-chan struct{}) (packet, bool) {
+	select {
+	case p := <-l.ch:
+		return p, true
+	case <-done:
+		select {
+		case p := <-l.ch:
+			return p, true
+		default:
+			return packet{}, false
+		}
+	}
+}
+
+// Pair names one ordered rank pair, the key for cross-process links.
+type Pair struct {
+	Src, Dst int
+}
+
+// outLink is the sending half of a cross-process link. Packets queue on
+// out (same capacity as a local link, so the scratch-slab reuse
+// argument is unchanged: at most linkBuffer packets queued plus one
+// being framed is linkBuffer+1 outstanding slabs, and the ring holds
+// linkBuffer+2); a writer goroutine frames them onto the conn,
+// coalescing back-to-back packets into a single flush.
+type outLink struct {
+	w        *World
+	src, dst int
+	conn     transport.Conn
+	out      chan packet
+}
+
+func (l *outLink) send(p packet, done <-chan struct{}) bool {
+	select {
+	case l.out <- p:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+func (l *outLink) recv(<-chan struct{}) (packet, bool) {
+	panic(fmt.Sprintf("mpi: recv on outgoing link from rank %d", l.src))
+}
+
+// writer drains the out queue onto the wire. It exits on a closed queue
+// (clean finish: done frame) or a world abort (abort frame naming the
+// originating rank), flushing either way so the peer sees the outcome.
+func (l *outLink) writer() {
+	defer l.w.remoteWG.Done()
+	var f transport.Frame
+	writeOne := func(p packet) bool {
+		f.Kind, f.Tag, f.F64, f.Raw = transport.KindData, int32(p.tag), p.data, nil
+		if err := l.conn.SendFrame(&f); err != nil {
+			// A dead write means the receiving process is gone; blame
+			// the remote end, same classification the reader's EOF gets.
+			if !l.w.closing.Load() {
+				l.w.Abort(l.dst, "send", fmt.Errorf("%w: write %d->%d: %v", ErrPeerLost, l.src, l.dst, err))
+			}
+			return false
+		}
+		return true
+	}
+	finish := func() {
+		ctl := transport.Frame{Kind: transport.KindDone}
+		if fail := l.w.failure.Load(); fail != nil {
+			ctl = transport.Frame{Kind: transport.KindAbort, Raw: transport.AbortPayload(fail.Rank, fail.Cause.Error())}
+		}
+		l.conn.SendFrame(&ctl)
+		l.conn.Flush()
+	}
+	for {
+		select {
+		case p, ok := <-l.out:
+			if !ok {
+				finish()
+				return
+			}
+			if !writeOne(p) {
+				return
+			}
+			// Coalesce: frame everything already queued, then flush once.
+		drain:
+			for {
+				select {
+				case p, ok := <-l.out:
+					if !ok {
+						finish()
+						return
+					}
+					if !writeOne(p) {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := l.conn.Flush(); err != nil {
+				if !l.w.closing.Load() {
+					l.w.Abort(l.dst, "send", fmt.Errorf("%w: flush %d->%d: %v", ErrPeerLost, l.src, l.dst, err))
+				}
+				return
+			}
+		case <-l.w.done:
+			finish()
+			return
+		}
+	}
+}
+
+// inLink is the receiving half of a cross-process link. A reader
+// goroutine decodes frames into a ring of scratchSlabs reusable frames
+// and feeds the in channel (capacity linkBuffer), which gives the
+// receiving side the same buffer depth and slab-reuse safety margin as
+// a local link: for the reader to overwrite slab m the consumer must
+// already have consumed packet m (see the scratchSlabs comment in
+// mpi.go — the identical argument, mirrored).
+type inLink struct {
+	w    *World
+	src  int
+	conn transport.Conn
+	in   chan packet
+}
+
+func (l *inLink) send(packet, <-chan struct{}) bool {
+	panic(fmt.Sprintf("mpi: send on incoming link from rank %d", l.src))
+}
+
+func (l *inLink) recv(done <-chan struct{}) (packet, bool) {
+	select {
+	case p, ok := <-l.in:
+		if !ok {
+			// The peer finished cleanly while this rank still expected
+			// data: a schedule divergence, surfaced as a lost peer.
+			l.w.Abort(l.src, "recv", ErrPeerLost)
+			return packet{}, false
+		}
+		return p, true
+	case <-done:
+		select {
+		case p, ok := <-l.in:
+			if ok {
+				return p, true
+			}
+		default:
+		}
+		return packet{}, false
+	}
+}
+
+// reader decodes frames off the wire into the in channel until a done
+// frame (clean close), an abort frame (remote failure, re-raised
+// locally), or a broken stream (peer lost).
+func (l *inLink) reader() {
+	defer l.w.remoteWG.Done()
+	var frames [scratchSlabs]transport.Frame
+	next := 0
+	for {
+		f := &frames[next]
+		err := l.conn.RecvFrame(f)
+		if err != nil {
+			if !l.w.closing.Load() {
+				if err == io.EOF {
+					err = ErrPeerLost
+				}
+				l.w.Abort(l.src, "recv", err)
+			}
+			return
+		}
+		switch f.Kind {
+		case transport.KindDone:
+			close(l.in)
+			return
+		case transport.KindAbort:
+			rank, msg, perr := transport.ParseAbort(f.Raw)
+			if perr != nil {
+				l.w.Abort(l.src, "recv", perr)
+				return
+			}
+			l.w.Abort(rank, "recv", remoteCause(msg))
+			return
+		case transport.KindData:
+			select {
+			case l.in <- packet{tag: int(f.Tag), data: f.F64}:
+				next++
+				if next == scratchSlabs {
+					next = 0
+				}
+			case <-l.w.done:
+				return
+			}
+		default:
+			l.w.Abort(l.src, "recv", fmt.Errorf("unexpected %d frame on data link", f.Kind))
+			return
+		}
+	}
+}
+
+// remoteCause maps a wire-carried failure message back to the local
+// sentinel it came from, so errors.Is classification (e.g. ErrKilled
+// for an injected kill) works across process boundaries.
+func remoteCause(msg string) error {
+	switch msg {
+	case ErrKilled.Error():
+		return ErrKilled
+	case ErrLinkFailed.Error():
+		return ErrLinkFailed
+	case ErrPeerLost.Error():
+		return ErrPeerLost
+	}
+	return errors.New(msg)
+}
+
+// NewPartialWorld creates a world of the given total size in which this
+// process hosts only the local ranks. conns carries one ready (post-
+// handshake) transport.Conn per ordered rank pair that crosses the
+// process boundary: for every local src and remote dst the conn this
+// side dialed, and for every remote src and local dst the conn this
+// side accepted. Reader and writer goroutines start immediately; Run
+// tears the links down when the local ranks finish.
+func NewPartialWorld(size int, local []int, conns map[Pair]transport.Conn) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	if len(local) == 0 {
+		return nil, errors.New("mpi: partial world with no local ranks")
+	}
+	sorted := append([]int(nil), local...)
+	sort.Ints(sorted)
+	isLocal := make([]bool, size)
+	for _, r := range sorted {
+		if r < 0 || r >= size {
+			return nil, fmt.Errorf("mpi: local rank %d outside world of size %d", r, size)
+		}
+		if isLocal[r] {
+			return nil, fmt.Errorf("mpi: local rank %d listed twice", r)
+		}
+		isLocal[r] = true
+	}
+
+	w := &World{
+		size:     size,
+		links:    make([][]rankLink, size),
+		scratch:  make([][]scratchRing, size),
+		segElems: defaultSegmentElems,
+		endpoint: make([]atomic.Int64, size),
+		done:     make(chan struct{}),
+		local:    sorted,
+	}
+	for s := 0; s < size; s++ {
+		w.links[s] = make([]rankLink, size)
+		w.scratch[s] = make([]scratchRing, size)
+	}
+	for s := 0; s < size; s++ {
+		for d := 0; d < size; d++ {
+			if s == d {
+				continue
+			}
+			switch {
+			case isLocal[s] && isLocal[d]:
+				w.links[s][d] = chanLink{ch: make(chan packet, linkBuffer)}
+			case isLocal[s]:
+				conn, ok := conns[Pair{Src: s, Dst: d}]
+				if !ok {
+					return nil, fmt.Errorf("mpi: missing outgoing conn for link %d->%d", s, d)
+				}
+				o := &outLink{w: w, src: s, dst: d, conn: conn, out: make(chan packet, linkBuffer)}
+				w.links[s][d] = o
+				w.outs = append(w.outs, o)
+			case isLocal[d]:
+				conn, ok := conns[Pair{Src: s, Dst: d}]
+				if !ok {
+					return nil, fmt.Errorf("mpi: missing incoming conn for link %d->%d", s, d)
+				}
+				i := &inLink{w: w, src: s, conn: conn, in: make(chan packet, linkBuffer)}
+				w.links[s][d] = i
+				w.ins = append(w.ins, i)
+			}
+			// Remote-remote pairs stay nil: no local Comm ever touches
+			// them, and the hosting processes own those links.
+		}
+	}
+	for _, o := range w.outs {
+		w.remoteWG.Add(1)
+		go o.writer()
+	}
+	for _, i := range w.ins {
+		w.remoteWG.Add(1)
+		go i.reader()
+	}
+	return w, nil
+}
+
+// finishTimeout bounds how long teardown waits for the remote link
+// goroutines before force-closing their conns to unwedge them.
+const finishTimeout = 3 * time.Second
+
+// finishRemote tears down the cross-process links after the local
+// ranks finish. On a clean run the out queues close, writers emit done
+// frames, and readers exit on the peers' done frames; after an abort
+// the writers have already emitted abort frames via the world's done
+// channel. Either way a peer that never answers cannot wedge teardown:
+// after finishTimeout the conns are force-closed, which unblocks any
+// goroutine stuck in a read or write.
+func (w *World) finishRemote() {
+	if len(w.outs) == 0 && len(w.ins) == 0 {
+		return
+	}
+	for _, o := range w.outs {
+		close(o.out)
+	}
+	finished := make(chan struct{})
+	go func() {
+		w.remoteWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(finishTimeout):
+		w.closing.Store(true)
+		w.closeConns()
+		<-finished
+	}
+	w.closing.Store(true)
+	w.closeConns()
+}
+
+func (w *World) closeConns() {
+	for _, o := range w.outs {
+		o.conn.Close()
+	}
+	for _, i := range w.ins {
+		i.conn.Close()
+	}
+}

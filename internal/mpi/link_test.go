@@ -1,0 +1,276 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"candle/internal/transport"
+)
+
+// connectWorlds builds two partial worlds covering ranks 0..size-1,
+// split into localA and localB, with every boundary-crossing link
+// carried over a transport.InprocPipe (the in-memory stand-in for a
+// socket: frames are copied, FIFO, and close gives EOF).
+func connectWorlds(t *testing.T, size int, localA, localB []int) (*World, *World) {
+	t.Helper()
+	inA := make(map[int]bool)
+	for _, r := range localA {
+		inA[r] = true
+	}
+	connsA := map[Pair]transport.Conn{}
+	connsB := map[Pair]transport.Conn{}
+	for s := 0; s < size; s++ {
+		for d := 0; d < size; d++ {
+			if s == d || inA[s] == inA[d] {
+				continue
+			}
+			src, dst := transport.InprocPipe()
+			if inA[s] {
+				connsA[Pair{Src: s, Dst: d}] = src
+				connsB[Pair{Src: s, Dst: d}] = dst
+			} else {
+				connsB[Pair{Src: s, Dst: d}] = src
+				connsA[Pair{Src: s, Dst: d}] = dst
+			}
+		}
+	}
+	wA, err := NewPartialWorld(size, localA, connsA)
+	if err != nil {
+		t.Fatalf("partial world A: %v", err)
+	}
+	wB, err := NewPartialWorld(size, localB, connsB)
+	if err != nil {
+		t.Fatalf("partial world B: %v", err)
+	}
+	return wA, wB
+}
+
+// runBoth drives both halves of a split world concurrently and returns
+// each half's Run error.
+func runBoth(t *testing.T, wA, wB *World, f func(c *Comm) error) (errA, errB error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = wA.Run(f) }()
+	go func() { defer wg.Done(); errB = wB.Run(f) }()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("split world deadlocked")
+	}
+	return errA, errB
+}
+
+// TestPartialWorldCollectives runs every collective across a world
+// split over two "processes" and checks the results match a complete
+// in-process world bit for bit.
+func TestPartialWorldCollectives(t *testing.T) {
+	const size = 4
+	const n = 1000
+	worker := func(results [][]float64) func(c *Comm) error {
+		return func(c *Comm) error {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(c.Rank()*n+i) * 0.25
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := c.AllreduceSum(data); err != nil {
+				return err
+			}
+			if err := c.AllreduceMean(data[:n/2]); err != nil {
+				return err
+			}
+			bc := make([]float64, 17)
+			if c.Rank() == 2 {
+				for i := range bc {
+					bc[i] = float64(i) * 1.5
+				}
+			}
+			if err := c.Broadcast(2, bc); err != nil {
+				return err
+			}
+			gathered := make([]float64, size*8)
+			if err := c.AllgatherInto(data[:8], gathered); err != nil {
+				return err
+			}
+			results[c.Rank()] = append(append(append([]float64(nil), data...), bc...), gathered...)
+			return nil
+		}
+	}
+
+	want := make([][]float64, size)
+	if err := NewWorld(size).Run(worker(want)); err != nil {
+		t.Fatalf("complete world: %v", err)
+	}
+
+	got := make([][]float64, size)
+	wA, wB := connectWorlds(t, size, []int{0, 1}, []int{2, 3})
+	errA, errB := runBoth(t, wA, wB, worker(got))
+	if errA != nil || errB != nil {
+		t.Fatalf("split world: A=%v B=%v", errA, errB)
+	}
+	for r := 0; r < size; r++ {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("rank %d: %d results, want %d", r, len(got[r]), len(want[r]))
+		}
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("rank %d result %d: split %v != complete %v", r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestPartialWorldUnevenSplit covers a 1/3 split (one rank alone in a
+// process) and point-to-point traffic across the boundary.
+func TestPartialWorldUnevenSplit(t *testing.T) {
+	wA, wB := connectWorlds(t, 4, []int{2}, []int{0, 1, 3})
+	errA, errB := runBoth(t, wA, wB, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(2, 0, []float64{41, 42}); err != nil {
+				return err
+			}
+		case 2:
+			got, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if len(got) != 2 || got[1] != 42 {
+				return fmt.Errorf("rank 2 got %v", got)
+			}
+			return c.Send(3, 0, got)
+		case 3:
+			got, err := c.Recv(2, 0)
+			if err != nil {
+				return err
+			}
+			if len(got) != 2 || got[0] != 41 {
+				return fmt.Errorf("rank 3 got %v", got)
+			}
+		}
+		return nil
+	})
+	if errA != nil || errB != nil {
+		t.Fatalf("A=%v B=%v", errA, errB)
+	}
+}
+
+// TestPartialWorldAbortPropagates injects a kill into one half and
+// checks the other half's blocked collectives unwind with the same
+// typed error naming the originating rank — the cross-process version
+// of the in-process abort contract, including errors.Is(ErrKilled)
+// surviving the wire.
+func TestPartialWorldAbortPropagates(t *testing.T) {
+	wA, wB := connectWorlds(t, 4, []int{0, 1}, []int{2, 3})
+	wB.InjectFaults(NewFaultPlan().KillAt(3, 2))
+	errA, errB := runBoth(t, wA, wB, func(c *Comm) error {
+		data := make([]float64, 256)
+		for i := 0; i < 10; i++ {
+			if err := c.AllreduceSum(data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for side, err := range map[string]error{"A": errA, "B": errB} {
+		var rf *RankFailedError
+		if !errors.As(err, &rf) {
+			t.Fatalf("side %s: %v, want *RankFailedError", side, err)
+		}
+		if rf.Rank != 3 {
+			t.Fatalf("side %s blames rank %d, want 3 (err: %v)", side, rf.Rank, err)
+		}
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("side %s lost the ErrKilled cause: %v", side, err)
+		}
+	}
+}
+
+// TestPartialWorldPeerLost severs every cross-boundary conn without the
+// done handshake — the wire view of a SIGKILLed peer process — and
+// checks the surviving half unwinds with ErrPeerLost instead of
+// hanging.
+func TestPartialWorldPeerLost(t *testing.T) {
+	wA, wB := connectWorlds(t, 4, []int{0, 1}, []int{2, 3})
+	// Sever B's side of the mesh: A's readers see EOF, A's writers see
+	// closed pipes.
+	wB.closing.Store(true) // keep B's own goroutines from treating this as a local failure
+	wB.closeConns()
+	err := wA.Run(func(c *Comm) error {
+		data := make([]float64, 64)
+		for {
+			if err := c.AllreduceSum(data); err != nil {
+				return err
+			}
+		}
+	})
+	var rf *RankFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("%v, want *RankFailedError", err)
+	}
+	if !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("cause %v, want ErrPeerLost", err)
+	}
+	if rf.Rank != 2 && rf.Rank != 3 {
+		t.Fatalf("blamed rank %d, want one of the lost peers (2 or 3)", rf.Rank)
+	}
+}
+
+// TestPartialWorldEarlyDone covers schedule divergence: one half
+// finishes cleanly while the other still expects data. The stuck half
+// must surface ErrPeerLost, not deadlock.
+func TestPartialWorldEarlyDone(t *testing.T) {
+	wA, wB := connectWorlds(t, 2, []int{0}, []int{1})
+	errA, errB := runBoth(t, wA, wB, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return nil // exits immediately; rank 0 still wants a barrier
+		}
+		return c.Barrier()
+	})
+	if !errors.Is(errA, ErrPeerLost) {
+		t.Fatalf("stuck side: %v, want ErrPeerLost", errA)
+	}
+	// The clean-exit side may either finish before the abort lands (nil)
+	// or observe the propagated abort during teardown — both are typed.
+	if errB != nil && !errors.Is(errB, ErrPeerLost) {
+		t.Fatalf("clean-exit side: %v, want nil or ErrPeerLost", errB)
+	}
+}
+
+// TestPartialWorldValidation covers constructor rejection paths.
+func TestPartialWorldValidation(t *testing.T) {
+	if _, err := NewPartialWorld(4, nil, nil); err == nil {
+		t.Fatal("no local ranks accepted")
+	}
+	if _, err := NewPartialWorld(4, []int{5}, nil); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := NewPartialWorld(4, []int{1, 1}, nil); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+	if _, err := NewPartialWorld(4, []int{0, 1}, map[Pair]transport.Conn{}); err == nil {
+		t.Fatal("missing boundary conns accepted")
+	}
+	w, err := NewPartialWorld(2, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatalf("fully local partial world: %v", err)
+	}
+	if got := w.LocalRanks(); len(got) != 2 {
+		t.Fatalf("LocalRanks = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Comm for non-local rank did not panic")
+		}
+	}()
+	wA, _ := connectWorlds(t, 2, []int{0}, []int{1})
+	wA.Comm(1)
+}

@@ -3,13 +3,16 @@
 // point Send/Recv, and the collectives Broadcast (binomial tree),
 // Allreduce (ring), Allgather (ring), and Barrier (dissemination).
 //
-// Ranks are goroutines; links are buffered Go channels, one per
-// ordered (src, dst) pair, so messages between a pair are FIFO exactly
-// as MPI guarantees for a single communicator. The collectives are the
-// real algorithms — the ring allreduce is the same
-// reduce-scatter/allgather scheme NCCL and Baidu's
-// tensorflow-allreduce use — so contention, pipelining, and straggler
-// effects genuinely occur rather than being merely modelled.
+// Ranks are goroutines; links are FIFO per ordered (src, dst) pair
+// exactly as MPI guarantees for a single communicator. Pairs hosted in
+// one process use buffered Go channels; a partial world
+// (NewPartialWorld) hosts a subset of ranks and carries the links that
+// cross the process boundary over internal/transport connections (Unix
+// sockets or TCP), so the same collectives run unchanged across OS
+// processes. The collectives are the real algorithms — the ring
+// allreduce is the same reduce-scatter/allgather scheme NCCL and
+// Baidu's tensorflow-allreduce use — so contention, pipelining, and
+// straggler effects genuinely occur rather than being merely modelled.
 //
 // The substrate has a real failure domain (fault.go): a rank that
 // errors or panics aborts the world, every blocked operation unwinds
@@ -29,10 +32,22 @@ type packet struct {
 	data []float64
 }
 
-// World owns the links for a fixed number of ranks.
+// World owns the links for a fixed number of ranks. A world is either
+// complete (NewWorld: every rank lives in this process, links are
+// channels) or partial (NewPartialWorld: this process hosts a subset of
+// ranks and the links that cross the process boundary run over a
+// transport.Conn each — see link.go).
 type World struct {
 	size  int
-	links [][]chan packet // links[src][dst]
+	links [][]rankLink // links[src][dst]
+	// local lists the ranks hosted by this process, ascending; nil
+	// means all of them.
+	local []int
+	// remote link bookkeeping for partial worlds (see link.go).
+	outs     []*outLink
+	ins      []*inLink
+	remoteWG sync.WaitGroup
+	closing  atomic.Bool
 	// scratch[src][dst] is the reusable send-buffer ring for the
 	// (src,dst) link; collectives copy outgoing payloads into it
 	// instead of allocating per message (see scratchRing).
@@ -102,18 +117,18 @@ func NewWorld(size int) *World {
 	}
 	w := &World{
 		size:     size,
-		links:    make([][]chan packet, size),
+		links:    make([][]rankLink, size),
 		scratch:  make([][]scratchRing, size),
 		segElems: defaultSegmentElems,
 		endpoint: make([]atomic.Int64, size),
 		done:     make(chan struct{}),
 	}
 	for s := 0; s < size; s++ {
-		w.links[s] = make([]chan packet, size)
+		w.links[s] = make([]rankLink, size)
 		w.scratch[s] = make([]scratchRing, size)
 		for d := 0; d < size; d++ {
 			if s != d {
-				w.links[s][d] = make(chan packet, linkBuffer)
+				w.links[s][d] = chanLink{ch: make(chan packet, linkBuffer)}
 			}
 		}
 	}
@@ -157,24 +172,55 @@ func (w *World) MaxEndpointBytes() int64 {
 	return mx
 }
 
-// Comm returns the communicator endpoint for one rank.
+// Comm returns the communicator endpoint for one rank, which must be
+// hosted by this process.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("mpi: rank %d outside world of size %d", rank, w.size))
 	}
+	if !w.isLocal(rank) {
+		panic(fmt.Sprintf("mpi: rank %d is not hosted by this process (local: %v)", rank, w.local))
+	}
 	return &Comm{world: w, rank: rank}
 }
 
-// Run executes f once per rank, each in its own goroutine, and waits
-// for all of them. A rank that returns an error or panics aborts the
-// world, so peers blocked in Send/Recv or a collective unwind within
-// one collective step instead of deadlocking. Run returns the
-// originating failure (as a *RankFailedError wrapping the rank's
-// error), never the cascade errors the other ranks observed.
+// LocalRanks returns the ranks hosted by this process, ascending.
+func (w *World) LocalRanks() []int {
+	if w.local == nil {
+		all := make([]int, w.size)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return append([]int(nil), w.local...)
+}
+
+func (w *World) isLocal(rank int) bool {
+	if w.local == nil {
+		return true
+	}
+	for _, r := range w.local {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes f once per locally hosted rank, each in its own
+// goroutine, and waits for all of them. A rank that returns an error or
+// panics aborts the world, so peers blocked in Send/Recv or a
+// collective unwind within one collective step instead of deadlocking.
+// Run returns the originating failure (as a *RankFailedError wrapping
+// the rank's error), never the cascade errors the other ranks observed.
+// For a partial world, Run also tears down the cross-process links
+// when the local ranks finish: done frames on a clean exit, abort
+// frames on a failure, so the peer processes observe the same outcome.
 func (w *World) Run(f func(c *Comm) error) error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
-	for r := 0; r < w.size; r++ {
+	for _, r := range w.LocalRanks() {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -194,6 +240,7 @@ func (w *World) Run(f func(c *Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
+	w.finishRemote()
 	if fail := w.failure.Load(); fail != nil {
 		return fail
 	}
@@ -244,9 +291,7 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 		return w.abortError("send")
 	default:
 	}
-	select {
-	case w.links[c.rank][dst] <- packet{tag: tag, data: data}:
-	case <-w.done:
+	if !w.links[c.rank][dst].send(packet{tag: tag, data: data}, w.done) {
 		return w.abortError("send")
 	}
 	w.msgsSent.Add(1)
@@ -266,17 +311,9 @@ func (c *Comm) Recv(src, tag int) ([]float64, error) {
 		panic("mpi: recv from self")
 	}
 	w := c.world
-	var p packet
-	select {
-	case p = <-w.links[src][c.rank]:
-	case <-w.done:
-		// Drain preference: a packet already delivered should win over
-		// a concurrent abort so in-flight protocol steps complete.
-		select {
-		case p = <-w.links[src][c.rank]:
-		default:
-			return nil, w.abortError("recv")
-		}
+	p, ok := w.links[src][c.rank].recv(w.done)
+	if !ok {
+		return nil, w.abortError("recv")
 	}
 	if p.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, p.tag))

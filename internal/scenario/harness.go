@@ -39,11 +39,16 @@ type Checks struct {
 	// point, import with Continue, and require bit-identity with an
 	// uninterrupted run.
 	ImportExport bool
+	// Transport re-runs with the world's process split flipped —
+	// single-process channels vs two socket-linked worker sessions —
+	// and requires bit-identical training (the tentpole's cross-process
+	// determinism claim).
+	Transport bool
 }
 
 // AllChecks enables every invariant family.
 func AllChecks() Checks {
-	return Checks{Determinism: true, Overlap: true, DType: true, ImportExport: true}
+	return Checks{Determinism: true, Overlap: true, DType: true, ImportExport: true, Transport: true}
 }
 
 // ParseChecks maps a candle-sim -check flag value onto a selection.
@@ -59,10 +64,12 @@ func ParseChecks(name string) (Checks, error) {
 		return Checks{DType: true}, nil
 	case "import-export":
 		return Checks{ImportExport: true}, nil
+	case "transport":
+		return Checks{Transport: true}, nil
 	case "faults":
 		return Checks{}, nil // base run outcome classification only
 	default:
-		return Checks{}, fmt.Errorf("scenario: unknown check %q (want all, determinism, overlap, dtype, import-export, or faults)", name)
+		return Checks{}, fmt.Errorf("scenario: unknown check %q (want all, determinism, overlap, dtype, import-export, transport, or faults)", name)
 	}
 }
 
@@ -71,7 +78,7 @@ func ParseChecks(name string) (Checks, error) {
 // failure hands the user a command to reproduce it.
 type Violation struct {
 	Seed      int64
-	Invariant string // "fault-outcome", "determinism", "overlap-equivalence", "dtype-equivalence", "import-export", "no-hang", "sanity"
+	Invariant string // "fault-outcome", "determinism", "overlap-equivalence", "dtype-equivalence", "import-export", "transport-equivalence", "no-hang", "sanity"
 	Detail    string
 	Scenario  string // Describe() of the scenario that violated it
 	Err       error  // underlying error, when one exists (e.g. *DeadlockError)
@@ -206,6 +213,11 @@ func (h *Harness) Check(sc Scenario, checks Checks) error {
 	}
 	if checks.ImportExport {
 		if v := h.checkImportExport(&sc, exec); v != nil {
+			return v
+		}
+	}
+	if checks.Transport {
+		if v := h.checkTransport(&sc, base, exec); v != nil {
 			return v
 		}
 	}
@@ -508,6 +520,49 @@ func (h *Harness) checkImportExport(sc *Scenario, exec func(string, Scenario, fu
 		}
 		if a.FinalLoss != b.FinalLoss {
 			return h.violation(&resume, "import-export", "rank %d final loss differs after round trip: %v vs %v", i, a.FinalLoss, b.FinalLoss)
+		}
+	}
+	return nil
+}
+
+// checkTransport flips how the world's ranks are hosted — one process
+// of channel links vs two rendezvous'd sessions over Unix sockets —
+// and requires bit-identical training, the tentpole's claim that the
+// schedule depends only on global rank/size/seed, never on where a
+// rank lives. Skipped for odd worlds (no clean two-way split) and for
+// aborting fault plans (elastic recovery drops a whole session in the
+// multi-process world, one rank in the channel world — an intended
+// semantic difference, not an equivalence).
+func (h *Harness) checkTransport(sc *Scenario, base outcome, exec func(string, Scenario, func(*candle.RunConfig)) outcome) *Violation {
+	if sc.Ranks < 2 || sc.Ranks%2 != 0 || len(sc.abortFaults()) > 0 || base.err != nil {
+		return nil
+	}
+	flip := *sc
+	if sc.Transport == "" {
+		flip.Transport = "unix"
+	} else {
+		flip.Transport = ""
+	}
+	o := exec("transport-flip", flip, nil)
+	if v := h.classify(&flip, o); v != nil {
+		return v
+	}
+	if o.err != nil {
+		return h.violation(sc, "transport-equivalence", "run with Transport=%q failed: %v", flip.Transport, o.err)
+	}
+	if len(base.res.Ranks) != len(o.res.Ranks) {
+		return h.violation(sc, "transport-equivalence", "rank counts differ across transports: %d vs %d", len(base.res.Ranks), len(o.res.Ranks))
+	}
+	for i := range base.res.Ranks {
+		a, b := base.res.Ranks[i], o.res.Ranks[i]
+		if !equalF64(a.FinalWeights, b.FinalWeights) {
+			return h.violation(sc, "transport-equivalence", "rank %d weights with Transport=%q are not bit-identical to Transport=%q", i, sc.Transport, flip.Transport)
+		}
+		if a.FinalLoss != b.FinalLoss {
+			return h.violation(sc, "transport-equivalence", "rank %d final loss differs across transports: %v vs %v", i, a.FinalLoss, b.FinalLoss)
+		}
+		if a.AllreduceCalls != b.AllreduceCalls {
+			return h.violation(sc, "transport-equivalence", "rank %d allreduce count changed with the transport: %d vs %d", i, a.AllreduceCalls, b.AllreduceCalls)
 		}
 	}
 	return nil

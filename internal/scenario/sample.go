@@ -2,7 +2,8 @@
 // cmd/candle-sim: from a single int64 seed it deterministically draws a
 // full run configuration across the config space the repo has grown —
 // pilot × ranks × batch × engine × overlap × precision × fusion ×
-// parameter-server × fault plan × elastic × checkpoint cadence —
+// parameter-server × fault plan × elastic × checkpoint cadence ×
+// transport (single-process channels vs socket-linked sessions) —
 // executes it under a deadlock watchdog, and asserts machine-checked
 // invariants (determinism, checkpoint round-trip, fault outcome,
 // overlap/dtype equivalences). A failing seed reproduces with
@@ -76,7 +77,14 @@ type Scenario struct {
 	CheckpointEvery int
 	Elastic         bool
 	Continue        bool
-	Faults          []FaultSpec
+	// Transport selects where the world's ranks live: "" keeps the
+	// classic single-process channel world; "unix" splits the ranks
+	// over two rendezvous'd worker sessions whose cross-boundary links
+	// run over real Unix sockets (candle.RunMultiProc), sweeping the
+	// multi-process path through the same invariants. Drawn only for
+	// even rank counts, so the split is clean.
+	Transport string
+	Faults    []FaultSpec
 }
 
 // Dataset scale for every scenario: small enough that a multi-seed
@@ -169,6 +177,14 @@ func Sample(seed int64) Scenario {
 			Kind: "kill", Rank: rng.Intn(sc.Ranks - 1), Step: firstKillStep + 2 + rng.Intn(6),
 		})
 	}
+	// Transport split, drawn last so older seeds keep their exact fault
+	// draws. Elastic multi-process recovery drops the failed rank's
+	// whole session (two ranks, the launcher's shape) where the
+	// in-process world drops one rank — different invariant arithmetic
+	// — so aborting faults stay on the channel world.
+	if sc.Ranks >= 2 && sc.Ranks%2 == 0 && len(sc.abortFaults()) == 0 && rng.Intn(3) == 0 {
+		sc.Transport = "unix"
+	}
 	return sc
 }
 
@@ -251,6 +267,7 @@ func (sc *Scenario) Config(dataDir, ckptDir, cacheDir string, tl *trace.Timeline
 		ValidationFrac:  sc.ValidationFrac,
 		Elastic:         sc.Elastic,
 		Continue:        sc.Continue,
+		Transport:       sc.Transport,
 		KeepWeights:     true,
 		Faults:          sc.Plan(),
 	}
@@ -298,6 +315,9 @@ func (sc *Scenario) Describe() string {
 	}
 	if sc.Continue {
 		b.WriteString(" continue")
+	}
+	if sc.Transport != "" {
+		fmt.Fprintf(&b, " transport=%s(2 procs)", sc.Transport)
 	}
 	if len(sc.Faults) > 0 {
 		specs := make([]string, len(sc.Faults))

@@ -33,10 +33,23 @@ func TestSampleRespectsConstraints(t *testing.T) {
 	for _, e := range csvio.Engines() {
 		engines[e] = true
 	}
+	sawTransport := false
 	for seed := int64(1); seed <= 500; seed++ {
 		sc := Sample(seed)
 		if sc.Ranks < 1 || sc.Ranks > 4 {
 			t.Fatalf("seed %d: ranks %d out of range", seed, sc.Ranks)
+		}
+		if sc.Transport != "" {
+			sawTransport = true
+			if sc.Transport != "unix" {
+				t.Fatalf("seed %d: unknown transport %q", seed, sc.Transport)
+			}
+			if sc.Ranks%2 != 0 {
+				t.Fatalf("seed %d: transport split on an odd %d-rank world", seed, sc.Ranks)
+			}
+			if len(sc.abortFaults()) > 0 {
+				t.Fatalf("seed %d: aborting faults drawn on the multi-process world: %s", seed, sc.Describe())
+			}
 		}
 		perRank := sc.TotalEpochs
 		if !sc.WeakScaling {
@@ -88,6 +101,9 @@ func TestSampleRespectsConstraints(t *testing.T) {
 			}
 		}
 	}
+	if !sawTransport {
+		t.Fatal("500 seeds never drew the multi-process transport dimension")
+	}
 }
 
 func TestParseChecks(t *testing.T) {
@@ -98,6 +114,10 @@ func TestParseChecks(t *testing.T) {
 	det, err := ParseChecks("nondeterminism")
 	if err != nil || !det.Determinism || det.ImportExport {
 		t.Fatalf("nondeterminism: %+v, %v", det, err)
+	}
+	tr, err := ParseChecks("transport")
+	if err != nil || !tr.Transport || tr.Determinism {
+		t.Fatalf("transport: %+v, %v", tr, err)
 	}
 	if _, err := ParseChecks("bogus"); err == nil {
 		t.Fatal("unknown check accepted")
@@ -187,6 +207,52 @@ func TestWatchdogConvertsHangToDeadlockError(t *testing.T) {
 	var v *Violation
 	if !errors.As(err, &v) || v.Invariant != "no-hang" {
 		t.Fatalf("deadlock not filed as a no-hang violation: %v", err)
+	}
+}
+
+// TestTransportCheckPasses: the transport-equivalence invariant holds
+// for the real system — a channel-world scenario re-run as two
+// socket-linked sessions trains bit-identically, and a multi-process
+// base scenario flips back cleanly.
+func TestTransportCheckPasses(t *testing.T) {
+	h := &Harness{Timeout: time.Minute}
+	if err := h.Check(quickScenario(), Checks{Transport: true}); err != nil {
+		t.Fatal(err)
+	}
+	sc := quickScenario()
+	sc.Transport = "unix"
+	if err := h.Check(sc, Checks{Transport: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransportViolationIsCaught plants a run wrapper whose
+// multi-process path perturbs one weight; the transport-equivalence
+// invariant must flag the divergence.
+func TestTransportViolationIsCaught(t *testing.T) {
+	h := &Harness{
+		Timeout: time.Minute,
+		Run: func(b *candle.Benchmark, cfg candle.RunConfig) (*candle.RunResult, error) {
+			if cfg.Transport != "" && cfg.Transport != "inproc" {
+				res, err := b.RunMultiProc(cfg, 2)
+				if err == nil && len(res.Ranks) > 0 && len(res.Ranks[0].FinalWeights) > 0 {
+					res.Ranks[0].FinalWeights[0] += 1e-9 // the planted bug
+				}
+				return res, err
+			}
+			return b.Run(cfg)
+		},
+	}
+	err := h.Check(quickScenario(), Checks{Transport: true})
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("planted transport divergence not caught: %v", err)
+	}
+	// The flipped run's own classification catches the divergence first
+	// (replicas no longer bit-identical) or the equivalence check does;
+	// either way it must be attributed to one of the two invariants.
+	if v.Invariant != "transport-equivalence" && v.Invariant != "sanity" {
+		t.Fatalf("violation filed under %q: %v", v.Invariant, v)
 	}
 }
 

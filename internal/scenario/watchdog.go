@@ -41,6 +41,12 @@ func (h *Harness) execute(seed int64, phase string, b *candle.Benchmark, cfg can
 	run := h.Run
 	if run == nil {
 		run = func(b *candle.Benchmark, cfg candle.RunConfig) (*candle.RunResult, error) {
+			// A socket transport without a rendezvous address is the
+			// harness's multi-process form: two rendezvous'd worker
+			// sessions inside this process, real links in between.
+			if cfg.Transport != "" && cfg.Transport != "inproc" && cfg.Rendezvous == "" {
+				return b.RunMultiProc(cfg, 2)
+			}
 			return b.Run(cfg)
 		}
 	}

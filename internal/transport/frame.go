@@ -1,0 +1,290 @@
+// Package transport is the pluggable link layer under internal/mpi: a
+// Transport turns an address into framed, FIFO, reliable byte links
+// (Conn) between ranks in different OS processes, so the same
+// collectives that run over in-process channels can run over Unix
+// sockets or TCP. Three implementations register themselves: "inproc"
+// (an in-memory reference used by tests and benchmarks), "unix"
+// (stream sockets on one host), and "tcp" (cross-host).
+//
+// The wire format is a length-prefixed, CRC-framed message:
+//
+//	offset size  field
+//	0      4     magic "CWF1"
+//	4      1     kind (hello, data, done, abort)
+//	5      4     tag, int32 little-endian
+//	9      4     payload length in bytes, uint32 little-endian
+//	13     n     payload (data frames: float64 little-endian)
+//	13+n   4     CRC32-C over bytes [0, 13+n)
+//
+// The length prefix is validated against a configurable maximum
+// *before* any allocation, so an attacker-controlled header can never
+// drive a huge make; truncation, bad magic, and CRC flips all surface
+// as typed errors (never panics) — the same contract internal/dataload
+// enforces for its binary cache, fuzz-tested by FuzzDecodeFrame.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+)
+
+// Frame kinds. Hello opens a link (payload: src, dst, generation as
+// three int32s); Data carries one mpi message; Done announces a clean
+// end of stream; Abort propagates a world failure (payload: the failed
+// rank as an int32 followed by the cause rendered as UTF-8).
+const (
+	KindHello = 1
+	KindData  = 2
+	KindDone  = 3
+	KindAbort = 4
+)
+
+// frameMagic opens every frame; a stream that desynchronizes fails on
+// it immediately instead of misreading a payload as a header.
+var frameMagic = [4]byte{'C', 'W', 'F', '1'}
+
+// headerLen is the fixed prefix before the payload: magic, kind, tag,
+// and the payload length.
+const headerLen = 4 + 1 + 4 + 4
+
+// crcLen trails the payload.
+const crcLen = 4
+
+// DefaultMaxFrameBytes bounds a frame's payload unless the caller
+// overrides it: large enough for any gradient fusion buffer the repo
+// ships (64 MB default fusion), small enough that a corrupt or hostile
+// length prefix cannot exhaust memory.
+const DefaultMaxFrameBytes = 256 << 20
+
+// Typed decode errors. Every failure mode of ReadFrame wraps one of
+// these, so callers (and the fuzzer) can classify without string
+// matching.
+var (
+	// ErrBadMagic reports a frame that does not start with the magic.
+	ErrBadMagic = errors.New("transport: bad frame magic")
+	// ErrFrameTooLarge reports a length prefix above the configured
+	// maximum, detected before any payload allocation.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrChecksum reports a CRC mismatch over header plus payload.
+	ErrChecksum = errors.New("transport: frame checksum mismatch")
+	// ErrTruncated reports a stream that ended inside a frame.
+	ErrTruncated = errors.New("transport: truncated frame")
+	// ErrMalformed reports a structurally invalid frame (unknown kind,
+	// a data payload whose length is not a multiple of 8).
+	ErrMalformed = errors.New("transport: malformed frame")
+)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64), the
+// same polynomial the checkpoint and cache footers use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one decoded wire message. Data frames carry F64; control
+// frames carry Raw. Decode reuses both backing arrays, so a Frame is a
+// natural per-link scratch object.
+type Frame struct {
+	Kind byte
+	Tag  int32
+	// F64 is the payload of a data frame.
+	F64 []float64
+	// Raw is the payload of a control frame (hello, abort).
+	Raw []byte
+}
+
+// hostLittleEndian gates the unsafe []float64 <-> []byte reinterpret
+// fast path (the same probe internal/dataload uses for its cache).
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64Bytes reinterprets a float64 slice as its wire bytes without
+// copying on little-endian hosts; callers fall back to encodeF64Slow
+// when it returns nil.
+func f64Bytes(p []float64) []byte {
+	if !hostLittleEndian || len(p) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&p[0])), 8*len(p))
+}
+
+// encodeF64Slow appends p little-endian to dst (big-endian hosts).
+func encodeF64Slow(dst []byte, p []float64) []byte {
+	for _, v := range p {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// decodeF64 copies little-endian payload bytes into dst, which must
+// hold len(src)/8 elements.
+func decodeF64(dst []float64, src []byte) {
+	if b := f64Bytes(dst); b != nil {
+		copy(b, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+// putHeader writes the fixed frame prefix into h.
+func putHeader(h *[headerLen]byte, kind byte, tag int32, payloadLen int) {
+	copy(h[:4], frameMagic[:])
+	h[4] = kind
+	binary.LittleEndian.PutUint32(h[5:9], uint32(tag))
+	binary.LittleEndian.PutUint32(h[9:13], uint32(payloadLen))
+}
+
+// WriteFrame encodes one frame to w: header, payload, CRC. Data frames
+// take their payload from f.F64, control frames from f.Raw. The payload
+// is written by reference (no copy beyond w's own buffering), which is
+// what lets the mpi scratch slabs survive as the only copy on the send
+// path.
+func WriteFrame(w io.Writer, f *Frame) error {
+	var payload []byte
+	if f.Kind == KindData {
+		payload = f64Bytes(f.F64)
+		if payload == nil && len(f.F64) > 0 {
+			payload = encodeF64Slow(make([]byte, 0, 8*len(f.F64)), f.F64)
+		}
+	} else {
+		payload = f.Raw
+	}
+	var h [headerLen]byte
+	putHeader(&h, f.Kind, f.Tag, len(payload))
+	crc := crc32.Update(0, castagnoli, h[:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	var c [crcLen]byte
+	binary.LittleEndian.PutUint32(c[:], crc)
+	_, err := w.Write(c[:])
+	return err
+}
+
+// ReadFrame decodes the next frame from r into f, reusing f's payload
+// capacity. maxBytes bounds the payload length accepted (0 means
+// DefaultMaxFrameBytes); the check runs before the payload is read or
+// any buffer grown, so a hostile length prefix cannot drive a huge
+// allocation. On failure the error wraps exactly one of ErrBadMagic,
+// ErrFrameTooLarge, ErrChecksum, ErrTruncated, or ErrMalformed; a
+// clean end of stream before any header byte returns io.EOF.
+func ReadFrame(r io.Reader, f *Frame, maxBytes int) error {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxFrameBytes
+	}
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if [4]byte(h[:4]) != frameMagic {
+		return fmt.Errorf("%w: got % x", ErrBadMagic, h[:4])
+	}
+	kind := h[4]
+	if kind < KindHello || kind > KindAbort {
+		return fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
+	}
+	tag := int32(binary.LittleEndian.Uint32(h[5:9]))
+	n := binary.LittleEndian.Uint32(h[9:13])
+	if int64(n) > int64(maxBytes) {
+		return fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxBytes)
+	}
+	if kind == KindData && n%8 != 0 {
+		return fmt.Errorf("%w: data payload of %d bytes is not a float64 array", ErrMalformed, n)
+	}
+	crc := crc32.Update(0, castagnoli, h[:])
+	f.Kind, f.Tag = kind, tag
+	if kind == KindData {
+		elems := int(n) / 8
+		if cap(f.F64) < elems {
+			f.F64 = make([]float64, elems)
+		}
+		f.F64 = f.F64[:elems]
+		f.Raw = f.Raw[:0]
+		if b := f64Bytes(f.F64); b != nil {
+			if _, err := io.ReadFull(r, b); err != nil {
+				return fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+			}
+			crc = crc32.Update(crc, castagnoli, b)
+		} else if elems > 0 {
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+			}
+			crc = crc32.Update(crc, castagnoli, buf)
+			decodeF64(f.F64, buf)
+		}
+	} else {
+		if cap(f.Raw) < int(n) {
+			f.Raw = make([]byte, n)
+		}
+		f.Raw = f.Raw[:n]
+		f.F64 = f.F64[:0]
+		if n > 0 {
+			if _, err := io.ReadFull(r, f.Raw); err != nil {
+				return fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+			}
+			crc = crc32.Update(crc, castagnoli, f.Raw)
+		}
+	}
+	var c [crcLen]byte
+	if _, err := io.ReadFull(r, c[:]); err != nil {
+		return fmt.Errorf("%w: checksum: %v", ErrTruncated, err)
+	}
+	if got := binary.LittleEndian.Uint32(c[:]); got != crc {
+		return fmt.Errorf("%w: stored %08x computed %08x", ErrChecksum, got, crc)
+	}
+	return nil
+}
+
+// HelloPayload encodes a link-opening handshake: the ordered rank pair
+// the connection will carry, plus the world generation (elastic
+// restarts bump it so a stale dial from a previous world is rejected).
+func HelloPayload(src, dst, gen int) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(src))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(dst))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(gen))
+	return b
+}
+
+// ParseHello decodes a hello payload.
+func ParseHello(raw []byte) (src, dst, gen int, err error) {
+	if len(raw) != 12 {
+		return 0, 0, 0, fmt.Errorf("%w: hello payload of %d bytes", ErrMalformed, len(raw))
+	}
+	return int(int32(binary.LittleEndian.Uint32(raw[0:4]))),
+		int(int32(binary.LittleEndian.Uint32(raw[4:8]))),
+		int(int32(binary.LittleEndian.Uint32(raw[8:12]))), nil
+}
+
+// AbortPayload encodes a world-failure notification: the originating
+// rank and its cause rendered as text.
+func AbortPayload(rank int, msg string) []byte {
+	b := make([]byte, 4+len(msg))
+	binary.LittleEndian.PutUint32(b[0:4], uint32(rank))
+	copy(b[4:], msg)
+	return b
+}
+
+// ParseAbort decodes an abort payload.
+func ParseAbort(raw []byte) (rank int, msg string, err error) {
+	if len(raw) < 4 {
+		return 0, "", fmt.Errorf("%w: abort payload of %d bytes", ErrMalformed, len(raw))
+	}
+	return int(int32(binary.LittleEndian.Uint32(raw[0:4]))), string(raw[4:]), nil
+}

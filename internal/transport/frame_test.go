@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func encodeToBytes(t *testing.T, f *Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Kind: KindData, Tag: -3, F64: []float64{1.5, -2.25, math.Pi, 0, math.MaxFloat64, math.SmallestNonzeroFloat64}},
+		{Kind: KindData, Tag: 0, F64: nil},
+		{Kind: KindHello, Tag: 0, Raw: HelloPayload(3, 1, 2)},
+		{Kind: KindDone, Tag: 0},
+		{Kind: KindAbort, Tag: 0, Raw: AbortPayload(2, "mpi: injected rank kill")},
+	}
+	var got Frame
+	for i, f := range cases {
+		b := encodeToBytes(t, &f)
+		if err := ReadFrame(bytes.NewReader(b), &got, 0); err != nil {
+			t.Fatalf("case %d: ReadFrame: %v", i, err)
+		}
+		if got.Kind != f.Kind || got.Tag != f.Tag {
+			t.Fatalf("case %d: got kind=%d tag=%d, want kind=%d tag=%d", i, got.Kind, got.Tag, f.Kind, f.Tag)
+		}
+		if len(got.F64) != len(f.F64) {
+			t.Fatalf("case %d: got %d f64s, want %d", i, len(got.F64), len(f.F64))
+		}
+		for j := range f.F64 {
+			if math.Float64bits(got.F64[j]) != math.Float64bits(f.F64[j]) {
+				t.Fatalf("case %d: f64[%d] = %v, want %v", i, j, got.F64[j], f.F64[j])
+			}
+		}
+		if !bytes.Equal(got.Raw, f.Raw) && !(len(got.Raw) == 0 && len(f.Raw) == 0) {
+			t.Fatalf("case %d: raw payload mismatch", i)
+		}
+	}
+}
+
+func TestFrameRoundTripReusesBuffers(t *testing.T) {
+	big := encodeToBytes(t, &Frame{Kind: KindData, Tag: 1, F64: make([]float64, 1024)})
+	small := encodeToBytes(t, &Frame{Kind: KindData, Tag: 2, F64: []float64{1, 2, 3}})
+	var f Frame
+	if err := ReadFrame(bytes.NewReader(big), &f, 0); err != nil {
+		t.Fatal(err)
+	}
+	bigCap := cap(f.F64)
+	if err := ReadFrame(bytes.NewReader(small), &f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cap(f.F64) != bigCap {
+		t.Fatalf("small decode reallocated: cap %d, want reused %d", cap(f.F64), bigCap)
+	}
+	if len(f.F64) != 3 || f.F64[2] != 3 {
+		t.Fatalf("decode into reused buffer wrong: %v", f.F64)
+	}
+}
+
+func TestReadFrameTypedErrors(t *testing.T) {
+	valid := encodeToBytes(t, &Frame{Kind: KindData, Tag: 7, F64: []float64{1, 2, 3, 4}})
+	var f Frame
+
+	t.Run("empty stream is EOF", func(t *testing.T) {
+		if err := ReadFrame(bytes.NewReader(nil), &f, 0); err != io.EOF {
+			t.Fatalf("got %v, want io.EOF", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[0] ^= 0xff
+		if err := ReadFrame(bytes.NewReader(mut), &f, 0); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[4] = 99
+		if err := ReadFrame(bytes.NewReader(mut), &f, 0); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("got %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if err := ReadFrame(bytes.NewReader(valid[:7]), &f, 0); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		if err := ReadFrame(bytes.NewReader(valid[:headerLen+5]), &f, 0); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("truncated checksum", func(t *testing.T) {
+		if err := ReadFrame(bytes.NewReader(valid[:len(valid)-2]), &f, 0); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("payload bit flip", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[headerLen+3] ^= 0x01
+		if err := ReadFrame(bytes.NewReader(mut), &f, 0); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("got %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("oversized length prefix", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[9], mut[10], mut[11], mut[12] = 0xff, 0xff, 0xff, 0x7f
+		if err := ReadFrame(bytes.NewReader(mut), &f, 64); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("got %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("ragged data length", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[9] = 0x03 // 3 bytes: not a float64 array
+		if err := ReadFrame(bytes.NewReader(mut), &f, 0); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("got %v, want ErrMalformed", err)
+		}
+	})
+}
+
+// TestOversizeCheckPrecedesAllocation drives a hostile length prefix
+// through a reader that yields no payload at all: if the limit check
+// ran after allocation, the 2 GB make would be observable (and on a
+// constrained host, fatal). The typed error must come back without the
+// reader ever being asked for payload bytes.
+func TestOversizeCheckPrecedesAllocation(t *testing.T) {
+	valid := encodeToBytes(t, &Frame{Kind: KindData, Tag: 1, F64: []float64{1}})
+	mut := append([]byte(nil), valid[:headerLen]...)
+	mut[9], mut[10], mut[11], mut[12] = 0x00, 0x00, 0x00, 0x78 // ~2 GB
+	r := &countingReader{data: mut}
+	var f Frame
+	if err := ReadFrame(r, &f, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if r.pos > headerLen {
+		t.Fatalf("reader consumed %d bytes past the header before rejecting", r.pos-headerLen)
+	}
+	if cap(f.F64) > 1024 {
+		t.Fatalf("decode buffer grew to %d elements for a rejected frame", cap(f.F64))
+	}
+}
+
+type countingReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func TestHelloAbortPayloads(t *testing.T) {
+	src, dst, gen, err := ParseHello(HelloPayload(5, 2, 3))
+	if err != nil || src != 5 || dst != 2 || gen != 3 {
+		t.Fatalf("hello round trip: %d %d %d %v", src, dst, gen, err)
+	}
+	if _, _, _, err := ParseHello([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short hello: %v, want ErrMalformed", err)
+	}
+	rank, msg, err := ParseAbort(AbortPayload(7, "boom"))
+	if err != nil || rank != 7 || msg != "boom" {
+		t.Fatalf("abort round trip: %d %q %v", rank, msg, err)
+	}
+	if _, _, err := ParseAbort([]byte{1}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short abort: %v, want ErrMalformed", err)
+	}
+}
+
+// TestMultipleFramesOneStream checks stream framing: several frames
+// written back-to-back (as the coalescing writer produces them) decode
+// in order from one reader.
+func TestMultipleFramesOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		f := Frame{Kind: KindData, Tag: int32(i), F64: []float64{float64(i), float64(i * i)}}
+		if err := WriteFrame(&buf, &f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteFrame(&buf, &Frame{Kind: KindDone}); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	for i := 0; i < 10; i++ {
+		if err := ReadFrame(&buf, &f, 0); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Kind != KindData || f.Tag != int32(i) || f.F64[1] != float64(i*i) {
+			t.Fatalf("frame %d decoded wrong: %+v", i, f)
+		}
+	}
+	if err := ReadFrame(&buf, &f, 0); err != nil || f.Kind != KindDone {
+		t.Fatalf("done frame: %+v %v", f, err)
+	}
+	if err := ReadFrame(&buf, &f, 0); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary byte streams to ReadFrame and checks
+// the decoder's contract: every input either decodes cleanly,
+// re-encodes to the same bytes (plus trailing garbage), or fails with
+// exactly one of the typed errors — never a panic, and never an
+// allocation beyond the declared frame-size limit, no matter what the
+// length prefix claims. Same pattern as internal/dataload's
+// FuzzReadCache.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with one valid frame of each kind, then mutated variants
+	// covering each rejection path.
+	seed := func(fr Frame) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &fr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	data := seed(Frame{Kind: KindData, Tag: 42, F64: []float64{1, 2, 3, 4, 5}})
+	f.Add(data)
+	f.Add(seed(Frame{Kind: KindHello, Raw: HelloPayload(0, 1, 0)}))
+	f.Add(seed(Frame{Kind: KindDone}))
+	f.Add(seed(Frame{Kind: KindAbort, Raw: AbortPayload(3, "injected failure")}))
+	f.Add([]byte{})
+	f.Add(data[:5])                   // truncated header
+	f.Add(data[:headerLen+2])         // truncated payload
+	f.Add(data[:len(data)-1])         // truncated checksum
+	badMagic := append([]byte(nil), data...)
+	badMagic[2] ^= 0x40
+	f.Add(badMagic)
+	badKind := append([]byte(nil), data...)
+	badKind[4] = 0xee
+	f.Add(badKind)
+	flipped := append([]byte(nil), data...)
+	flipped[headerLen] ^= 0x80
+	f.Add(flipped)
+	huge := append([]byte(nil), data...)
+	huge[9], huge[10], huge[11], huge[12] = 0xff, 0xff, 0xff, 0xff
+	f.Add(huge)
+	ragged := append([]byte(nil), data...)
+	ragged[9] = 0x07
+	f.Add(ragged)
+	two := append(append([]byte(nil), data...), data...)
+	f.Add(two)
+
+	const fuzzMax = 1 << 16
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var fr Frame
+		r := bytes.NewReader(in)
+		for {
+			err := ReadFrame(r, &fr, fuzzMax)
+			if err == nil {
+				// A successful decode must be bounded and internally
+				// consistent, and must re-encode byte-identically.
+				if 8*len(fr.F64) > fuzzMax || len(fr.Raw) > fuzzMax {
+					t.Fatalf("decoded payload exceeds limit: %d f64s, %d raw bytes", len(fr.F64), len(fr.Raw))
+				}
+				if fr.Kind < KindHello || fr.Kind > KindAbort {
+					t.Fatalf("decoded unknown kind %d", fr.Kind)
+				}
+				if fr.Kind == KindData && len(fr.Raw) != 0 {
+					t.Fatalf("data frame decoded with raw payload")
+				}
+				var buf bytes.Buffer
+				if werr := WriteFrame(&buf, &fr); werr != nil {
+					t.Fatalf("re-encode of decoded frame failed: %v", werr)
+				}
+				consumed := len(in) - r.Len()
+				start := consumed - buf.Len()
+				if start < 0 || !bytes.Equal(buf.Bytes(), in[start:consumed]) {
+					t.Fatalf("re-encode mismatch for frame ending at offset %d", consumed)
+				}
+				continue
+			}
+			if err == io.EOF {
+				return
+			}
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrFrameTooLarge) &&
+				!errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrMalformed) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			// Even on failure the scratch frame must not have ballooned.
+			if 8*cap(fr.F64) > fuzzMax+8 || cap(fr.Raw) > fuzzMax+8 {
+				t.Fatalf("scratch frame grew past limit after error %v", err)
+			}
+			return
+		}
+	})
+}
+
+// FuzzParseControl covers the two control-payload parsers with
+// arbitrary bytes: typed errors or success, never a panic.
+func FuzzParseControl(f *testing.F) {
+	f.Add(HelloPayload(1, 2, 3))
+	f.Add(AbortPayload(0, "x"))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if _, _, _, err := ParseHello(in); err != nil && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("ParseHello untyped error: %v", err)
+		}
+		if _, _, err := ParseAbort(in); err != nil && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("ParseAbort untyped error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// inprocTransport is the in-memory reference implementation: listeners
+// live in a process-global name table and a Dial produces a pair of
+// frame channels. It exists so the rendezvous, session, and world
+// plumbing can be exercised (and benchmarked as the no-syscall
+// baseline) without touching the filesystem or network — the mpi fast
+// path for ranks inside one process remains direct channels, not this.
+type inprocTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAddr  atomic.Int64
+}
+
+var inproc = &inprocTransport{listeners: map[string]*inprocListener{}}
+
+func init() { Register(inproc) }
+
+func (t *inprocTransport) Name() string { return "inproc" }
+
+func (t *inprocTransport) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" {
+		addr = fmt.Sprintf("inproc-%d", t.nextAddr.Add(1))
+	}
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: inproc address %q already bound", addr)
+	}
+	l := &inprocListener{t: t, addr: addr, incoming: make(chan Conn, 16), done: make(chan struct{})}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+func (t *inprocTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: inproc dial %q: connection refused", addr)
+	}
+	a, b := InprocPipe()
+	select {
+	case l.incoming <- b:
+		return a, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: inproc dial %q: listener closed", addr)
+	}
+}
+
+type inprocListener struct {
+	t        *inprocTransport
+	addr     string
+	incoming chan Conn
+	done     chan struct{}
+	closed   sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.incoming:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: inproc listener %q closed", l.addr)
+	}
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (l *inprocListener) Close() error {
+	l.closed.Do(func() {
+		l.t.mu.Lock()
+		delete(l.t.listeners, l.addr)
+		l.t.mu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
+
+// inprocQueue buffers frames one direction. Payloads are copied on
+// send, matching the value semantics a socket gives.
+type inprocQueue struct {
+	ch     chan Frame
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newInprocQueue() *inprocQueue {
+	return &inprocQueue{ch: make(chan Frame, 16), closed: make(chan struct{})}
+}
+
+func (q *inprocQueue) close() { q.once.Do(func() { close(q.closed) }) }
+
+// InprocPipe returns a connected pair of in-memory Conns — the inproc
+// analogue of net.Pipe, used directly by tests that need a link
+// without a listener.
+func InprocPipe() (Conn, Conn) {
+	ab, ba := newInprocQueue(), newInprocQueue()
+	return &inprocConn{send: ab, recv: ba}, &inprocConn{send: ba, recv: ab}
+}
+
+type inprocConn struct {
+	send *inprocQueue
+	recv *inprocQueue
+	max  int
+}
+
+func (c *inprocConn) SendFrame(f *Frame) error {
+	// Copy payloads: the wire would have serialized them, so the caller
+	// is free to reuse its buffers the moment SendFrame returns.
+	g := Frame{Kind: f.Kind, Tag: f.Tag}
+	if len(f.F64) > 0 {
+		g.F64 = append(g.F64, f.F64...)
+	}
+	if len(f.Raw) > 0 {
+		g.Raw = append(g.Raw, f.Raw...)
+	}
+	if max := c.maxBytes(); 8*len(g.F64) > max || len(g.Raw) > max {
+		return fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, 8*len(g.F64)+len(g.Raw), max)
+	}
+	// Check for a closed pipe before enqueueing: with buffer space free
+	// the select below would otherwise pick between "send" and "closed"
+	// at random.
+	select {
+	case <-c.send.closed:
+		return io.ErrClosedPipe
+	case <-c.recv.closed:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case c.send.ch <- g:
+		return nil
+	case <-c.send.closed:
+		return io.ErrClosedPipe
+	case <-c.recv.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+func (c *inprocConn) Flush() error { return nil }
+
+func (c *inprocConn) RecvFrame(f *Frame) error {
+	select {
+	case g := <-c.recv.ch:
+		f.Kind, f.Tag = g.Kind, g.Tag
+		f.F64 = append(f.F64[:0], g.F64...)
+		f.Raw = append(f.Raw[:0], g.Raw...)
+		return nil
+	case <-c.recv.closed:
+		// Drain preference: frames sent before the close still deliver.
+		select {
+		case g := <-c.recv.ch:
+			f.Kind, f.Tag = g.Kind, g.Tag
+			f.F64 = append(f.F64[:0], g.F64...)
+			f.Raw = append(f.Raw[:0], g.Raw...)
+			return nil
+		default:
+			return io.EOF
+		}
+	}
+}
+
+func (c *inprocConn) maxBytes() int {
+	if c.max > 0 {
+		return c.max
+	}
+	return DefaultMaxFrameBytes
+}
+
+func (c *inprocConn) SetMaxFrameBytes(n int) { c.max = n }
+
+func (c *inprocConn) Close() error {
+	c.send.close()
+	return nil
+}

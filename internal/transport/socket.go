@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// sockTransport adapts a net stream network ("unix" or "tcp") to the
+// Transport interface. Both share the framing, buffering, and
+// coalescing logic; they differ only in how addresses are minted.
+type sockTransport struct {
+	network string
+}
+
+func init() {
+	Register(&sockTransport{network: "unix"})
+	Register(&sockTransport{network: "tcp"})
+}
+
+func (t *sockTransport) Name() string { return t.network }
+
+func (t *sockTransport) Listen(addr string) (Listener, error) {
+	var cleanup string
+	if addr == "" {
+		if t.network == "tcp" {
+			addr = "127.0.0.1:0"
+		} else {
+			// A fresh socket path in its own directory, removed on Close.
+			dir, err := os.MkdirTemp("", "candle-sock-")
+			if err != nil {
+				return nil, fmt.Errorf("transport: unix listen: %w", err)
+			}
+			addr = filepath.Join(dir, "l.sock")
+			cleanup = dir
+		}
+	}
+	ln, err := net.Listen(t.network, addr)
+	if err != nil {
+		if cleanup != "" {
+			os.RemoveAll(cleanup)
+		}
+		return nil, fmt.Errorf("transport: %s listen %q: %w", t.network, addr, err)
+	}
+	return &sockListener{ln: ln, cleanup: cleanup}, nil
+}
+
+func (t *sockTransport) Dial(addr string) (Conn, error) {
+	c, err := net.Dial(t.network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return newSockConn(c), nil
+}
+
+type sockListener struct {
+	ln      net.Listener
+	cleanup string
+}
+
+func (l *sockListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newSockConn(c), nil
+}
+
+func (l *sockListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *sockListener) Close() error {
+	err := l.ln.Close()
+	if l.cleanup != "" {
+		os.RemoveAll(l.cleanup)
+	}
+	return err
+}
+
+// sockWriteBuffer sizes the per-link bufio.Writer. Frames smaller than
+// this coalesce into one syscall when the sender emits several
+// back-to-back (a segmented ring allreduce sends up to four chunk
+// frames per step before the next receive); larger payloads bypass the
+// buffer entirely — bufio writes oversized slices straight through.
+const sockWriteBuffer = 64 << 10
+
+// sockReadBuffer sizes the per-link read buffer.
+const sockReadBuffer = 64 << 10
+
+// sockConn frames a net.Conn. Writes go through a mutex so the abort
+// path can inject a control frame between (never inside) data frames
+// written by the link's writer goroutine.
+type sockConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	max int
+}
+
+func newSockConn(c net.Conn) *sockConn {
+	return &sockConn{
+		c:  c,
+		br: bufio.NewReaderSize(c, sockReadBuffer),
+		bw: bufio.NewWriterSize(c, sockWriteBuffer),
+	}
+}
+
+func (s *sockConn) SendFrame(f *Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WriteFrame(s.bw, f)
+}
+
+func (s *sockConn) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+func (s *sockConn) RecvFrame(f *Frame) error {
+	return ReadFrame(s.br, f, s.max)
+}
+
+func (s *sockConn) SetMaxFrameBytes(n int) { s.max = n }
+
+// SetDeadline bounds in-flight reads and writes; the teardown path
+// uses it so a peer that stopped draining cannot wedge Close.
+func (s *sockConn) SetDeadline(t time.Time) error { return s.c.SetDeadline(t) }
+
+func (s *sockConn) Close() error {
+	s.mu.Lock()
+	s.bw.Flush()
+	s.mu.Unlock()
+	return s.c.Close()
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Conn is one framed, reliable, FIFO byte link. SendFrame and
+// RecvFrame are each single-consumer (one sending goroutine, one
+// receiving goroutine), but a send and a receive may run concurrently,
+// and SendFrame is additionally safe to call from a second goroutine
+// that holds no frames in flight (the abort path) — implementations
+// serialize writers internally so frames never interleave mid-frame.
+type Conn interface {
+	// SendFrame writes one frame. Small frames written back-to-back are
+	// coalesced into one flush (socket implementations buffer until the
+	// sender pauses); Flush forces them out.
+	SendFrame(f *Frame) error
+	// Flush pushes any coalesced frames to the peer.
+	Flush() error
+	// RecvFrame decodes the next frame into f, reusing its capacity.
+	RecvFrame(f *Frame) error
+	// SetMaxFrameBytes bounds incoming payloads (0 restores the
+	// default). Oversized length prefixes fail with ErrFrameTooLarge
+	// before any allocation.
+	SetMaxFrameBytes(n int)
+	Close() error
+}
+
+// Listener accepts incoming links.
+type Listener interface {
+	Accept() (Conn, error)
+	// Addr is the address peers dial, in the form Dial expects.
+	Addr() string
+	Close() error
+}
+
+// Transport creates links from addresses. Implementations must be safe
+// for concurrent use.
+type Transport interface {
+	// Name is the registry key ("inproc", "unix", "tcp").
+	Name() string
+	// Listen binds a listener. An empty addr asks the transport to pick
+	// one (an ephemeral TCP port, a fresh socket path, a unique inproc
+	// name); the chosen address is Listener.Addr().
+	Listen(addr string) (Listener, error)
+	// Dial opens a link to a listener. It does not retry; see DialRetry.
+	Dial(addr string) (Conn, error)
+}
+
+// registry maps transport names to implementations. Populated at init
+// by the built-in transports, mirroring the csvio engine registry.
+var registry = map[string]Transport{}
+
+// Register adds a transport under its Name. Later registrations of the
+// same name win, so tests can shadow a built-in.
+func Register(t Transport) { registry[t.Name()] = t }
+
+// ByName resolves a registered transport. The empty name means
+// "inproc", the in-process default.
+func ByName(name string) (Transport, error) {
+	if name == "" {
+		name = "inproc"
+	}
+	t, ok := registry[name]
+	if !ok {
+		return nil, &UnknownTransportError{Name: name, Known: Names()}
+	}
+	return t, nil
+}
+
+// Names lists the registered transports, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnknownTransportError is the typed failure of ByName.
+type UnknownTransportError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownTransportError) Error() string {
+	return fmt.Sprintf("transport: unknown transport %q (registered: %v)", e.Name, e.Known)
+}
+
+// DialRetry dials with exponential backoff until the deadline: the
+// rendezvous pattern where a worker may come up before the peer it
+// needs has bound its listener. Backoff starts at 2 ms and doubles to
+// a 250 ms ceiling.
+func DialRetry(t Transport, addr string, timeout time.Duration) (Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 2 * time.Millisecond
+	for {
+		c, err := t.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if remain := time.Until(deadline); remain <= 0 {
+			return nil, fmt.Errorf("transport: dial %s %q: retries exhausted after %v: %w", t.Name(), addr, timeout, err)
+		} else if backoff > remain {
+			backoff = remain
+		}
+		time.Sleep(backoff)
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "inproc", "unix", "tcp"} {
+		tr, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "inproc"
+		}
+		if tr.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q", name, tr.Name())
+		}
+	}
+	_, err := ByName("carrier-pigeon")
+	var ue *UnknownTransportError
+	if !errors.As(err, &ue) {
+		t.Fatalf("ByName(bogus) = %v, want UnknownTransportError", err)
+	}
+	if ue.Name != "carrier-pigeon" || len(ue.Known) < 3 {
+		t.Fatalf("error detail: %+v", ue)
+	}
+}
+
+// exerciseConnPair pushes frames both directions over a connected pair
+// and checks ordering, payload fidelity, and clean shutdown.
+func exerciseConnPair(t *testing.T, a, b Conn) {
+	t.Helper()
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			f := Frame{Kind: KindData, Tag: int32(i), F64: []float64{float64(i), float64(2 * i)}}
+			if err := a.SendFrame(&f); err != nil {
+				errs <- err
+				return
+			}
+		}
+		if err := a.SendFrame(&Frame{Kind: KindDone}); err != nil {
+			errs <- err
+			return
+		}
+		errs <- a.Flush()
+	}()
+	go func() {
+		defer wg.Done()
+		var f Frame
+		for i := 0; i < n; i++ {
+			if err := b.RecvFrame(&f); err != nil {
+				errs <- err
+				return
+			}
+			if f.Kind != KindData || f.Tag != int32(i) || len(f.F64) != 2 || f.F64[1] != float64(2*i) {
+				errs <- errorf("frame %d decoded wrong: %+v", i, f)
+				return
+			}
+		}
+		if err := b.RecvFrame(&f); err != nil || f.Kind != KindDone {
+			errs <- errorf("done frame: %+v %v", f, err)
+			return
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+func TestSocketTransports(t *testing.T) {
+	for _, name := range []string{"unix", "tcp", "inproc"} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := tr.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			if ln.Addr() == "" {
+				t.Fatal("auto-minted listener has empty address")
+			}
+			accepted := make(chan Conn, 1)
+			acceptErr := make(chan error, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				accepted <- c
+			}()
+			a, err := tr.Dial(ln.Addr())
+			if err != nil {
+				t.Fatalf("dial %q: %v", ln.Addr(), err)
+			}
+			defer a.Close()
+			var b Conn
+			select {
+			case b = <-accepted:
+			case err := <-acceptErr:
+				t.Fatalf("accept: %v", err)
+			case <-time.After(5 * time.Second):
+				t.Fatal("accept timed out")
+			}
+			defer b.Close()
+			exerciseConnPair(t, a, b)
+		})
+	}
+}
+
+func TestSocketMaxFrameBytes(t *testing.T) {
+	tr, _ := ByName("unix")
+	ln, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	a, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := <-accepted
+	defer b.Close()
+	b.SetMaxFrameBytes(64)
+	big := Frame{Kind: KindData, Tag: 1, F64: make([]float64, 1024)}
+	if err := a.SendFrame(&big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := b.RecvFrame(&f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame over the wire: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestDialRetry binds the listener only after a delay: the dialer must
+// back off and succeed once it appears, and must give up with a typed
+// message once the deadline passes with no listener.
+func TestDialRetry(t *testing.T) {
+	tr, _ := ByName("tcp")
+	ln, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close()
+
+	if _, err := DialRetry(tr, addr, 100*time.Millisecond); err == nil {
+		t.Fatal("DialRetry to a dead address succeeded")
+	} else if !strings.Contains(err.Error(), "retries exhausted") {
+		t.Fatalf("exhaustion error lacks context: %v", err)
+	}
+
+	// Rebind the same address after the dial loop has started.
+	ready := make(chan Listener, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ln2, err := tr.Listen(addr)
+		if err != nil {
+			t.Errorf("rebind %q: %v", addr, err)
+			return
+		}
+		go func() {
+			if c, err := ln2.Accept(); err == nil {
+				c.Close()
+			}
+		}()
+		ready <- ln2
+	}()
+	c, err := DialRetry(tr, addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetry after late bind: %v", err)
+	}
+	c.Close()
+	if ln2 := <-ready; ln2 != nil {
+		ln2.Close()
+	}
+}
+
+// TestSendCoalescing checks that small frames written back-to-back stay
+// buffered until Flush: the receiver must see nothing before the flush
+// and everything after, which is the contract the per-link writer
+// goroutine's drain-then-flush loop relies on.
+func TestSendCoalescing(t *testing.T) {
+	tr, _ := ByName("unix")
+	ln, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	a, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := <-accepted
+	defer b.Close()
+
+	for i := 0; i < 8; i++ {
+		if err := a.SendFrame(&Frame{Kind: KindData, Tag: int32(i), F64: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(chan error, 1)
+	var f Frame
+	go func() { got <- b.RecvFrame(&f) }()
+	select {
+	case err := <-got:
+		t.Fatalf("frame arrived before Flush (err=%v) — writes are not coalescing", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil || f.Tag != 0 {
+			t.Fatalf("first coalesced frame: %+v %v", f, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush did not deliver buffered frames")
+	}
+	for i := 1; i < 8; i++ {
+		if err := b.RecvFrame(&f); err != nil || f.Tag != int32(i) {
+			t.Fatalf("coalesced frame %d: %+v %v", i, f, err)
+		}
+	}
+}
+
+func TestInprocPipeClose(t *testing.T) {
+	a, b := InprocPipe()
+	if err := a.SendFrame(&Frame{Kind: KindData, Tag: 9, F64: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	var f Frame
+	// Drain preference: the frame sent before close still delivers.
+	if err := b.RecvFrame(&f); err != nil || f.Tag != 9 {
+		t.Fatalf("pre-close frame: %+v %v", f, err)
+	}
+	if err := b.RecvFrame(&f); err != io.EOF {
+		t.Fatalf("after close: %v, want io.EOF", err)
+	}
+	if err := b.SendFrame(&Frame{Kind: KindData}); err != io.ErrClosedPipe {
+		t.Fatalf("send into closed pipe: %v, want io.ErrClosedPipe", err)
+	}
+}
+
+// TestInprocSendCopies pins the value semantics the socket transports
+// get for free: mutating the sender's buffer after SendFrame must not
+// corrupt the frame in flight.
+func TestInprocSendCopies(t *testing.T) {
+	a, b := InprocPipe()
+	buf := []float64{1, 2, 3}
+	if err := a.SendFrame(&Frame{Kind: KindData, F64: buf}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = -99
+	var f Frame
+	if err := b.RecvFrame(&f); err != nil {
+		t.Fatal(err)
+	}
+	if f.F64[0] != 1 {
+		t.Fatalf("in-flight frame saw sender mutation: %v", f.F64)
+	}
+}
+
+func TestUnixListenerCleansSocketDir(t *testing.T) {
+	tr, _ := ByName("unix")
+	ln, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Dial(addr); err == nil {
+		t.Fatal("dial succeeded after listener close + cleanup")
+	}
+}
