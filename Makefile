@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load \
-	bench-transport launch-smoke ci \
+	bench-transport bench-fleet launch-smoke fleet-smoke ci \
 	sim-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-transport
 
 build:
@@ -16,9 +16,10 @@ test:
 # runner that drives them all concurrently, the streaming sharded
 # loader's producer/consumer handoff, and the wire transport + launch
 # rendezvous (writer/reader goroutines per link, concurrent mesh
-# handshakes).
+# handshakes), and the fleet router (concurrent proxying, health
+# probes, and the pause-gated reload wave).
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve ./internal/dataload ./internal/transport ./internal/launch
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/mpi ./internal/horovod ./internal/candle ./internal/serve ./internal/dataload ./internal/transport ./internal/launch ./internal/fleet
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +58,17 @@ bench-transport:
 launch-smoke:
 	$(GO) test -count=1 -run TestLaunchSmokeBitIdentical -v ./cmd/candle-launch
 
+# Open-loop fleet load test at 1/2/4 replicas plus the
+# kill-a-replica-under-load run; regenerates BENCH_fleet.json.
+bench-fleet:
+	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test -count=1 -timeout 600s -run TestWriteFleetBench -v ./internal/fleet
+
+# Replicated-serving smoke: candle-fleet spawns 2 real replica
+# processes, one is SIGKILLed under live load (zero failed admitted
+# requests), the supervisor respawns it, SIGTERM drains the fleet.
+fleet-smoke:
+	$(GO) test -count=1 -run TestFleetSmoke -v ./cmd/candle-fleet
+
 # Seeded scenario simulation (cmd/candle-sim): each seed draws a full
 # run configuration — pilot, ranks, engine, precision, overlap, fault
 # plan, checkpoint cadence — and checks the machine-verified invariants
@@ -87,4 +99,4 @@ sim-import-export:
 sim-transport:
 	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED) -check transport
 
-ci: build test race vet sim-smoke launch-smoke
+ci: build test race vet sim-smoke launch-smoke fleet-smoke

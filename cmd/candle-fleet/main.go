@@ -1,0 +1,406 @@
+// candle-fleet runs a replicated serving fleet on one command line: it
+// spawns N replica processes (re-executions of itself, each hosting a
+// candle-serve engine), fronts them with the internal/fleet router,
+// and keeps the fleet coherent — health probes drain dead replicas
+// around live traffic, a respawned replica re-registers into its old
+// slot, and checkpoint hot-reloads commit fleet-wide in one atomic
+// generation bump (no client ever sees the fleet half-upgraded).
+//
+// Clients talk to the router exactly as they would to one
+// candle-serve: POST /predict, GET /healthz, GET /metrics.
+//
+// Examples:
+//
+//	candle-fleet -bench NT3 -dir ./ckpt -replicas 3 -addr :8080
+//	candle-fleet -bench NT3 -dir ./ckpt -replicas 2 -bootstrap
+//	candle-fleet -bench NT3 -dir ./ckpt -slo-p99 25ms   # adaptive batching
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"candle/internal/candle"
+	"candle/internal/checkpoint"
+	"candle/internal/fleet"
+	"candle/internal/nn"
+	"candle/internal/serve"
+)
+
+// replicaEnvConfig carries the JSON replica config into re-executed
+// replica processes; its presence selects the replica role.
+const replicaEnvConfig = "CANDLE_FLEET_CONFIG"
+
+// replicaEnvExec overrides the executable spawned for replicas; tests
+// point it at the test binary, whose TestMain dispatches to
+// replicaMain.
+const replicaEnvExec = "CANDLE_FLEET_REPLICA_EXEC"
+
+// options carries the parsed router-role flags.
+type options struct {
+	bench, dir            string
+	addr, ctlAddr         string
+	replicas              int
+	sampleDiv, featureDiv int
+	dtype                 string
+	maxBatch              int
+	maxWait               time.Duration
+	queue                 int
+	sloP99                time.Duration
+	reloadEvery           time.Duration
+	healthEvery           time.Duration
+	respawn               bool
+	bootstrap             bool
+	bootstrapEpochs       int
+}
+
+// replicaConfig is the JSON handed to a re-executed replica process.
+type replicaConfig struct {
+	ID         string        `json:"id"`
+	Bench      string        `json:"bench"`
+	SampleDiv  int           `json:"sample_div"`
+	FeatureDiv int           `json:"feature_div"`
+	Dtype      string        `json:"dtype,omitempty"`
+	Dir        string        `json:"dir"`
+	CtlAddr    string        `json:"ctl_addr"`
+	MaxBatch   int           `json:"max_batch"`
+	MaxWait    time.Duration `json:"max_wait"`
+	Queue      int           `json:"queue"`
+	SLOP99     time.Duration `json:"slo_p99"`
+}
+
+func main() {
+	if cfg := os.Getenv(replicaEnvConfig); cfg != "" {
+		os.Exit(replicaMain(cfg))
+	}
+	var o options
+	flag.StringVar(&o.bench, "bench", "NT3", "benchmark the checkpoints were trained on: NT3, P1B1, P1B2, P1B3")
+	flag.StringVar(&o.dir, "dir", "", "checkpoint directory all replicas load from (required)")
+	flag.StringVar(&o.addr, "addr", ":8080", "router HTTP listen address (clients connect here)")
+	flag.StringVar(&o.ctlAddr, "ctl-addr", "127.0.0.1:0", "control-plane listen address replicas register on")
+	flag.IntVar(&o.replicas, "replicas", 2, "replica processes to spawn")
+	flag.IntVar(&o.sampleDiv, "sample-div", 20, "dataset sample divisor the model was trained at (1 = paper scale)")
+	flag.IntVar(&o.featureDiv, "feature-div", 1200, "feature divisor the model was trained at (1 = paper scale)")
+	flag.StringVar(&o.dtype, "dtype", "", "serving precision: f32, f64, or empty to follow the checkpoint's dtype")
+	flag.IntVar(&o.maxBatch, "max-batch", 32, "per-replica max requests coalesced into one forward")
+	flag.DurationVar(&o.maxWait, "max-wait", 2*time.Millisecond, "per-replica max wait for batch stragglers")
+	flag.IntVar(&o.queue, "queue", 256, "per-replica admission queue depth")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "per-replica p99 latency target; enables the adaptive batching controller")
+	flag.DurationVar(&o.reloadEvery, "reload-every", 2*time.Second, "coordinated checkpoint reload cadence (negative: only via POST /fleet/reload)")
+	flag.DurationVar(&o.healthEvery, "health-every", 200*time.Millisecond, "per-replica health probe cadence")
+	flag.BoolVar(&o.respawn, "respawn", true, "restart a replica process that dies; it re-registers into its old slot")
+	flag.BoolVar(&o.bootstrap, "bootstrap", false, "if -dir has no checkpoint, train briefly and write one first")
+	flag.IntVar(&o.bootstrapEpochs, "bootstrap-epochs", 4, "epochs for -bootstrap training")
+	flag.Parse()
+	if err := run(o, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "candle-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// fleetAddrs is what run reports once both listeners are up; tests
+// use it to find the ports.
+type fleetAddrs struct {
+	HTTP, Ctl net.Addr
+}
+
+// run is the router role: bootstrap if asked, start the router's
+// control and HTTP listeners, spawn and supervise the replica
+// processes, and drain everything on SIGINT/SIGTERM.
+func run(o options, ready chan<- fleetAddrs) error {
+	if o.dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if o.replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", o.replicas)
+	}
+	b, err := candle.Scaled(o.bench, o.sampleDiv, o.featureDiv)
+	if err != nil {
+		return err
+	}
+	if o.bootstrap {
+		if err := bootstrap(b, o); err != nil {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+	}
+	if _, err := checkpoint.Latest(o.dir, b.Spec.Name); err != nil {
+		return fmt.Errorf("no servable checkpoint in %s (train first, or pass -bootstrap): %w", o.dir, err)
+	}
+
+	r := fleet.NewRouter(fleet.Config{
+		HealthEvery: o.healthEvery,
+		ReloadEvery: o.reloadEvery,
+	})
+	ctlLn, err := net.Listen("tcp", o.ctlAddr)
+	if err != nil {
+		return fmt.Errorf("control listener: %w", err)
+	}
+	httpLn, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		ctlLn.Close()
+		return fmt.Errorf("http listener: %w", err)
+	}
+	go func() { _ = r.ServeControl(ctlLn) }()
+	errc := make(chan error, 1)
+	go func() { errc <- r.Serve(httpLn) }()
+	log.Printf("router up: clients %s, replica control plane %s", httpLn.Addr(), ctlLn.Addr())
+
+	sup := &supervisor{o: o, ctlAddr: ctlLn.Addr().String(), stopc: make(chan struct{})}
+	if err := sup.start(); err != nil {
+		sup.stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = r.Shutdown(ctx)
+		return err
+	}
+	// Install the handler before announcing readiness, so a SIGTERM
+	// arriving the instant we look ready still drains gracefully.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	if ready != nil {
+		ready <- fleetAddrs{HTTP: httpLn.Addr(), Ctl: ctlLn.Addr()}
+	}
+	select {
+	case err := <-errc:
+		sup.stop()
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining fleet (replicas finish admitted requests)", sig)
+		sup.stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			return err
+		}
+		log.Printf("fleet drained, exiting")
+		return <-errc
+	}
+}
+
+// supervisor spawns the replica processes and, when -respawn is on,
+// restarts any that die — the restarted process re-registers under
+// its old ID, replacing its drained slot in the router.
+type supervisor struct {
+	o       options
+	ctlAddr string
+
+	mu      sync.Mutex
+	procs   map[string]*exec.Cmd
+	stopped bool
+	stopc   chan struct{}
+	wg      sync.WaitGroup
+}
+
+func (s *supervisor) start() error {
+	exe := os.Getenv(replicaEnvExec)
+	if exe == "" {
+		var err error
+		if exe, err = os.Executable(); err != nil {
+			return err
+		}
+	}
+	s.procs = make(map[string]*exec.Cmd, s.o.replicas)
+	for i := 0; i < s.o.replicas; i++ {
+		if err := s.spawn(exe, fmt.Sprintf("r%d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *supervisor) spawn(exe, id string) error {
+	rc := replicaConfig{
+		ID: id, Bench: s.o.bench,
+		SampleDiv: s.o.sampleDiv, FeatureDiv: s.o.featureDiv,
+		Dtype: s.o.dtype, Dir: s.o.dir, CtlAddr: s.ctlAddr,
+		MaxBatch: s.o.maxBatch, MaxWait: s.o.maxWait,
+		Queue: s.o.queue, SLOP99: s.o.sloP99,
+	}
+	cfgJSON, err := json.Marshal(rc)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), replicaEnvConfig+"="+string(cfgJSON))
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn replica %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.procs[id] = cmd
+	s.mu.Unlock()
+	log.Printf("replica %s: pid %d", id, cmd.Process.Pid)
+	s.wg.Add(1)
+	go s.reap(exe, id, cmd)
+	return nil
+}
+
+func (s *supervisor) reap(exe, id string, cmd *exec.Cmd) {
+	defer s.wg.Done()
+	err := cmd.Wait()
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return
+	}
+	log.Printf("replica %s (pid %d) exited: %v", id, cmd.Process.Pid, err)
+	if !s.o.respawn {
+		return
+	}
+	select {
+	case <-s.stopc:
+		return
+	case <-time.After(500 * time.Millisecond):
+	}
+	s.mu.Lock()
+	stopped = s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return
+	}
+	log.Printf("replica %s: respawning", id)
+	if err := s.spawn(exe, id); err != nil {
+		log.Printf("replica %s: respawn failed: %v", id, err)
+	}
+}
+
+// stop SIGTERMs every replica (graceful drain) and waits for them.
+func (s *supervisor) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	procs := make([]*exec.Cmd, 0, len(s.procs))
+	for _, cmd := range s.procs {
+		procs = append(procs, cmd)
+	}
+	s.mu.Unlock()
+	close(s.stopc)
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	s.wg.Wait()
+}
+
+// replicaMain is the re-executed replica role: run one serve engine,
+// register with the router's control plane, serve until SIGTERM,
+// drain. Fleet-coordinated reloads arrive via the staged-reload HTTP
+// endpoints, so the engine's own reload poller stays off.
+func replicaMain(cfgJSON string) int {
+	var rc replicaConfig
+	if err := json.Unmarshal([]byte(cfgJSON), &rc); err != nil {
+		log.Printf("replica: bad %s: %v", replicaEnvConfig, err)
+		return 2
+	}
+	log.SetPrefix("[" + rc.ID + "] ")
+	b, err := candle.Scaled(rc.Bench, rc.SampleDiv, rc.FeatureDiv)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	s, err := serve.New(serve.Config{
+		Benchmark:    b.Spec.Name,
+		Dir:          rc.Dir,
+		Factory:      func() *nn.Sequential { return b.Build(b.Spec) },
+		Loss:         b.Loss,
+		InputDim:     b.Spec.Features,
+		DType:        rc.Dtype,
+		MaxBatch:     rc.MaxBatch,
+		MaxWait:      rc.MaxWait,
+		Replicas:     1, // process-level replication; the fleet is the pool
+		QueueDepth:   rc.Queue,
+		ReloadEvery:  -1, // the router coordinates reloads fleet-wide
+		SLOTargetP99: rc.SLOP99,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+
+	epoch, step := s.Generation()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	assign, err := fleet.Register(ctx, "tcp", rc.CtlAddr, rc.ID, ln.Addr().String(), epoch, step)
+	cancel()
+	if err != nil {
+		log.Printf("registration rejected: %v", err)
+		return 1
+	}
+	log.Printf("serving %s epoch %d step %d on %s (fleet at epoch %d)",
+		b.Spec.Name, epoch, step, ln.Addr(), assign.Epoch)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		return 0
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Print(err)
+			return 1
+		}
+		<-errc
+		return 0
+	}
+}
+
+// bootstrap trains the benchmark briefly and writes checkpoints into
+// o.dir, so a fresh directory becomes servable without a separate
+// training run. A directory that already has a loadable checkpoint is
+// left alone.
+func bootstrap(b *candle.Benchmark, o options) error {
+	if _, err := checkpoint.Latest(o.dir, b.Spec.Name); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		return err
+	}
+	dataDir, err := os.MkdirTemp("", "candle-fleet-data-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	if _, _, err := b.PrepareData(dataDir, 7); err != nil {
+		return err
+	}
+	log.Printf("bootstrap: training %s for %d epochs -> %s", b.Spec.Name, o.bootstrapEpochs, o.dir)
+	_, err = b.Run(candle.RunConfig{
+		Ranks:           1,
+		TotalEpochs:     o.bootstrapEpochs,
+		Batch:           7,
+		DType:           o.dtype,
+		LR:              0.05, // scaled datasets want a larger step than Table 1's
+		Engine:          "chunked",
+		DataDir:         dataDir,
+		Seed:            7,
+		CheckpointDir:   o.dir,
+		CheckpointEvery: 1,
+	})
+	return err
+}

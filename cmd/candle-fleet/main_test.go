@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"candle/internal/candle"
+)
+
+// TestMain lets the test binary play the replica role: the supervisor
+// spawns os.Args[0] (via CANDLE_FLEET_REPLICA_EXEC) and this dispatch
+// routes those children into replicaMain instead of the test runner.
+func TestMain(m *testing.M) {
+	if cfg := os.Getenv(replicaEnvConfig); cfg != "" {
+		os.Exit(replicaMain(cfg))
+	}
+	os.Exit(m.Run())
+}
+
+func testFleetOptions(t *testing.T) options {
+	return options{
+		bench:           "NT3",
+		dir:             t.TempDir(),
+		addr:            "127.0.0.1:0",
+		ctlAddr:         "127.0.0.1:0",
+		replicas:        2,
+		sampleDiv:       40,
+		featureDiv:      4000,
+		maxBatch:        8,
+		maxWait:         time.Millisecond,
+		queue:           64,
+		reloadEvery:     -1, // reload only via POST /fleet/reload
+		healthEvery:     50 * time.Millisecond,
+		respawn:         true,
+		bootstrap:       true,
+		bootstrapEpochs: 1,
+	}
+}
+
+type fleetHealthView struct {
+	Status  string `json:"status"`
+	Members []struct {
+		ID      string `json:"id"`
+		Pid     int    `json:"pid"`
+		Healthy bool   `json:"healthy"`
+	} `json:"members"`
+}
+
+func fetchFleetHealth(t *testing.T, base string) (fleetHealthView, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fleetHealthView{}, false
+	}
+	defer resp.Body.Close()
+	var h fleetHealthView
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fleetHealthView{}, false
+	}
+	return h, true
+}
+
+func waitFleet(t *testing.T, base, what string, timeout time.Duration, cond func(fleetHealthView) bool) fleetHealthView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h, ok := fetchFleetHealth(t, base); ok && cond(h) {
+			return h
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	h, _ := fetchFleetHealth(t, base)
+	t.Fatalf("timed out waiting for %s; last healthz: %+v", what, h)
+	return fleetHealthView{}
+}
+
+func healthyCount(h fleetHealthView) int {
+	n := 0
+	for _, m := range h.Members {
+		if m.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFleetSmoke is the whole arc with real processes: bootstrap
+// training, two spawned replica processes registering over the
+// control plane, live traffic, a real SIGKILL of one replica under
+// load (the router drains around it — zero failed admitted requests),
+// the supervisor respawning it back into its slot, and a graceful
+// SIGTERM drain of the whole fleet. `make fleet-smoke` runs this.
+func TestFleetSmoke(t *testing.T) {
+	t.Setenv(replicaEnvExec, os.Args[0])
+	o := testFleetOptions(t)
+	ready := make(chan fleetAddrs, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(o, ready) }()
+
+	var addrs fleetAddrs
+	select {
+	case addrs = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("fleet never became ready")
+	}
+	base := "http://" + addrs.HTTP.String()
+
+	// Both replica processes register and come up healthy.
+	waitFleet(t, base, "2 healthy replicas", 60*time.Second, func(h fleetHealthView) bool {
+		return h.Status == "ok" && healthyCount(h) == 2
+	})
+
+	// Live traffic for the rest of the test.
+	b, err := candle.Scaled(o.bench, o.sampleDiv, o.featureDiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, _ := json.Marshal(make([]float64, b.Spec.Features))
+	body := fmt.Sprintf(`{"features":%s}`, features)
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/predict", "application/json", strings.NewReader(body))
+				mu.Lock()
+				if err != nil {
+					statuses[-1]++
+				} else {
+					resp.Body.Close()
+					statuses[resp.StatusCode]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// SIGKILL one replica process mid-load: no drain, no goodbye.
+	h, ok := fetchFleetHealth(t, base)
+	if !ok || len(h.Members) == 0 {
+		t.Fatal("no members to kill")
+	}
+	victim := h.Members[0]
+	if victim.Pid <= 0 {
+		t.Fatalf("member %s has no pid", victim.ID)
+	}
+	if err := syscall.Kill(victim.Pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	// The router drains the corpse around live traffic...
+	waitFleet(t, base, "victim drained", 30*time.Second, func(h fleetHealthView) bool {
+		return healthyCount(h) < 2
+	})
+	// ...and the supervisor respawns it back into its old slot.
+	waitFleet(t, base, "victim respawned", 60*time.Second, func(h fleetHealthView) bool {
+		return h.Status == "ok" && healthyCount(h) == 2
+	})
+
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	failed := statuses[-1]
+	for code, n := range statuses {
+		if code >= 500 {
+			failed += n
+		}
+	}
+	served := statuses[http.StatusOK]
+	mu.Unlock()
+	if failed != 0 {
+		t.Fatalf("%d admitted requests failed across the kill (statuses %v)", failed, statuses)
+	}
+	if served == 0 {
+		t.Fatal("load loop recorded no successes")
+	}
+	t.Logf("kill survived: statuses %v", statuses)
+
+	// SIGTERM to our own process: run drains the whole fleet.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("fleet did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("router still answering after drain")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(options{bench: "NT3", replicas: 1}, nil); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	if err := run(options{bench: "NT3", dir: t.TempDir(), replicas: 0}, nil); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	if err := run(options{bench: "NT99", dir: t.TempDir(), replicas: 1, sampleDiv: 1, featureDiv: 1}, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// No checkpoint and no -bootstrap: refuse to start an unservable
+	// fleet rather than spawn replicas that will all fail.
+	o := testFleetOptions(t)
+	o.bootstrap = false
+	if err := run(o, nil); err == nil {
+		t.Fatal("empty checkpoint dir accepted without -bootstrap")
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"candle/internal/candle"
 	"candle/internal/checkpoint"
+	"candle/internal/fleet"
 	"candle/internal/nn"
 	"candle/internal/serve"
 )
@@ -42,6 +43,10 @@ type options struct {
 	workers               int
 	bootstrap             bool
 	bootstrapEpochs       int
+	sloP99                time.Duration
+	register              string
+	registerNetwork       string
+	replicaID             string
 }
 
 func main() {
@@ -60,6 +65,10 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "tensor kernel pool size shared by all replicas (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.bootstrap, "bootstrap", false, "if -dir has no checkpoint, train briefly and write one first")
 	flag.IntVar(&o.bootstrapEpochs, "bootstrap-epochs", 4, "epochs for -bootstrap training")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "p99 latency target; replaces fixed -max-batch/-max-wait with the adaptive SLO controller (they become its ceilings)")
+	flag.StringVar(&o.register, "register", "", "candle-fleet control-plane address to register with (joins this server to a fleet)")
+	flag.StringVar(&o.registerNetwork, "register-network", "tcp", "network for -register (tcp or unix)")
+	flag.StringVar(&o.replicaID, "replica-id", "", "replica identity for -register (required with -register)")
 	flag.Parse()
 	if err := run(o, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "candle-serve:", err)
@@ -74,6 +83,12 @@ func main() {
 func run(o options, ready chan<- net.Addr) error {
 	if o.dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if o.register != "" && o.replicaID == "" {
+		return fmt.Errorf("-register requires -replica-id")
+	}
+	if o.registerNetwork == "" {
+		o.registerNetwork = "tcp"
 	}
 	b, err := candle.Scaled(o.bench, o.sampleDiv, o.featureDiv)
 	if err != nil {
@@ -94,9 +109,10 @@ func run(o options, ready chan<- net.Addr) error {
 		MaxBatch:    o.maxBatch,
 		MaxWait:     o.maxWait,
 		Replicas:    o.replicas,
-		QueueDepth:  o.queue,
-		ReloadEvery: o.reloadEvery,
-		Workers:     o.workers,
+		QueueDepth:   o.queue,
+		ReloadEvery:  o.reloadEvery,
+		Workers:      o.workers,
+		SLOTargetP99: o.sloP99,
 	})
 	if err != nil {
 		return err
@@ -108,13 +124,26 @@ func run(o options, ready chan<- net.Addr) error {
 	epoch, step := s.Generation()
 	log.Printf("serving %s (features=%d) from %s epoch %d step %d on %s (max-batch %d, replicas %d)",
 		b.Spec.Name, b.Spec.Features, o.dir, epoch, step, ln.Addr(), o.maxBatch, o.replicas)
-	if ready != nil {
-		ready <- ln.Addr()
+	if o.register != "" {
+		// Join a candle-fleet router; it probes /healthz and routes to
+		// us once the registration lands.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		assign, err := fleet.Register(ctx, o.registerNetwork, o.register, o.replicaID, ln.Addr().String(), epoch, step)
+		cancel()
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("registering with fleet at %s: %w", o.register, err)
+		}
+		log.Printf("registered with fleet at %s as %q (fleet at epoch %d)", o.register, o.replicaID, assign.Epoch)
 	}
-
+	// Install the handler before announcing readiness, so a SIGTERM
+	// arriving the instant we look ready still drains gracefully.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve(ln) }()
 	select {

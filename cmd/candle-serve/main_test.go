@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -10,6 +11,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"candle/internal/fleet"
 )
 
 // testOptions returns a tiny, fast configuration: bootstrap trains a
@@ -138,9 +141,60 @@ func TestBootstrapReusesCheckpoint(t *testing.T) {
 	}
 }
 
+// TestRegisterWithFleet starts a fleet router in-process and a server
+// with -register pointed at its control plane: the server must appear
+// as a healthy fleet member and take proxied traffic.
+func TestRegisterWithFleet(t *testing.T) {
+	r := fleet.NewRouter(fleet.Config{HealthEvery: 20 * time.Millisecond, ReloadEvery: -1})
+	ctlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.ServeControl(ctlLn) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = r.Shutdown(ctx)
+	})
+
+	o := testOptions(t)
+	o.register = ctlLn.Addr().String()
+	o.replicaID = "s0"
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(o, ready) }()
+	select {
+	case <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		members := r.Members()
+		if len(members) == 1 && members[0].ID == "s0" && members[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became a healthy member: %+v", members)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("run returned %v after SIGTERM", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(options{bench: "NT3"}, nil); err == nil {
 		t.Fatal("missing -dir accepted")
+	}
+	if err := run(options{bench: "NT3", dir: os.TempDir(), register: "127.0.0.1:1"}, nil); err == nil {
+		t.Fatal("-register without -replica-id accepted")
 	}
 	if err := run(options{bench: "NT99", dir: t.TempDir(), sampleDiv: 1, featureDiv: 1}, nil); err == nil {
 		t.Fatal("unknown benchmark accepted")

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"context"
+	"encoding/json"
+
+	"candle/internal/nn"
+	"candle/internal/serve"
+)
+
+// The fleet benchmark: an open-loop generator (Poisson-shaped fixed
+// arrival rate — requests arrive whether or not earlier ones have
+// finished, unlike the closed loop in internal/serve's bench) against
+// 1, 2, and 4 real serve.Server replicas, plus a kill-a-replica-
+// under-load run that must finish with zero failed admitted requests.
+//
+// The container is single-core, so replica *compute* cannot actually
+// run in parallel here. Each replica instead carries a fixed
+// ServiceDelay per batch — a sleep standing in for the service time
+// of a dedicated machine. Sleeps overlap across replicas the way real
+// machines would, so fleet scaling shows up honestly in throughput
+// and tail latency while the router's own CPU cost stays real.
+
+const (
+	fbServiceDelay = 16 * time.Millisecond // per-batch service time
+	fbMaxBatch     = 4                     // rows per batch
+	// One replica therefore serves ~fbMaxBatch/fbServiceDelay =
+	// 250 rows/s; the 800/s offered load saturates one replica, still
+	// saturates two, and fits in four — each doubling shows up.
+	fbRate  = 800.0
+	fbTotal = 3200
+)
+
+func startBenchReplica(t *testing.T, id, dir string) *realReplica {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		Benchmark:    lcBench,
+		Dir:          dir,
+		Factory:      lcFactory,
+		Loss:         nn.CategoricalCrossEntropy{},
+		InputDim:     lcDim,
+		MaxBatch:     fbMaxBatch,
+		MaxWait:      time.Millisecond,
+		Replicas:     1,
+		QueueDepth:   64,
+		ReloadEvery:  -1,
+		ServiceDelay: fbServiceDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	rr := &realReplica{id: id, s: s, srv: srv}
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return rr
+}
+
+type openLoopResult struct {
+	ok, shed, failed int
+	elapsed          time.Duration
+	latencies        []float64 // seconds, successful requests only
+}
+
+func (r *openLoopResult) achievedRPS() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ok) / r.elapsed.Seconds()
+}
+
+func (r *openLoopResult) quantile(q float64) float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.latencies...)
+	sort.Float64s(sorted)
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// runOpenLoop fires total requests at the router at a fixed arrival
+// rate, independent of completions. onArrival (optional) runs inline
+// at each dispatch index — the kill run uses it to murder a replica
+// partway through.
+func runOpenLoop(t *testing.T, baseURL string, rate float64, total int, onArrival func(i int)) *openLoopResult {
+	t.Helper()
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	res := &openLoopResult{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		// Pace against absolute targets so per-iteration jitter does
+		// not accumulate into a slower offered rate.
+		if wait := start.Add(time.Duration(i) * interval).Sub(time.Now()); wait > 0 {
+			time.Sleep(wait)
+		}
+		if onArrival != nil {
+			onArrival(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post(baseURL+"/predict", "application/json",
+				strings.NewReader(lcBody))
+			lat := time.Since(t0).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.failed++
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				res.ok++
+				res.latencies = append(res.latencies, lat)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				res.shed++ // not admitted: shed load, never a failure
+			default:
+				res.failed++
+			}
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// TestWriteFleetBench regenerates BENCH_fleet.json when
+// BENCH_FLEET_OUT names the destination (see `make bench-fleet`).
+func TestWriteFleetBench(t *testing.T) {
+	out := os.Getenv("BENCH_FLEET_OUT")
+	if out == "" {
+		t.Skip("set BENCH_FLEET_OUT to write the benchmark file")
+	}
+
+	dir := t.TempDir()
+	lcWriteCkpt(t, dir, 1, 42)
+
+	scales := map[string]any{}
+	var tput [3]float64
+	for i, n := range []int{1, 2, 4} {
+		_, ctlAddr, baseURL := newTestRouter(t, testRouterConfig())
+		for j := 0; j < n; j++ {
+			registerReal(t, ctlAddr, startBenchReplica(t, fmt.Sprintf("r%d", j), dir))
+		}
+		r := runOpenLoop(t, baseURL, fbRate, fbTotal, nil)
+		if r.failed != 0 {
+			t.Errorf("%d replicas: %d requests failed", n, r.failed)
+		}
+		tput[i] = r.achievedRPS()
+		scales[fmt.Sprintf("replicas_%d", n)] = map[string]any{
+			"replicas":        n,
+			"offered_rps":     fbRate,
+			"throughput_rps":  math.Round(r.achievedRPS()),
+			"served":          r.ok,
+			"shed_429":        r.shed,
+			"failed":          r.failed,
+			"latency_p50_ms":  round1(r.quantile(0.50) * 1e3),
+			"latency_p99_ms":  round1(r.quantile(0.99) * 1e3),
+			"latency_mean_ms": round1(mean(r.latencies) * 1e3),
+		}
+		fmt.Printf("replicas=%d: %.0f req/s served (shed %d, failed %d), p50 %.1fms, p99 %.1fms\n",
+			n, r.achievedRPS(), r.shed, r.failed, r.quantile(0.50)*1e3, r.quantile(0.99)*1e3)
+	}
+	if tput[1] < 1.3*tput[0] {
+		t.Errorf("2-replica throughput %.0f is under 1.3x 1-replica %.0f", tput[1], tput[0])
+	}
+
+	// Kill run: two replicas, offered load one survivor can carry,
+	// one replica dies abruptly mid-run. Shedding (429) is allowed;
+	// a failed admitted request (any 5xx or transport error) is not.
+	_, ctlAddr, baseURL := newTestRouter(t, testRouterConfig())
+	registerReal(t, ctlAddr, startBenchReplica(t, "k0", dir))
+	victim := startBenchReplica(t, "k1", dir)
+	registerReal(t, ctlAddr, victim)
+	const killRate, killTotal = 200.0, 1600
+	var killOnce sync.Once
+	kr := runOpenLoop(t, baseURL, killRate, killTotal, func(i int) {
+		if i == killTotal*2/5 {
+			killOnce.Do(func() {
+				victim.srv.CloseClientConnections()
+				victim.srv.Close()
+			})
+		}
+	})
+	if kr.failed != 0 {
+		t.Errorf("kill run: %d admitted requests failed, want 0", kr.failed)
+	}
+	fmt.Printf("kill run: %.0f req/s served (shed %d, failed %d), p99 %.1fms\n",
+		kr.achievedRPS(), kr.shed, kr.failed, kr.quantile(0.99)*1e3)
+
+	doc := map[string]any{
+		"description": "Open-loop load test of the replicated serving fleet: a fixed-rate generator fires requests at the candle-fleet router independent of completions, fronting 1, 2, and 4 real serve.Server replicas registered over the JSON-lines control plane. The container is single-core, so replica compute cannot physically parallelize; each replica instead sleeps a fixed ServiceDelay per batch, standing in for the service time of a dedicated machine — the sleeps overlap across replicas exactly as real machines would, so throughput and tail-latency scaling are honest while the router's CPU cost (routing, failover bookkeeping, proxying) stays real. The 800/s offered load saturates one replica (~250 rows/s capacity at MaxBatch=4, 16ms/batch) and still saturates two, so each doubling of the fleet shows up directly: goodput roughly doubles from 1 to 2 replicas, and at 4 the fleet absorbs the full offered rate with p99 collapsing from queue-bound to service-bound. The kill run offers 200/s to two replicas and severs one replica's connections mid-run: the router retries in-flight attempts on the survivor and drains the corpse, so admitted requests never fail — shed load (429) is permitted, a 5xx is not, and the run asserts failed=0.",
+		"environment": map[string]any{
+			"cpu":               "single-core container",
+			"gomaxprocs":        runtime.GOMAXPROCS(0),
+			"go":                runtime.Version(),
+			"model":             "dense-8/relu/dense-3/softmax toy head (service time dominated by ServiceDelay)",
+			"service_delay_ms":  float64(fbServiceDelay) / 1e6,
+			"replica_max_batch": fbMaxBatch,
+			"transport":         "HTTP through the router (failover and proxy cost included)",
+		},
+		"scales": scales,
+		"kill_run": map[string]any{
+			"replicas_start": 2,
+			"replicas_end":   1,
+			"offered_rps":    killRate,
+			"throughput_rps": math.Round(kr.achievedRPS()),
+			"served":         kr.ok,
+			"shed_429":       kr.shed,
+			"failed":         kr.failed,
+			"latency_p50_ms": round1(kr.quantile(0.50) * 1e3),
+			"latency_p99_ms": round1(kr.quantile(0.99) * 1e3),
+		},
+		"scaling_2_over_1": round3(tput[1] / tput[0]),
+		"scaling_4_over_1": round3(tput[2] / tput[0]),
+		"regenerate":       "make bench-fleet",
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("scaling 2x=%.2f 4x=%.2f -> %s\n", tput[1]/tput[0], tput[2]/tput[0], out)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Health probing and drain-around. The router trusts nothing it
+// cannot observe: every HealthEvery it probes each member's /healthz,
+// and DeadAfter consecutive failures drain the member from the route
+// set — in-flight requests fail over, new ones never see it. A
+// replica that answers again is readmitted, but only once its
+// generation matches the fleet's (a restarted replica may come back
+// on older weights; catchUp walks it forward through the same
+// stage/commit protocol a coordinated reload uses).
+
+// replicaHealth is the slice of a replica's /healthz the router needs.
+type replicaHealth struct {
+	Status string `json:"status"`
+	Epoch  int    `json:"epoch"`
+	Step   int    `json:"step"`
+	Pid    int    `json:"pid"`
+}
+
+// decodeHealth parses a replica /healthz body. Lenient about fields
+// it does not use (the replica reports plenty), strict about the ones
+// it does, and total: no input panics it.
+func decodeHealth(body []byte) (replicaHealth, error) {
+	var h replicaHealth
+	if err := json.Unmarshal(body, &h); err != nil {
+		return h, fmt.Errorf("fleet: decoding healthz: %w", err)
+	}
+	if h.Status == "" {
+		return h, errors.New("fleet: healthz missing status")
+	}
+	if h.Epoch < 0 || h.Step < 0 {
+		return h, errors.New("fleet: healthz generation must be non-negative")
+	}
+	return h, nil
+}
+
+func (r *Router) healthLoop() {
+	defer r.loopWG.Done()
+	tick := time.NewTicker(r.cfg.HealthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-tick.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll probes every member once and rebuilds the route set if any
+// member's routing eligibility changed.
+func (r *Router) probeAll() {
+	r.mu.Lock()
+	members := make([]*member, 0, len(r.members))
+	for _, m := range r.members {
+		members = append(members, m)
+	}
+	r.mu.Unlock()
+
+	changed := false
+	for _, m := range members {
+		if r.probe(m) {
+			changed = true
+		}
+	}
+	if changed {
+		r.rebuildRoute()
+	}
+}
+
+// probe checks one member, returning whether its routing eligibility
+// (health or generation) changed.
+func (r *Router) probe(m *member) (changed bool) {
+	h, err := r.fetchHealth(m)
+	if err != nil {
+		fails := m.fails.Add(1)
+		if int(fails) >= r.cfg.DeadAfter && m.healthy.Load() {
+			m.healthy.Store(false)
+			r.metrics.drains.Add(1)
+			return true
+		}
+		return false
+	}
+	m.fails.Store(0)
+	// "draining" means the replica is shutting down on purpose: treat
+	// it like a death, without waiting for the port to go dark.
+	if h.Status == "draining" {
+		if m.healthy.Load() {
+			m.healthy.Store(false)
+			r.metrics.drains.Add(1)
+			return true
+		}
+		return false
+	}
+	if h.Pid != 0 {
+		m.pid.Store(int64(h.Pid))
+	}
+	oldGen := m.gen.Load()
+	newGen := packGen(h.Epoch, h.Step)
+	m.gen.Store(newGen)
+	if !m.healthy.Load() {
+		m.healthy.Store(true)
+		r.metrics.recoveries.Add(1)
+		changed = true
+	}
+	if newGen != oldGen {
+		changed = true
+	}
+	// A healthy member behind the fleet generation is useless for
+	// routing; try to walk it forward right here (shared checkpoint
+	// storage makes this a local stage/commit, no fleet-wide pause
+	// needed — the member is not route-eligible yet).
+	if fleetGen := r.fleetGen.Load(); newGen != fleetGen && newGen < fleetGen {
+		if r.catchUp(m, fleetGen) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (r *Router) fetchHealth(m *member) (replicaHealth, error) {
+	ctx, cancel := contextWithTimeout(r.stopc, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url("/healthz"), nil)
+	if err != nil {
+		return replicaHealth{}, err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return replicaHealth{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return replicaHealth{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return replicaHealth{}, fmt.Errorf("fleet: healthz status %d", resp.StatusCode)
+	}
+	return decodeHealth(body)
+}
+
+// catchUp stages the newest checkpoint on one stale member and
+// commits it iff it is exactly the fleet generation. Reports whether
+// the member reached the fleet generation.
+func (r *Router) catchUp(m *member, fleetGen int64) bool {
+	epoch, step, err := r.stageOn(m)
+	if err != nil {
+		return false
+	}
+	if packGen(epoch, step) != fleetGen {
+		_ = r.abortOn(m) // its storage cannot produce the fleet's generation
+		return false
+	}
+	if err := r.commitOn(m, epoch, step); err != nil {
+		return false
+	}
+	m.gen.Store(fleetGen)
+	return true
+}

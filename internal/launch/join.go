@@ -147,7 +147,7 @@ func register(cfg JoinConfig, dataAddr string, deadline time.Time) (*wireMsg, er
 	case "assign":
 		return &reply, nil
 	case "error":
-		return nil, codeErr(reply.Code, reply.Msg)
+		return nil, CodeErr(reply.Code, reply.Msg)
 	default:
 		return nil, fmt.Errorf("launch: proc %d got unexpected %q reply", cfg.Proc, reply.Type)
 	}

@@ -43,8 +43,12 @@ var (
 	ErrRendezvousClosed = errors.New("launch: rendezvous closed")
 )
 
-// errCode maps a typed failure to its wire code and back.
-func errCode(err error) string {
+// ErrCode maps a typed failure to its stable wire code ("duplicate",
+// "timeout", "closed", or the catch-all "error"). It is exported —
+// with its inverse CodeErr — so other JSON-lines control planes (the
+// fleet's replica registration, for one) reuse the same typed-error
+// wire convention instead of inventing a parallel one.
+func ErrCode(err error) string {
 	switch {
 	case errors.Is(err, ErrDuplicateProc):
 		return "duplicate"
@@ -56,7 +60,9 @@ func errCode(err error) string {
 	return "error"
 }
 
-func codeErr(code, msg string) error {
+// CodeErr is ErrCode's inverse: it rebuilds the typed error (wrapped
+// around the wire detail) from a code received off the wire.
+func CodeErr(code, msg string) error {
 	var base error
 	switch code {
 	case "duplicate":
@@ -197,7 +203,7 @@ func (s *Server) acceptLoop() {
 			select {
 			case s.joins <- joinConn{conn: c, msg: msg}:
 			case <-s.closed:
-				writeMsg(c, wireMsg{Type: "error", Code: errCode(ErrRendezvousClosed), Msg: "rendezvous closed"})
+				writeMsg(c, wireMsg{Type: "error", Code: ErrCode(ErrRendezvousClosed), Msg: "rendezvous closed"})
 				c.Close()
 			case <-s.done:
 				writeMsg(c, wireMsg{Type: "error", Code: "error", Msg: "rendezvous round already completed"})
@@ -227,7 +233,7 @@ func (s *Server) coordinate() {
 	fail := func(err error, detail string) {
 		s.err = err
 		for _, j := range joined {
-			writeMsg(j.conn, wireMsg{Type: "error", Code: errCode(err), Msg: detail})
+			writeMsg(j.conn, wireMsg{Type: "error", Code: ErrCode(err), Msg: detail})
 			j.conn.Close()
 		}
 	}
@@ -243,7 +249,7 @@ func (s *Server) coordinate() {
 			if _, dup := joined[j.msg.Proc]; dup {
 				// The round keeps the first registration; the imposter
 				// gets the typed rejection.
-				writeMsg(j.conn, wireMsg{Type: "error", Code: errCode(ErrDuplicateProc),
+				writeMsg(j.conn, wireMsg{Type: "error", Code: ErrCode(ErrDuplicateProc),
 					Msg: fmt.Sprintf("proc %d already registered", j.msg.Proc)})
 				j.conn.Close()
 				continue

@@ -42,14 +42,17 @@ func (s *Server) batchLoop() {
 // waiting at most MaxWait after the first arrival. A shutdown flush
 // (drainc) takes what is queued and stops waiting.
 func (s *Server) collect(first *Request) []*Request {
-	batch := make([]*Request, 1, s.cfg.MaxBatch)
+	// The effective knobs are read once per batch: the SLO controller
+	// may move them between batches, never within one.
+	maxBatch, maxWait := s.BatchKnobs()
+	batch := make([]*Request, 1, maxBatch)
 	batch[0] = first
-	if s.cfg.MaxBatch <= 1 {
+	if maxBatch <= 1 {
 		return batch
 	}
-	if s.cfg.MaxWait <= 0 {
+	if maxWait <= 0 {
 		// Opportunistic only: take what is already there.
-		for len(batch) < s.cfg.MaxBatch {
+		for len(batch) < maxBatch {
 			select {
 			case p := <-s.queue:
 				batch = append(batch, p)
@@ -59,9 +62,9 @@ func (s *Server) collect(first *Request) []*Request {
 		}
 		return batch
 	}
-	timer := time.NewTimer(s.cfg.MaxWait)
+	timer := time.NewTimer(maxWait)
 	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
+	for len(batch) < maxBatch {
 		// Fast path: under load the queue almost always has the next
 		// request ready, and a non-blocking receive is several times
 		// cheaper than the three-way select below.
@@ -77,7 +80,7 @@ func (s *Server) collect(first *Request) []*Request {
 		case <-timer.C:
 			return batch
 		case <-s.drainc:
-			for len(batch) < s.cfg.MaxBatch {
+			for len(batch) < maxBatch {
 				select {
 				case p := <-s.queue:
 					batch = append(batch, p)
@@ -122,6 +125,9 @@ func (s *Server) runBatch(rep *replica, batch []*Request) {
 	if s.testHookForward != nil {
 		s.testHookForward()
 	}
+	if s.cfg.ServiceDelay > 0 {
+		time.Sleep(s.cfg.ServiceDelay)
+	}
 	fwdStart := time.Now()
 	out, err := safePredict(rep, in)
 	s.metrics.phases.Record("forward", time.Since(fwdStart).Seconds())
@@ -153,6 +159,7 @@ func (s *Server) runBatch(rep *replica, batch []*Request) {
 // its admission slot (the inflight count Shutdown drains on).
 func (s *Server) deliver(p *Request) {
 	p.done <- p
+	s.completed.Add(1)
 	s.inflight.Done()
 }
 

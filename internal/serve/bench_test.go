@@ -14,7 +14,6 @@ import (
 	"candle/internal/candle"
 	"candle/internal/checkpoint"
 	"candle/internal/nn"
-	"candle/internal/trace"
 )
 
 // The serving benchmark asks the paper's fusion-buffer question of the
@@ -161,46 +160,20 @@ func measureServeRunOn(tb testing.TB, s *Server, clients, total int) serveRun {
 		start := time.Now()
 		run(total)
 		wall := time.Since(start).Seconds()
-		lat := s.metrics.latency.Snapshot()
-		batch := s.metrics.batchSize.Snapshot()
+		lat := s.metrics.latency.Snapshot().Delta(preLat)
+		batch := s.metrics.batchSize.Snapshot().Delta(preBatch)
 		r := serveRun{
 			throughput: float64(total) / wall,
-			p50:        windowQuantile(preLat, lat, 0.50),
-			p99:        windowQuantile(preLat, lat, 0.99),
-			mean:       (lat.Sum - preLat.Sum) / float64(lat.Count-preLat.Count),
-			meanBatch:  (batch.Sum - preBatch.Sum) / float64(batch.Count-preBatch.Count),
+			p50:        lat.Quantile(0.50),
+			p99:        lat.Quantile(0.99),
+			mean:       lat.Mean(),
+			meanBatch:  batch.Mean(),
 		}
 		if r.throughput > best.throughput {
 			best = r
 		}
 	}
 	return best
-}
-
-// windowQuantile estimates the q-quantile of the observations that
-// landed between two snapshots of the same histogram: the upper bound
-// of the bucket holding the q-th windowed observation (overflow
-// reports the all-time max).
-func windowQuantile(pre, post trace.HistogramSnapshot, q float64) float64 {
-	n := post.Count - pre.Count
-	if n == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(n)))
-	if rank == 0 {
-		rank = 1
-	}
-	var cum uint64
-	for i := range post.Counts {
-		cum += post.Counts[i] - pre.Counts[i]
-		if cum >= rank {
-			if i < len(post.Bounds) {
-				return post.Bounds[i]
-			}
-			return post.Max
-		}
-	}
-	return post.Max
 }
 
 // BenchmarkServePredict compares the two modes under `go test -bench`:

@@ -23,6 +23,9 @@ func FuzzDecodePredict(f *testing.F) {
 		`{"features":["NaN",1,2,3]}`,
 		`{"features":[1,2,3,4],"extra":true}`,
 		`{"features":[1,2,3,4]}{"features":[5,6,7,8]}`,
+		`{"features":[1,2,3,4],"priority":"high"}`,
+		`{"features":[1,2,3,4],"priority":"urgent"}`,
+		`{"features":[1,2,3,4],"priority":""}`,
 		`[1,2,3,4]`,
 		`"features"`,
 		`{"features":{"0":1}}`,
@@ -35,7 +38,7 @@ func FuzzDecodePredict(f *testing.F) {
 	}
 	const want = 4
 	f.Fuzz(func(t *testing.T, data []byte) {
-		features, aerr := decodePredict(data, want) // must not panic
+		features, pri, aerr := decodePredict(data, want) // must not panic
 		if aerr != nil {
 			if aerr.Status < 400 || aerr.Status > 499 {
 				t.Fatalf("decoder error status %d outside 4xx: %v", aerr.Status, aerr)
@@ -51,6 +54,42 @@ func FuzzDecodePredict(f *testing.F) {
 		for i, v := range features {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				t.Fatalf("accepted non-finite feature %d: %v", i, v)
+			}
+		}
+		switch pri {
+		case PriorityLow, PriorityNormal, PriorityHigh:
+		default:
+			t.Fatalf("accepted unknown priority %d", pri)
+		}
+	})
+}
+
+// FuzzDecodeGeneration holds the /reload/commit body decoder to the
+// same contract: typed 4xx or success, never a panic.
+func FuzzDecodeGeneration(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"epoch":3,"step":100}`,
+		`{"epoch":3}`,
+		`{"epoch":-1,"step":1e99}`,
+		`{"epoch":3,"step":100,"extra":1}`,
+		`{"epoch":3,"step":100}{}`,
+		`[3,100]`,
+		`{"epoch"`,
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, aerr := decodeGeneration(data) // must not panic
+		if aerr != nil {
+			if aerr.Status < 400 || aerr.Status > 499 {
+				t.Fatalf("decoder error status %d outside 4xx: %v", aerr.Status, aerr)
+			}
+			if aerr.Code == "" || aerr.Msg == "" {
+				t.Fatalf("decoder error missing code/message: %+v", aerr)
 			}
 		}
 	})

@@ -74,3 +74,94 @@ func (s *Server) TryReload() (reloaded bool, err error) {
 	s.metrics.reloads.Add(1)
 	return true, nil
 }
+
+// ---- coordinated (two-phase) reload ---------------------------------
+//
+// A replicated fleet cannot let each replica reload on its own clock:
+// replicas would swap generations at different times and a client
+// session failing over between them could see weights go backwards.
+// The router drives reloads instead — stage on every replica, then
+// commit everywhere inside one pause window — and these methods are
+// the replica's half of that protocol. A replica under a router runs
+// with ReloadEvery < 0 so the autonomous loop stays out of the way.
+
+// Typed staging errors; the HTTP layer maps them to status codes.
+var (
+	// ErrNoStaged: commit without a staged reload (HTTP 409).
+	ErrNoStaged = errors.New("serve: no staged reload")
+	// ErrStageMismatch: the staged generation is not the one the
+	// coordinator asked to commit (HTTP 409).
+	ErrStageMismatch = errors.New("serve: staged generation mismatch")
+)
+
+// PeekLatest reports the newest loadable checkpoint generation and
+// how many newer damaged files were skipped reaching it, without
+// building anything. The fleet coordinator uses it to decide whether
+// a fleet-wide reload is worth staging.
+func (s *Server) PeekLatest() (epoch, step, skipped int, err error) {
+	snap, skips, err := checkpoint.LatestWithSkips(s.cfg.Dir, s.cfg.Benchmark)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return snap.Epoch, snap.Step, len(skips), nil
+}
+
+// StageReload builds a full replica set from the newest loadable
+// checkpoint and parks it, without serving it: the prepare phase.
+// Staging replaces any previously staged set. The serving generation
+// is untouched; a staging failure is recorded on /healthz like any
+// reload failure.
+func (s *Server) StageReload() (epoch, step int, err error) {
+	snap, skips, err := checkpoint.LatestWithSkips(s.cfg.Dir, s.cfg.Benchmark)
+	if err != nil {
+		s.noteReloadFailure(err)
+		return 0, 0, err
+	}
+	if len(skips) > 0 {
+		s.noteReloadFailure(fmt.Errorf("serve: skipped damaged newer checkpoint: %w", skips[0]))
+	}
+	rs, err := s.buildReplicaSet(snap)
+	if err != nil {
+		err = fmt.Errorf("serve: staging epoch %d: %w", snap.Epoch, err)
+		s.noteReloadFailure(err)
+		return 0, 0, err
+	}
+	s.stagedMu.Lock()
+	s.staged = rs
+	s.stagedMu.Unlock()
+	return snap.Epoch, snap.Step, nil
+}
+
+// CommitStaged atomically swaps in the staged replica set, but only
+// if it is the generation the coordinator expects — a stale or absent
+// stage is a typed error and the serving weights stay put. In-flight
+// batches finish on the set they started with, as with any reload.
+func (s *Server) CommitStaged(epoch, step int) error {
+	s.stagedMu.Lock()
+	defer s.stagedMu.Unlock()
+	if s.staged == nil {
+		return ErrNoStaged
+	}
+	if s.staged.epoch != epoch || s.staged.step != step {
+		return fmt.Errorf("%w: staged %d/%d, commit wants %d/%d",
+			ErrStageMismatch, s.staged.epoch, s.staged.step, epoch, step)
+	}
+	rs := s.staged
+	s.staged = nil
+	s.rs.Store(rs)
+	s.health.mu.Lock()
+	s.health.epoch, s.health.step = rs.epoch, rs.step
+	s.health.reloads++
+	s.health.lastReloadErr = ""
+	s.health.mu.Unlock()
+	s.metrics.reloads.Add(1)
+	return nil
+}
+
+// AbortStaged drops any staged replica set (the coordinator called
+// off the round); committing afterwards is ErrNoStaged.
+func (s *Server) AbortStaged() {
+	s.stagedMu.Lock()
+	s.staged = nil
+	s.stagedMu.Unlock()
+}

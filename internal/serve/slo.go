@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"candle/internal/trace"
+)
+
+// The SLO controller. The paper tunes Horovod's CycleTime/FusionBytes
+// by hand per machine; the serving tier cannot afford hand tuning —
+// traffic mix shifts minute to minute. Instead of fixed MaxBatch and
+// MaxWait, the server is given one end-to-end target (MLPerf HPC's
+// argument: the metric that matters is the user-visible one) and
+// adapts both knobs to it: each control window it computes the p99 of
+// just that window's latencies (trace.Window over the request
+// histogram) and applies an AIMD-style policy:
+//
+//   - Over target: stop waiting for stragglers first (halve MaxWait —
+//     the knob that adds latency directly), then halve MaxBatch once
+//     the wait is already zero.
+//   - Under half the target: restore throughput, in the opposite
+//     order — double MaxBatch back toward its ceiling first (batching
+//     amortizes overhead at little latency cost), then re-grow
+//     MaxWait.
+//   - In between: leave the knobs alone (hysteresis, so the
+//     controller does not oscillate around the target).
+//
+// The configured MaxBatch/MaxWait act as capacity ceilings; the
+// controller only moves inside [1, MaxBatch] × [0, MaxWait].
+
+// sloMinSamples is the fewest windowed observations worth reacting
+// to; below it a single straggler would whipsaw the knobs.
+const sloMinSamples = 16
+
+// minAdaptWait is the smallest non-zero MaxWait the controller uses;
+// halving below it snaps to zero, growth from zero restarts here.
+const minAdaptWait = 100 * time.Microsecond
+
+// sloLoop runs the controller until shutdown.
+func (s *Server) sloLoop() {
+	defer s.loopWG.Done()
+	ctl := newSLOController(s)
+	tick := time.NewTicker(s.cfg.SLOEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+			ctl.tick()
+		}
+	}
+}
+
+// sloController holds the controller's window state; tick is separate
+// from the loop so tests can drive it deterministically.
+type sloController struct {
+	s   *Server
+	win *trace.Window
+}
+
+func newSLOController(s *Server) *sloController {
+	return &sloController{s: s, win: trace.NewWindow(s.metrics.latency)}
+}
+
+// tick runs one control step and reports whether the knobs moved.
+func (c *sloController) tick() bool {
+	d := c.win.Advance()
+	if d.Count < sloMinSamples {
+		return false
+	}
+	p99 := d.Quantile(0.99)
+	target := c.s.cfg.SLOTargetP99.Seconds()
+	mb, mw := c.s.BatchKnobs()
+	newMB, newMW := mb, mw
+	switch {
+	case p99 > target:
+		if mw > 0 {
+			newMW = mw / 2
+			if newMW < minAdaptWait {
+				newMW = 0
+			}
+		} else if mb > 1 {
+			newMB = mb / 2
+		}
+	case p99 < target/2:
+		if mb < c.s.cfg.MaxBatch {
+			newMB = mb * 2
+		} else if mw < c.s.cfg.MaxWait {
+			newMW = mw * 2
+			if newMW < minAdaptWait {
+				newMW = minAdaptWait
+			}
+		}
+	}
+	if newMB == mb && newMW == mw {
+		return false
+	}
+	c.s.setBatchKnobs(newMB, newMW)
+	c.s.metrics.sloAdjusts.Add(1)
+	return true
+}
+
+// ---- Retry-After from queue depth and drain rate --------------------
+
+// drainTracker estimates the server's current drain rate (delivered
+// responses per second) from timestamped samples of the completion
+// counter, smoothing with an EWMA so one quiet sample does not zero
+// the estimate.
+type drainTracker struct {
+	mu    sync.Mutex
+	lastT time.Time
+	lastC uint64
+	rate  float64 // completions/second, EWMA
+}
+
+// drainSampleEvery spaces rate samples: more frequent calls reuse the
+// previous estimate instead of dividing by near-zero intervals.
+const drainSampleEvery = 50 * time.Millisecond
+
+// observe folds the completion count at now into the estimate and
+// returns the current rate.
+func (d *drainTracker) observe(now time.Time, completed uint64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lastT.IsZero() {
+		d.lastT, d.lastC = now, completed
+		return d.rate
+	}
+	dt := now.Sub(d.lastT)
+	if dt < drainSampleEvery {
+		return d.rate
+	}
+	inst := float64(completed-d.lastC) / dt.Seconds()
+	if d.rate == 0 {
+		d.rate = inst
+	} else {
+		d.rate = 0.5*d.rate + 0.5*inst
+	}
+	d.lastT, d.lastC = now, completed
+	return d.rate
+}
+
+// maxRetryAfterSeconds caps the advice: past it the client should be
+// told "come back much later" rather than a precise ETA.
+const maxRetryAfterSeconds = 30
+
+// retryAfterSeconds turns a queue depth and a drain rate into
+// Retry-After advice: the time the current backlog needs to drain,
+// rounded up to whole seconds and clamped to [1, 30]. A zero rate
+// with work queued means nothing is draining — advise the cap; a zero
+// rate with an empty queue (a server that has not seen traffic yet)
+// advises the minimum.
+func retryAfterSeconds(depth int, rate float64) int {
+	if rate <= 0 {
+		if depth == 0 {
+			return 1
+		}
+		return maxRetryAfterSeconds
+	}
+	secs := int(math.Ceil(float64(depth+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// RetryAfterSeconds is the live Retry-After for a rejected request:
+// current queue depth over the measured drain rate.
+func (s *Server) RetryAfterSeconds() int {
+	rate := s.drain.observe(time.Now(), s.completed.Load())
+	return retryAfterSeconds(len(s.queue), rate)
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// ---- SLO controller -------------------------------------------------
+
+// feedLatency plants synthetic observations in the server's latency
+// histogram — the controller only ever sees the histogram, so tests
+// can drive it without real traffic.
+func feedLatency(s *Server, v float64, n int) {
+	for i := 0; i < n; i++ {
+		s.metrics.latency.Observe(v)
+	}
+}
+
+func TestSLOControllerAdapts(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	cfg := testConfig(dir)
+	cfg.SLOTargetP99 = 10 * time.Millisecond
+	cfg.SLOEvery = time.Hour // keep the background loop inert
+	s := newTestServer(t, cfg)
+	ctl := newSLOController(s)
+
+	// Too few windowed samples: no reaction, however slow they are.
+	feedLatency(s, 0.1, sloMinSamples-1)
+	if ctl.tick() {
+		t.Fatal("controller moved on fewer than sloMinSamples observations")
+	}
+
+	// Sustained overshoot: MaxWait is the first knob to give.
+	feedLatency(s, 0.1, 32)
+	if !ctl.tick() {
+		t.Fatal("controller ignored a 10x p99 overshoot")
+	}
+	mb, mw := s.BatchKnobs()
+	if mb != cfg.MaxBatch || mw != cfg.MaxWait/2 {
+		t.Fatalf("after one overshoot tick: knobs (%d, %v), want (%d, %v)",
+			mb, mw, cfg.MaxBatch, cfg.MaxWait/2)
+	}
+
+	// Keep overshooting: the wait halves to zero before batch shrinks.
+	for i := 0; i < 20; i++ {
+		if _, mw = s.BatchKnobs(); mw == 0 {
+			break
+		}
+		feedLatency(s, 0.1, 32)
+		ctl.tick()
+	}
+	mb, mw = s.BatchKnobs()
+	if mw != 0 || mb != cfg.MaxBatch {
+		t.Fatalf("overshoot should zero MaxWait before touching MaxBatch: (%d, %v)", mb, mw)
+	}
+
+	// Only with the wait exhausted does the batch ceiling halve.
+	feedLatency(s, 0.1, 32)
+	ctl.tick()
+	if mb, _ = s.BatchKnobs(); mb != cfg.MaxBatch/2 {
+		t.Fatalf("MaxBatch = %d after wait exhausted, want %d", mb, cfg.MaxBatch/2)
+	}
+
+	// Recovery restores throughput in the opposite order: batch first.
+	feedLatency(s, 0.001, 32)
+	ctl.tick()
+	mb, mw = s.BatchKnobs()
+	if mb != cfg.MaxBatch || mw != 0 {
+		t.Fatalf("recovery should re-grow MaxBatch first: (%d, %v)", mb, mw)
+	}
+	feedLatency(s, 0.001, 32)
+	ctl.tick()
+	if _, mw = s.BatchKnobs(); mw != minAdaptWait {
+		t.Fatalf("recovery from zero wait should restart at %v, got %v", minAdaptWait, mw)
+	}
+
+	// Hysteresis: a p99 inside (target/2, target] moves nothing.
+	mb, mw = s.BatchKnobs()
+	feedLatency(s, 0.007, 32) // bucket upper bound ~8.8ms: under 10ms, over 5ms
+	if ctl.tick() {
+		t.Fatal("controller moved inside the hysteresis band")
+	}
+	if mb2, mw2 := s.BatchKnobs(); mb2 != mb || mw2 != mw {
+		t.Fatalf("knobs drifted in the hysteresis band: (%d, %v) -> (%d, %v)", mb, mw, mb2, mw2)
+	}
+
+	if got := s.metrics.SLOAdjusts(); got < 4 {
+		t.Fatalf("slo_adjusts = %d, want the moves above counted", got)
+	}
+}
+
+// TestSLOKnobsClamped: the controller can never leave
+// [1, cfg.MaxBatch] x [0, cfg.MaxWait].
+func TestSLOKnobsClamped(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	s := newTestServer(t, testConfig(dir))
+	s.setBatchKnobs(10000, time.Hour)
+	if mb, mw := s.BatchKnobs(); mb != s.cfg.MaxBatch || mw != s.cfg.MaxWait {
+		t.Fatalf("knobs above ceiling: (%d, %v)", mb, mw)
+	}
+	s.setBatchKnobs(-5, -time.Second)
+	if mb, mw := s.BatchKnobs(); mb != 1 || mw != 0 {
+		t.Fatalf("knobs below floor: (%d, %v)", mb, mw)
+	}
+}
+
+// ---- Retry-After ----------------------------------------------------
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		depth int
+		rate  float64
+		want  int
+	}{
+		{0, 0, 1},     // idle server, no rate yet: minimum advice
+		{5, 0, 30},    // backlog and nothing draining: the cap
+		{0, 100, 1},   // fast drain: minimum
+		{10, 5, 3},    // ceil(11/5)
+		{99, 100, 1},  // sub-second drain rounds up to 1
+		{1000, 10, 30} /* 100s, clamped */, {3, 1, 4},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.depth, tc.rate); got != tc.want {
+			t.Errorf("retryAfterSeconds(%d, %v) = %d, want %d", tc.depth, tc.rate, got, tc.want)
+		}
+	}
+}
+
+func TestDrainTrackerEWMA(t *testing.T) {
+	var d drainTracker
+	t0 := time.Unix(1000, 0)
+	if rate := d.observe(t0, 0); rate != 0 {
+		t.Fatalf("first sample should only set the baseline, got rate %v", rate)
+	}
+	// 50 completions over 100ms = 500/s; first real sample seeds the EWMA.
+	if rate := d.observe(t0.Add(100*time.Millisecond), 50); rate != 500 {
+		t.Fatalf("rate = %v, want 500", rate)
+	}
+	// A sample inside the spacing window reuses the estimate.
+	if rate := d.observe(t0.Add(110*time.Millisecond), 55); rate != 500 {
+		t.Fatalf("rate = %v, want previous 500 (sample too soon)", rate)
+	}
+	// 100 more completions over the next 200ms = 500/s inst; EWMA holds.
+	if rate := d.observe(t0.Add(300*time.Millisecond), 150); rate != 500 {
+		t.Fatalf("rate = %v, want 500", rate)
+	}
+	// Traffic stops: 0 inst halves the estimate, not zeroes it.
+	if rate := d.observe(t0.Add(400*time.Millisecond), 150); rate != 250 {
+		t.Fatalf("rate = %v, want 250 after one quiet window", rate)
+	}
+}
+
+// TestHTTPRetryAfterHeader: backpressure statuses carry live advice,
+// not the old fixed "1".
+func TestHTTPRetryAfterHeader(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	s := newTestServer(t, testConfig(dir))
+
+	for _, engineErr := range []error{ErrOverloaded, ErrDraining} {
+		rec := httptest.NewRecorder()
+		s.writeErr(rec, mapPredictErr(engineErr))
+		raw := rec.Header().Get("Retry-After")
+		secs, err := strconv.Atoi(raw)
+		if err != nil || secs < 1 || secs > maxRetryAfterSeconds {
+			t.Fatalf("%v: Retry-After = %q, want an integer in [1, %d]",
+				engineErr, raw, maxRetryAfterSeconds)
+		}
+	}
+	// Non-backpressure errors carry no advice.
+	rec := httptest.NewRecorder()
+	s.writeErr(rec, mapPredictErr(ErrBadWidth))
+	if raw := rec.Header().Get("Retry-After"); raw != "" {
+		t.Fatalf("422 carried Retry-After %q", raw)
+	}
+}
+
+// ---- tiered shedding ------------------------------------------------
+
+func TestShedLimits(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	cfg := testConfig(dir)
+	cfg.QueueDepth = 64
+	s := newTestServer(t, cfg)
+	if got := s.shedLimit(PriorityLow); got != 32 {
+		t.Errorf("low limit = %d, want 32", got)
+	}
+	if got := s.shedLimit(PriorityNormal); got != 56 {
+		t.Errorf("normal limit = %d, want 56", got)
+	}
+	if got := s.shedLimit(PriorityHigh); got != 64 {
+		t.Errorf("high limit = %d, want 64", got)
+	}
+}
+
+// TestShedTiers drives the three admission ceilings end to end: with
+// the pipeline wedged, low bounces at half queue, normal at 7/8, and
+// high only when the queue is physically full.
+func TestShedTiers(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 42)
+	cfg := testConfig(dir)
+	cfg.Replicas = 1
+	cfg.MaxBatch = 1
+	cfg.QueueDepth = 8 // low sheds at 4, normal at 7, high at 8
+	s := newTestServer(t, cfg)
+
+	entered := make(chan struct{}, 16) // every batch signals, incl. post-release ones
+	release := make(chan struct{})
+	s.testHookForward = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	rng := rand.New(rand.NewSource(11))
+	done := make(chan *Request, 16)
+	submit := func(p Priority) error {
+		return s.Submit(&Request{Features: row(rng), Priority: p}, done)
+	}
+
+	// Wedge the pipeline: r1 holds the only replica, r2's batch blocks
+	// waiting for it, leaving the queue itself empty.
+	if err := submit(PriorityNormal); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := submit(PriorityNormal); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.metrics.Requests() == 2 && s.QueueDepth() == 0 })
+
+	mustAccept := func(p Priority) {
+		t.Helper()
+		if err := submit(p); err != nil {
+			t.Fatalf("%v rejected at depth %d: %v", p, s.QueueDepth(), err)
+		}
+	}
+	mustShed := func(p Priority) {
+		t.Helper()
+		if err := submit(p); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("%v at depth %d: got %v, want ErrOverloaded", p, s.QueueDepth(), err)
+		}
+	}
+
+	for i := 0; i < 3; i++ { // depth 0 -> 3
+		mustAccept(PriorityHigh)
+	}
+	mustAccept(PriorityLow) // depth 3 < 4: low still admitted
+	mustShed(PriorityLow)   // depth 4: low tier closed
+	for i := 0; i < 3; i++ { // depth 4 -> 7
+		mustAccept(PriorityNormal)
+	}
+	mustShed(PriorityNormal) // depth 7: normal tier closed
+	mustShed(PriorityLow)
+	mustAccept(PriorityHigh) // depth 7 -> 8: reserved headroom
+	mustShed(PriorityHigh)   // depth 8: physically full
+
+	if lo, no, hi := s.metrics.shedLow.Load(), s.metrics.shedNormal.Load(), s.metrics.shedHigh.Load(); lo != 2 || no != 1 || hi != 1 {
+		t.Fatalf("shed counters (low, normal, high) = (%d, %d, %d), want (2, 1, 1)", lo, no, hi)
+	}
+
+	close(release)
+	for i := 0; i < 10; i++ { // the 2 wedge requests + 8 queued admits
+		if req := <-done; req.Err != nil {
+			t.Fatal(req.Err)
+		}
+	}
+}
