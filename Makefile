@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test race vet bench bench-tensor bench-overlap bench-serve bench-load \
-	bench-transport bench-fleet launch-smoke fleet-smoke ci \
+	bench-transport bench-fleet bench-e2e bench-e2e-smoke launch-smoke fleet-smoke ci \
 	sim-smoke sim-multi-seed sim-nondeterminism sim-import-export sim-transport
 
 build:
@@ -63,6 +63,17 @@ launch-smoke:
 bench-fleet:
 	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test -count=1 -timeout 600s -run TestWriteFleetBench -v ./internal/fleet
 
+# End-to-end time/energy-to-accuracy sweep: real training for every
+# pilot × {engine, ranks, overlap, dtype} grid point, phase split from
+# the trace timeline, modeled joules; regenerates BENCH_e2e.json —
+# the artifact candle-advise -from-bench recommends from.
+bench-e2e:
+	BENCH_E2E_OUT=$(CURDIR)/BENCH_e2e.json $(GO) test -count=1 -timeout 600s -run TestWriteE2EBench -v ./internal/e2ebench
+
+# CI-fast subset: one pilot, two configs, schema-validated, thrown away.
+bench-e2e-smoke:
+	BENCH_E2E_SMOKE=1 BENCH_E2E_OUT=/tmp/BENCH_e2e.json $(GO) test -count=1 -run TestWriteE2EBench -v ./internal/e2ebench
+
 # Replicated-serving smoke: candle-fleet spawns 2 real replica
 # processes, one is SIGKILLed under live load (zero failed admitted
 # requests), the supervisor respawns it, SIGTERM drains the fleet.
@@ -99,4 +110,4 @@ sim-import-export:
 sim-transport:
 	$(GO) run ./cmd/candle-sim -seeds $(SEEDS) -start-seed $(SIM_START_SEED) -check transport
 
-ci: build test race vet sim-smoke launch-smoke fleet-smoke
+ci: build test race vet sim-smoke launch-smoke fleet-smoke bench-e2e-smoke

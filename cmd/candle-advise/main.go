@@ -1,49 +1,66 @@
-// candle-advise recommends a run configuration from the calibrated
-// performance/power models: the fewest seconds or joules that still
-// meet an accuracy floor.
+// candle-advise recommends a run configuration: the fewest seconds or
+// joules that still meet an accuracy floor. Predictions come from the
+// paper-calibrated performance/power models by default, or — with
+// -from-bench — from a BENCH_e2e.json artifact this machine produced,
+// in which case the recommendation is backed by measured trajectories
+// instead of analytic curves.
 //
 // Examples:
 //
 //	candle-advise -bench NT3 -min-accuracy 0.99
 //	candle-advise -bench NT3 -objective energy -min-accuracy 0.99
 //	candle-advise -bench P1B3 -scale-batch -min-accuracy 0.64 -epochs 1
+//	candle-advise -bench NT3 -from-bench BENCH_e2e.json -min-accuracy 0.7 -deadline 300s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"candle/internal/advisor"
 	"candle/internal/hpc"
 )
 
+// options collects the flag values run needs.
+type options struct {
+	bench      string
+	machine    string
+	objective  string
+	minAcc     float64
+	maxLoss    float64
+	maxWorkers int
+	epochs     int
+	scaleBatch bool
+	all        bool
+	fromBench  string
+	deadline   time.Duration
+}
+
 func main() {
-	var (
-		bench      = flag.String("bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
-		machine    = flag.String("machine", "summit", "summit or theta")
-		objective  = flag.String("objective", "time", "time, energy, or edp")
-		minAcc     = flag.Float64("min-accuracy", 0, "accuracy floor (classification)")
-		maxLoss    = flag.Float64("max-loss", 0, "loss ceiling (P1B1)")
-		maxWorkers = flag.Int("max-workers", 0, "cap on workers (0 = 384)")
-		epochs     = flag.Int("epochs", 0, "total epoch budget (0 = default)")
-		scaleBatch = flag.Bool("scale-batch", false, "also sweep linear/sqrt/cbrt batch scaling")
-		all        = flag.Bool("all", false, "print every candidate, not just the winner")
-	)
+	var o options
+	flag.StringVar(&o.bench, "bench", "NT3", "benchmark: NT3, P1B1, P1B2, P1B3")
+	flag.StringVar(&o.machine, "machine", "summit", "summit or theta (analytic predictions only)")
+	flag.StringVar(&o.objective, "objective", "time", "time, energy, or edp")
+	flag.Float64Var(&o.minAcc, "min-accuracy", 0, "accuracy floor (classification)")
+	flag.Float64Var(&o.maxLoss, "max-loss", 0, "loss ceiling (P1B1)")
+	flag.IntVar(&o.maxWorkers, "max-workers", 0, "cap on workers (0 = 384)")
+	flag.IntVar(&o.epochs, "epochs", 0, "total epoch budget (0 = default)")
+	flag.BoolVar(&o.scaleBatch, "scale-batch", false, "also sweep linear/sqrt/cbrt batch scaling")
+	flag.BoolVar(&o.all, "all", false, "print every candidate, not just the winner")
+	flag.StringVar(&o.fromBench, "from-bench", "", "recommend from a measured BENCH_e2e.json instead of the analytic models")
+	flag.DurationVar(&o.deadline, "deadline", 0, "reject plans slower than this (e.g. 300s; 0 = none)")
 	flag.Parse()
-	if err := run(*bench, *machine, *objective, *minAcc, *maxLoss, *maxWorkers, *epochs, *scaleBatch, *all); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "candle-advise:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, machine, objective string, minAcc, maxLoss float64, maxWorkers, epochs int, scaleBatch, all bool) error {
-	m, err := hpc.ByName(machine)
-	if err != nil {
-		return err
-	}
+func run(o options) error {
 	var obj advisor.Objective
-	switch objective {
+	switch o.objective {
 	case "time":
 		obj = advisor.MinTime
 	case "energy":
@@ -51,14 +68,32 @@ func run(bench, machine, objective string, minAcc, maxLoss float64, maxWorkers, 
 	case "edp":
 		obj = advisor.MinEDP
 	default:
-		return fmt.Errorf("unknown objective %q", objective)
+		return fmt.Errorf("unknown objective %q", o.objective)
 	}
-	best, candidates, err := advisor.Recommend(advisor.Request{
-		Benchmark: bench, Machine: m, Objective: obj,
-		MinAccuracy: minAcc, MaxLoss: maxLoss,
-		MaxWorkers: maxWorkers, Epochs: epochs, ScaleBatch: scaleBatch,
-	})
-	if all {
+	req := advisor.Request{
+		Benchmark: o.bench, Objective: obj,
+		MinAccuracy: o.minAcc, MaxLoss: o.maxLoss,
+		MaxWorkers: o.maxWorkers, Epochs: o.epochs, ScaleBatch: o.scaleBatch,
+		DeadlineS: o.deadline.Seconds(),
+	}
+	var source string
+	if o.fromBench != "" {
+		cal, err := advisor.LoadMeasured(o.fromBench)
+		if err != nil {
+			return err
+		}
+		req.Calibration = cal
+		source = cal.Name()
+	} else {
+		m, err := hpc.ByName(o.machine)
+		if err != nil {
+			return err
+		}
+		req.Machine = m
+		source = "analytic models, " + m.Name
+	}
+	best, candidates, err := advisor.Recommend(req)
+	if o.all {
 		for _, c := range candidates {
 			fmt.Printf("  candidate: %s\n", c)
 		}
@@ -66,9 +101,15 @@ func run(bench, machine, objective string, minAcc, maxLoss float64, maxWorkers, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s (%s", bench, m.Name, obj)
-	if minAcc > 0 {
-		fmt.Printf(", accuracy ≥ %.3f", minAcc)
+	fmt.Printf("%s (%s, %s", o.bench, source, obj)
+	if o.minAcc > 0 {
+		fmt.Printf(", accuracy ≥ %.3f", o.minAcc)
+	}
+	if o.maxLoss > 0 {
+		fmt.Printf(", loss ≤ %.3g", o.maxLoss)
+	}
+	if o.deadline > 0 {
+		fmt.Printf(", deadline %s", o.deadline)
 	}
 	fmt.Println("):")
 	fmt.Printf("  recommended: %s\n", best)

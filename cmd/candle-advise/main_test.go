@@ -1,30 +1,95 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"candle/internal/e2ebench"
+)
 
 func TestRunAdvise(t *testing.T) {
-	if err := run("NT3", "summit", "time", 0.99, 0, 0, 0, false, false); err != nil {
-		t.Fatal(err)
+	cases := []options{
+		{bench: "NT3", machine: "summit", objective: "time", minAcc: 0.99},
+		{bench: "NT3", machine: "summit", objective: "energy", minAcc: 0.99, all: true},
+		{bench: "P1B3", machine: "summit", objective: "time", minAcc: 0.64, epochs: 1, scaleBatch: true},
+		{bench: "P1B1", machine: "theta", objective: "time", maxLoss: 0.1, maxWorkers: 96},
 	}
-	if err := run("NT3", "summit", "energy", 0.99, 0, 0, 0, false, true); err != nil {
-		t.Fatal(err)
-	}
-	if err := run("P1B3", "summit", "time", 0.64, 0, 0, 1, true, false); err != nil {
-		t.Fatal(err)
-	}
-	if err := run("P1B1", "theta", "time", 0, 0.1, 96, 0, false, false); err != nil {
-		t.Fatal(err)
+	for _, o := range cases {
+		if err := run(o); err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
 	}
 }
 
 func TestRunAdviseErrors(t *testing.T) {
-	if err := run("NT3", "frontier", "time", 0, 0, 0, 0, false, false); err == nil {
+	if err := run(options{bench: "NT3", machine: "frontier", objective: "time"}); err == nil {
 		t.Fatal("bad machine accepted")
 	}
-	if err := run("NT3", "summit", "speed", 0, 0, 0, 0, false, false); err == nil {
+	if err := run(options{bench: "NT3", machine: "summit", objective: "speed"}); err == nil {
 		t.Fatal("bad objective accepted")
 	}
-	if err := run("NT3", "summit", "time", 0.99999999, 0, 0, 0, false, false); err == nil {
+	if err := run(options{bench: "NT3", machine: "summit", objective: "time", minAcc: 0.99999999}); err == nil {
 		t.Fatal("infeasible request should error")
+	}
+}
+
+func TestRunAdviseUnknownBenchmarkIsActionable(t *testing.T) {
+	err := run(options{bench: "NT99", machine: "summit", objective: "time"})
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// The error must name the valid pilots, not just reject.
+	for _, want := range []string{"NT99", "NT3", "P1B1", "P1B2", "P1B3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// writeFixture writes a minimal measured artifact with one NT3 config.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	m := &e2ebench.Metrics{Seed: 1, Pilots: []e2ebench.PilotResult{{
+		Spec: e2ebench.PilotSpec{Name: "NT3", Batch: 7,
+			TargetKind: e2ebench.TargetAccuracy, Target: 0.7},
+		Configs: []e2ebench.ConfigResult{{
+			Config:        e2ebench.Config{Engine: "sharded", Ranks: 2, Batch: 7, DType: "f64"},
+			ReachedTarget: true, TimeToTargetS: 2, EnergyToTargetJ: 150,
+			TotalS: 4, EnergyJ: 300, FinalTestAcc: 0.9, FinalTestLoss: 0.2,
+			EpochEndS:     []float64{1, 2, 3, 4},
+			EpochTestAcc:  []float64{0.5, 0.7, 0.8, 0.9},
+			EpochTestLoss: []float64{0.9, 0.6, 0.4, 0.2},
+			EpochEnergyJ:  []float64{75, 150, 225, 300},
+		}},
+	}}}
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	if err := e2ebench.Write(path, m, "advise test fixture"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAdviseFromBench(t *testing.T) {
+	path := writeFixture(t)
+	o := options{bench: "NT3", objective: "time", minAcc: 0.7,
+		fromBench: path, deadline: 300 * time.Second, all: true}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// A deadline tighter than any measured crossing is infeasible.
+	o.deadline = time.Millisecond
+	if err := run(o); err == nil {
+		t.Fatal("impossible deadline accepted")
+	}
+	// A pilot absent from the artifact is rejected with the known list.
+	err := run(options{bench: "P1B2", objective: "time", fromBench: path})
+	if err == nil || !strings.Contains(err.Error(), "NT3") {
+		t.Fatalf("unknown pilot error not actionable: %v", err)
+	}
+	// A non-e2e artifact is a schema error, not a panic or silence.
+	if err := run(options{bench: "NT3", objective: "time", fromBench: "main.go"}); err == nil {
+		t.Fatal("garbage artifact accepted")
 	}
 }

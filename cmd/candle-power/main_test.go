@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"candle/internal/sim"
+)
 
 func TestRunPower(t *testing.T) {
 	if err := run("NT3", "summit", 48, "naive", false, 0, 1000, false); err != nil {
@@ -23,5 +29,22 @@ func TestRunPowerErrors(t *testing.T) {
 	}
 	if err := run("NT3", "summit", 1, "warp", false, 0, 1, false); err == nil {
 		t.Fatal("bad loader accepted")
+	}
+}
+
+func TestRunPowerUnknownBenchmarkIsActionable(t *testing.T) {
+	err := run("NT99", "summit", 1, "naive", false, 0, 1, false)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	var ub *sim.UnknownBenchmarkError
+	if !errors.As(err, &ub) {
+		t.Fatalf("want UnknownBenchmarkError, got %T: %v", err, err)
+	}
+	// The message the CLI prints must list the valid pilot names.
+	for _, want := range []string{"NT3", "P1B1", "P1B2", "P1B3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
 	}
 }

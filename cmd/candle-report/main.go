@@ -1,27 +1,54 @@
 // candle-report writes the full reproduction bundle — every table and
 // figure of the paper as aligned text, per-artifact CSV, Chrome-trace
 // timelines, and the Figure 7(a) power trace — into one directory.
+// With -e2e it instead renders a measured BENCH_e2e.json as comparison
+// tables: one per pilot, one row per configuration, with the
+// time/energy-to-target race and the load/compute/collective split.
 //
-// Example:
+// Examples:
 //
 //	candle-report -o out/
+//	candle-report -e2e BENCH_e2e.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"candle/internal/core"
+	"candle/internal/e2ebench"
 )
 
 func main() {
 	out := flag.String("o", "reproduction", "output directory")
+	e2e := flag.String("e2e", "", "render a BENCH_e2e.json as comparison tables instead of writing the bundle")
 	flag.Parse()
+	if *e2e != "" {
+		if err := renderE2E(os.Stdout, *e2e); err != nil {
+			fmt.Fprintln(os.Stderr, "candle-report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	n, err := core.WriteBundle(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "candle-report:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d artifact files to %s/\n", n, *out)
+}
+
+// renderE2E prints the measured e2e artifact as per-pilot tables.
+func renderE2E(w io.Writer, path string) error {
+	m, res, err := e2ebench.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (%s, %s, seed %d)\n\n", path, res.Environment.CPU, res.Environment.Date, m.Seed)
+	for _, t := range e2ebench.Tables(m) {
+		fmt.Fprintln(w, t.String())
+	}
+	return nil
 }

@@ -1,19 +1,23 @@
-// Package advisor uses the calibrated performance/power models of
-// internal/sim to recommend run configurations — the
+// Package advisor recommends run configurations — the
 // "performance-power modeling to further optimize the CANDLE
 // benchmarks" the paper lists as future work (its reference [34]).
 //
-// Given a benchmark, a machine, an accuracy floor, and an objective
-// (minimize time or energy), Recommend sweeps worker counts, loaders,
-// and batch-scaling strategies through the simulator and returns the
-// best feasible plan, for instance: "NT3 on Summit to accuracy ≥0.99:
+// Given a benchmark, an accuracy floor, and an objective (minimize
+// time, energy, or their product), Recommend sweeps candidate
+// configurations from a Calibration source and returns the best
+// feasible plan, for instance: "NT3 on Summit to accuracy ≥0.99:
 // 48 GPUs, batch 20, chunked loader — 186 s, 0.9 MJ".
+//
+// Where the predictions come from is the Request.Calibration field:
+// nil keeps the historical Analytic source (the paper-calibrated
+// internal/sim models), while a Measured source fitted from a
+// BENCH_e2e.json artifact (LoadMeasured) recommends from trajectories
+// this machine actually produced.
 package advisor
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"candle/internal/hpc"
 	"candle/internal/sim"
@@ -45,6 +49,9 @@ func (o Objective) String() string {
 // Request describes what the user wants to run.
 type Request struct {
 	Benchmark string
+	// Machine is the target machine for analytic predictions; a
+	// measured calibration ignores it (its data already has a machine:
+	// the one that produced the artifact).
 	Machine   hpc.Machine
 	Objective Objective
 	// MinAccuracy is the accuracy floor a plan must reach
@@ -55,19 +62,34 @@ type Request struct {
 	// MaxWorkers caps the sweep (0 = 384, the paper's strong-scaling
 	// maximum).
 	MaxWorkers int
-	// Epochs is the total epoch budget (0 = benchmark default).
+	// Epochs is the total epoch budget (0 = benchmark default;
+	// measured calibrations always price their recorded budget).
 	Epochs int
 	// ScaleBatch additionally sweeps the Figure 4(b) batch-scaling
-	// strategies (for P1B3-style workloads).
+	// strategies (for P1B3-style workloads; analytic only).
 	ScaleBatch bool
+	// DeadlineS rejects plans predicted to take longer than this many
+	// seconds (0 = no deadline). Unlike the floors, it applies to every
+	// benchmark kind.
+	DeadlineS float64
+	// Calibration is where predictions come from; nil means Analytic{}
+	// (the historical simulator sweep, bit-for-bit).
+	Calibration Calibration
 }
 
 // Plan is one feasible configuration with its predicted outcome.
 type Plan struct {
-	Workers  int
-	Batch    int
+	Workers int
+	Batch   int
+	// Engine is the loader/engine name; Loader is its sim enum when one
+	// of the three classic loaders, kept for existing callers (a
+	// measured engine outside that set maps to LoaderNaive — read
+	// Engine, not Loader, when exact identity matters).
+	Engine   string
 	Loader   sim.Loader
-	Strategy string // "fixed", "linear", "sqrt", "cbrt"
+	Strategy string // "fixed", "linear", "sqrt", "cbrt", "measured"
+	Overlap  bool   // measured plans: async gradient pipeline
+	DType    string // measured plans: compute precision
 
 	TimeS    float64
 	EnergyJ  float64
@@ -76,78 +98,81 @@ type Plan struct {
 }
 
 func (p Plan) String() string {
+	engine := p.Engine
+	if engine == "" {
+		engine = p.Loader.String()
+	}
+	if p.Overlap {
+		engine += "+overlap"
+	}
+	if p.DType != "" && p.DType != "f64" {
+		engine += "/" + p.DType
+	}
 	return fmt.Sprintf("%d workers, batch %d (%s), %s loader: %.1f s, %.2f MJ, accuracy %.3f",
-		p.Workers, p.Batch, p.Strategy, p.Loader, p.TimeS, p.EnergyJ/1e6, p.Accuracy)
+		p.Workers, p.Batch, p.Strategy, engine, p.TimeS, p.EnergyJ/1e6, p.Accuracy)
 }
 
 // ErrInfeasible reports that no swept configuration met the floor.
 var ErrInfeasible = errors.New("advisor: no feasible configuration")
 
-// workerSweep is the standard ladder of worker counts.
-var workerSweep = []int{1, 6, 12, 24, 48, 96, 192, 384}
-
-// Recommend sweeps configurations through the simulator and returns
-// the best feasible plan plus every candidate considered (feasible or
-// not), for reporting.
+// Recommend sweeps the calibration's candidates and returns the best
+// feasible plan plus every candidate considered (feasible or not), for
+// reporting. The calibration defaults to Analytic{}, which reproduces
+// the historical simulator sweep exactly.
 func Recommend(req Request) (best Plan, candidates []Plan, err error) {
-	bench, err := sim.BenchByName(req.Benchmark)
+	cal := req.Calibration
+	if cal == nil {
+		cal = Analytic{}
+	}
+	bench, err := cal.Bench(req.Benchmark)
 	if err != nil {
 		return Plan{}, nil, err
 	}
-	maxWorkers := req.MaxWorkers
-	if maxWorkers <= 0 {
-		maxWorkers = 384
-	}
-	strategies := []string{"fixed"}
-	if req.ScaleBatch {
-		strategies = append(strategies, "linear", "sqrt", "cbrt")
-	}
 	found := false
-	for _, n := range workerSweep {
-		if n > maxWorkers {
-			break
+	for _, c := range cal.Candidates(bench, req) {
+		out, predErr := cal.Predict(req, bench, c)
+		if predErr != nil {
+			// OOM and similar: not a candidate.
+			continue
 		}
-		for _, loader := range []sim.Loader{sim.LoaderNaive, sim.LoaderParallel, sim.LoaderChunked} {
-			for _, strat := range strategies {
-				batch := bench.DefaultBatch
-				switch strat {
-				case "linear":
-					batch = bench.DefaultBatch * n
-				case "sqrt":
-					batch = int(float64(bench.DefaultBatch) * math.Sqrt(float64(n)))
-				case "cbrt":
-					batch = int(float64(bench.DefaultBatch) * math.Cbrt(float64(n)))
-				}
-				r, runErr := sim.Run(sim.Config{
-					Machine: req.Machine, Bench: bench, Ranks: n,
-					Scaling: sim.Strong, Epochs: req.Epochs, Batch: batch,
-					Loader: loader,
-				})
-				if runErr != nil {
-					// OOM and similar: not a candidate.
-					continue
-				}
-				p := Plan{
-					Workers: n, Batch: r.Batch, Loader: loader, Strategy: strat,
-					TimeS: r.TotalTime, EnergyJ: r.TotalEnergyJ,
-					Accuracy: r.Accuracy, Loss: r.Loss,
-				}
-				candidates = append(candidates, p)
-				if !feasible(p, bench, req) {
-					continue
-				}
-				if !found || better(p, best, req.Objective) {
-					best = p
-					found = true
-				}
-			}
+		p := Plan{
+			Workers: c.Workers, Batch: c.Batch,
+			Engine: c.Engine, Loader: loaderByName(c.Engine),
+			Strategy: c.Strategy, Overlap: c.Overlap, DType: c.DType,
+			TimeS: out.TimeS, EnergyJ: out.EnergyJ,
+			Accuracy: out.Accuracy, Loss: out.Loss,
+		}
+		candidates = append(candidates, p)
+		if !feasible(p, bench, req) {
+			continue
+		}
+		if !found || better(p, best, req.Objective) {
+			best = p
+			found = true
 		}
 	}
 	if !found {
-		return Plan{}, candidates, fmt.Errorf("%w: %s on %s with accuracy ≥ %v",
-			ErrInfeasible, req.Benchmark, req.Machine.Name, req.MinAccuracy)
+		return Plan{}, candidates, infeasibleErr(req, cal)
 	}
 	return best, candidates, nil
+}
+
+func infeasibleErr(req Request, cal Calibration) error {
+	where := req.Machine.Name
+	if where == "" {
+		where = cal.Name()
+	}
+	msg := fmt.Sprintf("%s on %s", req.Benchmark, where)
+	if req.MinAccuracy > 0 {
+		msg += fmt.Sprintf(" with accuracy ≥ %v", req.MinAccuracy)
+	}
+	if req.MaxLoss > 0 {
+		msg += fmt.Sprintf(" with loss ≤ %v", req.MaxLoss)
+	}
+	if req.DeadlineS > 0 {
+		msg += fmt.Sprintf(" within %vs", req.DeadlineS)
+	}
+	return fmt.Errorf("%w: %s", ErrInfeasible, msg)
 }
 
 func feasible(p Plan, bench sim.BenchCal, req Request) bool {
@@ -155,6 +180,9 @@ func feasible(p Plan, bench sim.BenchCal, req Request) bool {
 		return false
 	}
 	if bench.LossAmp > 0 && req.MaxLoss > 0 && p.Loss > req.MaxLoss {
+		return false
+	}
+	if req.DeadlineS > 0 && p.TimeS > req.DeadlineS {
 		return false
 	}
 	return true

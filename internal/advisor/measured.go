@@ -1,0 +1,182 @@
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"candle/internal/e2ebench"
+	"candle/internal/sim"
+)
+
+// Measured is a Calibration fitted from a BENCH_e2e.json this machine
+// produced: candidates are the configurations the harness actually
+// ran, and predictions come from the recorded per-epoch accuracy and
+// cumulative-energy trajectories rather than the analytic models. The
+// advisor can therefore answer "what should I run to reach accuracy
+// 0.7 in under 300 s" from data, not curves:
+//
+//	cal, err := advisor.LoadMeasured("BENCH_e2e.json")
+//	best, _, err := advisor.Recommend(advisor.Request{
+//		Benchmark: "NT3", MinAccuracy: 0.7, Calibration: cal,
+//	})
+type Measured struct {
+	metrics *e2ebench.Metrics
+	source  string // artifact path, for Name()
+}
+
+// NewMeasured wraps already-loaded e2e metrics.
+func NewMeasured(m *e2ebench.Metrics, source string) *Measured {
+	if source == "" {
+		source = "BENCH_e2e.json"
+	}
+	return &Measured{metrics: m, source: source}
+}
+
+// LoadMeasured reads a BENCH_e2e.json artifact (schema-checked; wrong
+// kinds fail with bench.ErrSchema).
+func LoadMeasured(path string) (*Measured, error) {
+	m, _, err := e2ebench.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewMeasured(m, path), nil
+}
+
+// Name implements Calibration.
+func (m *Measured) Name() string { return "measured " + m.source }
+
+// UnknownPilotError reports a benchmark absent from the measured
+// artifact, listing what it does contain — same shape as
+// sim.UnknownBenchmarkError so CLIs print something actionable either
+// way.
+type UnknownPilotError struct {
+	Name   string
+	Source string
+	Known  []string
+}
+
+func (e *UnknownPilotError) Error() string {
+	return fmt.Sprintf("advisor: benchmark %q not measured in %s (measured: %s)",
+		e.Name, e.Source, strings.Join(e.Known, ", "))
+}
+
+// Bench implements Calibration. The returned BenchCal is synthesized
+// from the pilot's spec — just enough for the shared feasibility
+// checks (Classification gates the accuracy floor, LossAmp > 0 gates
+// the loss ceiling); Predict never consults the analytic curve fields.
+func (m *Measured) Bench(name string) (sim.BenchCal, error) {
+	p := m.metrics.Pilot(name)
+	if p == nil {
+		var known []string
+		for _, pp := range m.metrics.Pilots {
+			known = append(known, pp.Spec.Name)
+		}
+		return sim.BenchCal{}, &UnknownPilotError{Name: name, Source: m.source, Known: known}
+	}
+	cal := sim.BenchCal{Name: p.Spec.Name, DefaultBatch: p.Spec.Batch}
+	if p.Spec.TargetKind == e2ebench.TargetLoss {
+		cal.LossAmp = 1
+	} else {
+		cal.Classification = true
+	}
+	return cal, nil
+}
+
+// Candidates implements Calibration: the measured configurations in
+// artifact order (the harness's grid order, so ties still resolve
+// deterministically).
+func (m *Measured) Candidates(bench sim.BenchCal, req Request) []Candidate {
+	p := m.metrics.Pilot(bench.Name)
+	if p == nil {
+		return nil
+	}
+	var out []Candidate
+	for _, c := range p.Configs {
+		if req.MaxWorkers > 0 && c.Config.Ranks > req.MaxWorkers {
+			continue
+		}
+		out = append(out, Candidate{
+			Workers: c.Config.Ranks, Batch: c.Config.Batch,
+			Engine: c.Config.Engine, Strategy: "measured",
+			Overlap: c.Config.Overlap, DType: c.Config.DType,
+		})
+	}
+	return out
+}
+
+// Predict implements Calibration by racing the request's own floor
+// against the recorded trajectory: the predicted time and energy are
+// the run clock and cumulative joules at the first epoch whose test
+// evaluation met the floor. A run that never met it reports its full
+// cost and best-achieved metrics, which the shared feasibility check
+// then rejects — infeasible measured configs still show up as
+// candidates, like infeasible simulated ones.
+func (m *Measured) Predict(req Request, bench sim.BenchCal, cand Candidate) (Outcome, error) {
+	cr := m.findConfig(bench.Name, cand)
+	if cr == nil {
+		return Outcome{}, fmt.Errorf("advisor: configuration %+v not measured", cand)
+	}
+	idx := -1
+	for i := range cr.EpochTestAcc {
+		if req.MinAccuracy > 0 && cr.EpochTestAcc[i] >= req.MinAccuracy {
+			idx = i
+			break
+		}
+		if req.MaxLoss > 0 && cr.EpochTestLoss[i] <= req.MaxLoss {
+			idx = i
+			break
+		}
+	}
+	if req.MinAccuracy <= 0 && req.MaxLoss <= 0 {
+		// No floor: the cost of the full measured budget.
+		return Outcome{TimeS: cr.TotalS, EnergyJ: cr.EnergyJ,
+			Accuracy: cr.FinalTestAcc, Loss: cr.FinalTestLoss}, nil
+	}
+	if idx < 0 {
+		return Outcome{TimeS: cr.TotalS, EnergyJ: cr.EnergyJ,
+			Accuracy: maxOf(cr.EpochTestAcc), Loss: minOf(cr.EpochTestLoss)}, nil
+	}
+	return Outcome{
+		TimeS: cr.EpochEndS[idx], EnergyJ: cr.EpochEnergyJ[idx],
+		Accuracy: cr.EpochTestAcc[idx], Loss: cr.EpochTestLoss[idx],
+	}, nil
+}
+
+// findConfig locates the measured ConfigResult a candidate came from.
+func (m *Measured) findConfig(pilot string, cand Candidate) *e2ebench.ConfigResult {
+	p := m.metrics.Pilot(pilot)
+	if p == nil {
+		return nil
+	}
+	for i := range p.Configs {
+		c := p.Configs[i].Config
+		if c.Ranks == cand.Workers && c.Batch == cand.Batch &&
+			c.Engine == cand.Engine && c.Overlap == cand.Overlap && c.DType == cand.DType {
+			return &p.Configs[i]
+		}
+	}
+	return nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

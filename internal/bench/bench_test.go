@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string    `json:"name"`
+	Runs  int       `json:"runs"`
+	Times []float64 `json:"times"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := New("e2e", "a test artifact")
+	if r.Schema != "candle-bench/e2e/v1" {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+	if r.Kind() != "e2e" {
+		t.Fatalf("kind = %q", r.Kind())
+	}
+	if r.Environment.GOMAXPROCS < 1 || r.Environment.Go == "" || r.Environment.Date == "" || r.Environment.CPU == "" {
+		t.Fatalf("environment not filled: %+v", r.Environment)
+	}
+	in := payload{Name: "NT3", Runs: 3, Times: []float64{1.5, 2.25, 0.125}}
+	if err := r.SetMetrics(in); err != nil {
+		t.Fatal(err)
+	}
+	r.Regenerate = "make bench-e2e"
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := got.DecodeMetrics(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("metrics round trip: got %+v want %+v", out, in)
+	}
+	if got.Description != r.Description || got.Schema != r.Schema || got.Regenerate != r.Regenerate {
+		t.Fatalf("envelope round trip: %+v", got)
+	}
+	if got.Environment != r.Environment {
+		t.Fatalf("environment round trip: %+v vs %+v", got.Environment, r.Environment)
+	}
+}
+
+func TestLoadWrongKind(t *testing.T) {
+	r := New("e2e", "x")
+	if err := r.SetMetrics(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path, "fleet")
+	if !errors.Is(err, ErrSchema) {
+		t.Fatalf("want ErrSchema, got %v", err)
+	}
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not *SchemaError", err)
+	}
+	if se.Got != "candle-bench/e2e/v1" || se.Want != "candle-bench/fleet/v1" {
+		t.Fatalf("schema error fields: %+v", se)
+	}
+}
+
+func TestLoadPreSchemaFile(t *testing.T) {
+	// The six legacy BENCH_*.json files have no schema tag; Load must
+	// reject them with a typed, actionable error.
+	path := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	if err := os.WriteFile(path, []byte(`{"description": "old", "metrics": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path, "e2e")
+	if !errors.Is(err, ErrSchema) {
+		t.Fatalf("want ErrSchema, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "no schema tag") {
+		t.Fatalf("error not actionable: %v", err)
+	}
+}
+
+func TestLoadGarbageAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad, "e2e"); err == nil || errors.Is(err, ErrSchema) {
+		t.Fatalf("garbage should be a parse error, got %v", err)
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json"), "e2e"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestKindOfForeignSchema(t *testing.T) {
+	r := &Result{Schema: "someone-else/e2e/v1"}
+	if r.Kind() != "" {
+		t.Fatalf("foreign schema parsed as kind %q", r.Kind())
+	}
+}
+
+func TestWriteIsAtomic(t *testing.T) {
+	// Write must not leave a .tmp file behind on success.
+	r := New("e2e", "x")
+	if err := r.SetMetrics(1); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}

@@ -130,6 +130,14 @@ type RunConfig struct {
 	// RankResult. Off by default: it is a full model copy per rank,
 	// wanted only by bit-identity checks like candle-sim's.
 	KeepWeights bool
+	// TrackEpochs records a per-epoch trajectory in rank 0's
+	// RankResult: the run clock at each epoch end plus the model's test
+	// loss/accuracy evaluated there. This is how the e2e benchmark
+	// harness measures wall-clock-to-target-accuracy. Only rank 0
+	// evaluates (a pure forward pass, no collectives), so replicas stay
+	// bit-identical; the evaluation time is real wall time and is
+	// included in the run like any measurement probe would be.
+	TrackEpochs bool
 }
 
 // Validate checks the static side of the config: Engine must name a
@@ -256,6 +264,13 @@ type RankResult struct {
 	// FinalWeights is the rank's full final weight vector, recorded
 	// only when RunConfig.KeepWeights is set.
 	FinalWeights []float64
+	// EpochEndSeconds[i] is the run clock when global epoch i finished;
+	// EpochTestLoss/EpochTestAcc are the test-set metrics evaluated at
+	// that moment. Recorded on rank 0 only, when
+	// RunConfig.TrackEpochs is set.
+	EpochEndSeconds []float64
+	EpochTestLoss   []float64
+	EpochTestAcc    []float64
 }
 
 // RunResult aggregates a real run.
@@ -481,6 +496,11 @@ func (b *Benchmark) runOnWorld(cfg RunConfig, world *mpi.World, forceResume, set
 		resumedFrom := -1
 		resumedLoss := 0.0
 		callbacks := []nn.Callback{hvd.BroadcastHook(0)}
+		var tracker *epochTracker
+		if cfg.TrackEpochs && c.Rank() == 0 {
+			tracker = &epochTracker{clock: clock, model: model, teX: teX, teY: teY}
+			callbacks = append(callbacks, tracker)
+		}
 		var ckptCB *checkpoint.Callback
 		if cfg.CheckpointDir != "" {
 			if cfg.Resume || forceResume {
@@ -573,6 +593,11 @@ func (b *Benchmark) runOnWorld(cfg RunConfig, world *mpi.World, forceResume, set
 		if cfg.KeepWeights {
 			res.FinalWeights = model.WeightsVector()
 		}
+		if tracker != nil {
+			res.EpochEndSeconds = tracker.times
+			res.EpochTestLoss = tracker.losses
+			res.EpochTestAcc = tracker.accs
+		}
 		if dist != nil {
 			res.AllreduceCalls = dist.AllreduceCalls
 		}
@@ -592,6 +617,29 @@ func (b *Benchmark) runOnWorld(cfg RunConfig, world *mpi.World, forceResume, set
 		out = append(out, results[r])
 	}
 	return out, nil
+}
+
+// epochTracker is the RunConfig.TrackEpochs callback: at each epoch
+// end it stamps the run clock, then evaluates the model on the test
+// split. The clock is read before the evaluation, so an epoch's
+// time-to-accuracy excludes its own probe (earlier epochs' probes are
+// part of the measured wall time, like any monitor's overhead).
+type epochTracker struct {
+	nn.BaseCallback
+	clock    func() float64
+	model    *nn.Sequential
+	teX, teY *tensor.Matrix
+	times    []float64
+	losses   []float64
+	accs     []float64
+}
+
+func (e *epochTracker) OnEpochEnd(m *nn.Sequential, epoch int, loss float64) {
+	t := e.clock()
+	l, a := e.model.Evaluate(e.teX, e.teY)
+	e.times = append(e.times, t)
+	e.losses = append(e.losses, l)
+	e.accs = append(e.accs, a)
 }
 
 func lrOrDefault(lr float64) float64 {

@@ -115,3 +115,59 @@ func TestRunParameterServerMode(t *testing.T) {
 }
 
 func TestMain(m *testing.M) { os.Exit(m.Run()) }
+
+func TestTrackEpochsRecordsTrajectory(t *testing.T) {
+	res := runSmall(t, 2, RunConfig{TotalEpochs: 8, TrackEpochs: true})
+	r := res.Root
+	// 8 total epochs / 2 ranks = 4 per rank; one trajectory point each.
+	if len(r.EpochEndSeconds) != 4 || len(r.EpochTestAcc) != 4 || len(r.EpochTestLoss) != 4 {
+		t.Fatalf("trajectory lengths: %d/%d/%d, want 4",
+			len(r.EpochEndSeconds), len(r.EpochTestAcc), len(r.EpochTestLoss))
+	}
+	last := 0.0
+	for i, ts := range r.EpochEndSeconds {
+		if ts <= last {
+			t.Fatalf("epoch %d clock %v not increasing (prev %v)", i, ts, last)
+		}
+		last = ts
+		if r.EpochTestAcc[i] < 0 || r.EpochTestAcc[i] > 1 {
+			t.Fatalf("epoch %d accuracy %v out of range", i, r.EpochTestAcc[i])
+		}
+		if math.IsNaN(r.EpochTestLoss[i]) {
+			t.Fatalf("epoch %d loss NaN", i)
+		}
+	}
+	// Non-root ranks never track.
+	for _, rr := range res.Ranks[1:] {
+		if len(rr.EpochEndSeconds) != 0 {
+			t.Fatalf("rank %d recorded a trajectory", rr.Rank)
+		}
+	}
+	// Off by default.
+	res2 := runSmall(t, 1, RunConfig{TotalEpochs: 2})
+	if len(res2.Root.EpochEndSeconds) != 0 {
+		t.Fatal("trajectory recorded without TrackEpochs")
+	}
+}
+
+func TestTrackEpochsDeterministicAccuracies(t *testing.T) {
+	// Twin runs of the same seed: wall-clock timestamps differ, but the
+	// measured accuracy/loss trajectories must be bit-identical — the
+	// property the e2e benchmark's determinism check rests on.
+	a := runSmall(t, 2, RunConfig{TotalEpochs: 8, TrackEpochs: true})
+	b := runSmall(t, 2, RunConfig{TotalEpochs: 8, TrackEpochs: true})
+	if len(a.Root.EpochTestAcc) == 0 {
+		t.Fatal("no trajectory")
+	}
+	for i := range a.Root.EpochTestAcc {
+		if a.Root.EpochTestAcc[i] != b.Root.EpochTestAcc[i] {
+			t.Fatalf("epoch %d accuracy differs: %v vs %v", i, a.Root.EpochTestAcc[i], b.Root.EpochTestAcc[i])
+		}
+		if a.Root.EpochTestLoss[i] != b.Root.EpochTestLoss[i] {
+			t.Fatalf("epoch %d loss differs: %v vs %v", i, a.Root.EpochTestLoss[i], b.Root.EpochTestLoss[i])
+		}
+	}
+	if a.Root.WeightsChecksum != b.Root.WeightsChecksum {
+		t.Fatal("twin runs diverged")
+	}
+}

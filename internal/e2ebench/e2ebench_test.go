@@ -1,0 +1,266 @@
+package e2ebench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"candle/internal/bench"
+)
+
+// smallSuite is a fast real-training suite: one pilot, four configs.
+func smallSuite(t *testing.T) Suite {
+	t.Helper()
+	return Suite{
+		Pilots: []PilotSpec{{
+			Name: "NT3", SampleDiv: 40, FeatureDiv: 1500,
+			TotalEpochs: 16, Batch: 7, LR: 0.05,
+			TargetKind: TargetAccuracy, Target: 0.7,
+		}},
+		Grid: Grid{
+			Engines: []string{"parallel"},
+			Ranks:   []int{1, 2},
+			Overlap: []bool{false, true},
+			DTypes:  []string{"f64"},
+		},
+		Seed: 11,
+		Dir:  t.TempDir(),
+	}
+}
+
+func TestSuiteRunMeasuresPhasesAndTargets(t *testing.T) {
+	m, err := smallSuite(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pilots) != 1 {
+		t.Fatalf("pilots = %d", len(m.Pilots))
+	}
+	p := m.Pilots[0]
+	// {1 rank sync, 2 ranks sync, 2 ranks overlap} × f64 = 3 configs
+	// (overlap at one rank is pruned).
+	if len(p.Configs) != 3 {
+		t.Fatalf("configs = %d, want 3", len(p.Configs))
+	}
+	reached := 0
+	for _, c := range p.Configs {
+		if c.TotalS <= 0 || c.LoadS <= 0 || c.ComputeS <= 0 {
+			t.Fatalf("%s: non-positive phase: total %v load %v compute %v",
+				c.Config, c.TotalS, c.LoadS, c.ComputeS)
+		}
+		if c.Config.Ranks > 1 && c.CollectiveS <= 0 {
+			t.Fatalf("%s: multi-rank run measured no collective time", c.Config)
+		}
+		if c.CollectiveS != c.BroadcastS+c.AllreduceS {
+			t.Fatalf("%s: collective split inconsistent", c.Config)
+		}
+		if got := c.LoadS + c.ComputeS + c.CollectiveS + c.EvalS; got > c.TotalS*1.0001 {
+			t.Fatalf("%s: phases (%v) exceed total (%v)", c.Config, got, c.TotalS)
+		}
+		if c.EnergyJ <= 0 || c.EnergyCPUJ <= 0 || c.EnergyCPUJ+c.EnergyMemJ > c.EnergyJ {
+			t.Fatalf("%s: implausible energy %v/%v/%v", c.Config, c.EnergyJ, c.EnergyCPUJ, c.EnergyMemJ)
+		}
+		n := len(c.EpochEndS)
+		if n == 0 || len(c.EpochTestAcc) != n || len(c.EpochEnergyJ) != n {
+			t.Fatalf("%s: trajectory lengths %d/%d/%d", c.Config, n, len(c.EpochTestAcc), len(c.EpochEnergyJ))
+		}
+		for i := 1; i < n; i++ {
+			if c.EpochEnergyJ[i] < c.EpochEnergyJ[i-1] {
+				t.Fatalf("%s: cumulative energy decreased at epoch %d", c.Config, i)
+			}
+		}
+		if c.EpochEnergyJ[n-1] > c.EnergyJ*1.0001 {
+			t.Fatalf("%s: epoch energy %v exceeds run total %v", c.Config, c.EpochEnergyJ[n-1], c.EnergyJ)
+		}
+		if c.ReachedTarget {
+			reached++
+			if c.TimeToTargetS <= 0 || c.TimeToTargetS > c.TotalS*1.5 {
+				t.Fatalf("%s: implausible time-to-target %v (total %v)", c.Config, c.TimeToTargetS, c.TotalS)
+			}
+			if c.EnergyToTargetJ <= 0 || c.EnergyToTargetJ > c.EnergyJ*1.0001 {
+				t.Fatalf("%s: implausible energy-to-target %v", c.Config, c.EnergyToTargetJ)
+			}
+		}
+		// OverlapFraction is timing-dependent (a tiny model can drain
+		// everything at step end), so only its range is checked.
+		if c.OverlapFraction < 0 || c.OverlapFraction > 1 {
+			t.Fatalf("%s: overlap fraction %v out of range", c.Config, c.OverlapFraction)
+		}
+		if !c.Config.Overlap && c.OverlapFraction != 0 {
+			t.Fatalf("%s: sync run reports hidden communication", c.Config)
+		}
+	}
+	// The NT3 recipe reliably clears 0.7 accuracy within the budget.
+	if reached == 0 {
+		t.Fatal("no configuration reached the target")
+	}
+	if got := p.RankLadder(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("rank ladder = %v", got)
+	}
+}
+
+func TestSuiteDeterministicTrajectories(t *testing.T) {
+	a, err := smallSuite(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smallSuite(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range a.Pilots[0].Configs {
+		ca, cb := a.Pilots[0].Configs[ci], b.Pilots[0].Configs[ci]
+		if len(ca.EpochTestAcc) != len(cb.EpochTestAcc) {
+			t.Fatalf("%s: trajectory lengths differ", ca.Config)
+		}
+		for i := range ca.EpochTestAcc {
+			if ca.EpochTestAcc[i] != cb.EpochTestAcc[i] || ca.EpochTestLoss[i] != cb.EpochTestLoss[i] {
+				t.Fatalf("%s: epoch %d metrics differ across identically seeded runs", ca.Config, i)
+			}
+		}
+		if ca.FinalTestAcc != cb.FinalTestAcc {
+			t.Fatalf("%s: final accuracy differs", ca.Config)
+		}
+	}
+}
+
+func TestLossTargetRace(t *testing.T) {
+	s := smallSuite(t)
+	s.Pilots[0].TargetKind = TargetLoss
+	s.Pilots[0].Target = 1.0 // generous ceiling: cross-entropy starts ~ln 2
+	s.Grid = Grid{Engines: []string{"parallel"}, Ranks: []int{1}}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Pilots[0].Configs[0]
+	if !c.ReachedTarget {
+		t.Fatalf("loss never reached %v: trajectory %v", s.Pilots[0].Target, c.EpochTestLoss)
+	}
+}
+
+func TestGridConfigsPrunesAndDefaults(t *testing.T) {
+	if got := (Grid{}).Configs(); len(got) != 1 || got[0].Engine != "naive" || got[0].DType != "f64" {
+		t.Fatalf("zero grid = %+v", got)
+	}
+	g := Grid{Engines: []string{"a"}, Ranks: []int{1, 2}, Overlap: []bool{false, true}}
+	if got := g.Configs(); len(got) != 3 { // overlap@1 pruned
+		t.Fatalf("configs = %d, want 3", len(got))
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	m := &Metrics{Seed: 7, Pilots: []PilotResult{{
+		Spec: PilotSpec{Name: "NT3", TargetKind: TargetAccuracy, Target: 0.7},
+		Configs: []ConfigResult{{
+			Config: Config{Engine: "parallel", Ranks: 2, Batch: 7, DType: "f64"},
+			ReachedTarget: true, TimeToTargetS: 1.5, EnergyToTargetJ: 120,
+			TotalS: 2, LoadS: 0.5, ComputeS: 1.2, CollectiveS: 0.2, EnergyJ: 180,
+			EpochEndS: []float64{1, 2}, EpochTestAcc: []float64{0.5, 0.8},
+			EpochTestLoss: []float64{0.9, 0.4}, EpochEnergyJ: []float64{80, 170},
+		}},
+	}}}
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	if err := Write(path, m, "test artifact"); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != bench.SchemaFor(Kind) {
+		t.Fatalf("schema = %q", res.Schema)
+	}
+	if res.Environment.Go == "" || res.Environment.Date == "" {
+		t.Fatal("environment not stamped")
+	}
+	c := got.Pilots[0].Configs[0]
+	if c.TimeToTargetS != 1.5 || c.EpochTestAcc[1] != 0.8 || !c.ReachedTarget {
+		t.Fatalf("round trip mangled metrics: %+v", c)
+	}
+
+	// A different kind's artifact is rejected with the typed error.
+	other := bench.New("tensor", "wrong kind")
+	if err := other.SetMetrics(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(t.TempDir(), "BENCH_tensor.json")
+	if err := other.Write(wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(wrong); err == nil {
+		t.Fatal("loaded a non-e2e artifact")
+	}
+}
+
+func TestTablesRenderComparison(t *testing.T) {
+	m := &Metrics{Pilots: []PilotResult{{
+		Spec: PilotSpec{Name: "NT3", TargetKind: TargetAccuracy, Target: 0.7, TotalEpochs: 16},
+		Configs: []ConfigResult{
+			{Config: Config{Engine: "parallel", Ranks: 1, Batch: 7, DType: "f64"},
+				ReachedTarget: true, TimeToTargetS: 1.234, EnergyToTargetJ: 99,
+				TotalS: 2, LoadS: 0.5, ComputeS: 1.3, CollectiveS: 0.1, FinalTestAcc: 0.9},
+			{Config: Config{Engine: "sharded", Ranks: 2, Overlap: true, Batch: 7, DType: "f32"},
+				TotalS: 1.5, LoadS: 0.3, ComputeS: 1.0, CollectiveS: 0.15, FinalTestAcc: 0.6},
+		},
+	}}}
+	tabs := Tables(m)
+	if len(tabs) != 1 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	out := tabs[0].String()
+	for _, want := range []string{"e2e-NT3", "1.234s", "hit", "miss", "overlap", "sharded", "f32"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The miss row shows dashes, not zeros, for the unreached target.
+	if strings.Contains(out, "0.000s  0.0J") {
+		t.Fatalf("miss rendered as zeros:\n%s", out)
+	}
+}
+
+// TestWriteE2EBench regenerates BENCH_e2e.json. Gated behind
+// BENCH_E2E_OUT so `go test ./...` stays fast; `make bench-e2e` runs
+// the full grid and `make bench-e2e-smoke` a single-pilot subset.
+func TestWriteE2EBench(t *testing.T) {
+	out := os.Getenv("BENCH_E2E_OUT")
+	if out == "" {
+		t.Skip("set BENCH_E2E_OUT=BENCH_e2e.json to write the benchmark artifact")
+	}
+	s := Suite{
+		Pilots: DefaultPilots(),
+		Grid:   DefaultGrid(),
+		Seed:   11,
+		Log:    t.Logf,
+	}
+	desc := "End-to-end time/energy-to-target sweep: real training per config; " +
+		"phase split from the trace timeline; joules from power.ContainerComponents (DESIGN.md §19)."
+	if os.Getenv("BENCH_E2E_SMOKE") != "" {
+		s.Pilots = s.Pilots[:1]
+		s.Grid = Grid{Engines: []string{"parallel"}, Ranks: []int{1, 2}}
+		desc = "Smoke subset of the e2e sweep (1 pilot, 2 configs); not a reference artifact."
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(out, m, desc); err != nil {
+		t.Fatal(err)
+	}
+	// Validate the artifact the way a consumer would.
+	got, _, err := Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got.Pilots {
+		hits := 0
+		for _, c := range p.Configs {
+			if c.ReachedTarget {
+				hits++
+			}
+		}
+		t.Logf("%s: %d configs, %d reached target", p.Spec.Name, len(p.Configs), hits)
+	}
+}

@@ -107,6 +107,26 @@ func (m ComponentModel) Samples(p Profile, rateHz float64) []ComponentSample {
 	return out
 }
 
+// ContainerComponents returns the component model the e2e benchmark
+// harness uses for the measurement host (a small x86 container or
+// laptop core): the same phase structure CapMC reports on Theta,
+// scaled to commodity-node draws. Compute saturates the package;
+// loading and collectives are I/O/wait-bound with lower draw. These
+// are modeling assumptions, not measurements — the harness documents
+// them next to every joule it emits (DESIGN.md §19), and a deployment
+// with real RAPL/IPMI telemetry can substitute its own model.
+func ContainerComponents() ComponentModel {
+	return NewComponentModel(
+		Components{Node: 45, CPU: 22, Mem: 6},
+		map[Phase]Components{
+			DataLoad:  {Node: 62, CPU: 34, Mem: 12},
+			Broadcast: {Node: 58, CPU: 31, Mem: 9},
+			Compute:   {Node: 92, CPU: 60, Mem: 16},
+			Allreduce: {Node: 68, CPU: 40, Mem: 11},
+			Evaluate:  {Node: 84, CPU: 53, Mem: 14},
+		})
+}
+
 // ThetaComponents returns a representative CapMC-style component model
 // for a Theta node running a CANDLE benchmark: compute saturates the
 // KNL package; data loading is I/O-bound with modest CPU and memory

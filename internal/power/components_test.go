@@ -80,3 +80,21 @@ func TestComponentAtOutOfRange(t *testing.T) {
 		t.Fatalf("out of range phase: %+v", w)
 	}
 }
+
+func TestContainerComponentsValid(t *testing.T) {
+	m := ContainerComponents()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Compute must be the hungriest phase and everything must exceed
+	// idle — the shape every per-phase energy argument rests on.
+	idle := m.At(Idle)
+	for _, ph := range []Phase{DataLoad, Broadcast, Compute, Allreduce, Evaluate} {
+		if m.At(ph).Node <= idle.Node {
+			t.Fatalf("phase %v draws no more than idle", ph)
+		}
+		if ph != Compute && m.At(ph).Node >= m.At(Compute).Node {
+			t.Fatalf("phase %v draws more than compute", ph)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // StepCal calibrates one benchmark's per-batch-step compute time on
@@ -174,6 +175,12 @@ type MachineCal struct {
 
 // Benchmarks returns the calibration for the four P1 benchmarks
 // (paper Table 1 plus fitted learning/memory curves).
+//
+// Deprecated for configuration choice: code picking a run
+// configuration should go through advisor.Calibration (the analytic
+// source wraps this table; a measured source can replace it with a
+// fitted BENCH_e2e.json). Direct access to the hyperparameter cards
+// remains supported.
 func Benchmarks() []BenchCal {
 	return []BenchCal{
 		{
@@ -211,14 +218,40 @@ func Benchmarks() []BenchCal {
 	}
 }
 
-// BenchByName returns one benchmark's calibration.
+// BenchByName returns one benchmark's calibration. Unknown names
+// yield an *UnknownBenchmarkError naming the valid choices.
+//
+// Deprecated for configuration choice: see Benchmarks.
 func BenchByName(name string) (BenchCal, error) {
 	for _, b := range Benchmarks() {
 		if b.Name == name {
 			return b, nil
 		}
 	}
-	return BenchCal{}, fmt.Errorf("sim: unknown benchmark %q", name)
+	return BenchCal{}, &UnknownBenchmarkError{Name: name, Known: BenchNames()}
+}
+
+// BenchNames lists the benchmark names in paper order.
+func BenchNames() []string {
+	bs := Benchmarks()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// UnknownBenchmarkError reports a name with no calibration, along with
+// the names that would have worked — the registry-style error the CSV
+// engine registry uses, so a flag typo is fixable from the message
+// alone.
+type UnknownBenchmarkError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownBenchmarkError) Error() string {
+	return fmt.Sprintf("sim: unknown benchmark %q (valid: %s)", e.Name, strings.Join(e.Known, ", "))
 }
 
 // SummitCal returns the Summit-side calibration. Load numbers are

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -55,6 +56,25 @@ func TestBenchmarksTable1(t *testing.T) {
 	}
 	if _, err := BenchByName("nope"); err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBenchByNameUnknownIsTypedAndActionable(t *testing.T) {
+	_, err := BenchByName("NT9")
+	var ue *UnknownBenchmarkError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %T is not *UnknownBenchmarkError", err)
+	}
+	if ue.Name != "NT9" {
+		t.Fatalf("name = %q", ue.Name)
+	}
+	for _, want := range []string{"NT3", "P1B1", "P1B2", "P1B3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %s", err, want)
+		}
+	}
+	if got := BenchNames(); len(got) != 4 || got[0] != "NT3" {
+		t.Fatalf("BenchNames = %v", got)
 	}
 }
 
